@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Each benchmark file regenerates one table or figure of the paper at
+full scale, times its core kernel through pytest-benchmark, prints the
+regenerated table, and asserts the experiment's shape checks — the
+qualitative findings of the paper — all hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_and_assert(benchmark, result) -> None:
+    """Record the rendered table on the benchmark and assert its checks."""
+    benchmark.extra_info["experiment"] = result.exp_id
+    benchmark.extra_info["checks"] = {
+        name: bool(ok) for name, ok in result.shape_checks.items()
+    }
+    print()
+    print(result.to_text())
+    assert result.all_checks_pass, f"failed shape checks: {result.failed_checks()}"
+
+
+@pytest.fixture(scope="session")
+def frames_30k():
+    """The paper's 30k-point successive-frame pair (cached per session)."""
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(30_000, seed=0)

@@ -1,0 +1,21 @@
+"""Extension: ablation of QuickNN's memory optimizations."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_extensions import ext_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_ablation()
+
+
+def test_ext_ablation_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=64, write_gather_capacity=1))
+    # The timed kernel: the no-write-gather variant (one random DRAM
+    # write per placed point).
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,30 @@
+"""Extension: the 2n-workers-per-n-banks rule across bank counts."""
+
+import numpy as np
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import BankedTreeCache, TreeCacheConfig, simulate_traversal
+from repro.datasets import lidar_frame
+from repro.harness.exp_extensions import ext_banks
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_banks()
+
+
+def test_ext_banks_shape_and_kernel(benchmark, result):
+    frame = lidar_frame(6_000, seed=0)
+    tree, _ = build_tree(frame, KdTreeConfig(bucket_capacity=32))
+    cache = BankedTreeCache(
+        tree, TreeCacheConfig(n_banks=8, replicated_levels=3),
+        rng=np.random.default_rng(0),
+    )
+    # The timed kernel: the 16-worker / 8-bank traversal.
+    benchmark.pedantic(
+        lambda: simulate_traversal(tree, frame.xyz, cache, n_workers=16),
+        rounds=3, iterations=1,
+    )
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,21 @@
+"""Extension: cross-check headline results on the highway environment."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.datasets import lidar_frame_pair
+from repro.harness.exp_extensions import ext_crosscheck
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_crosscheck()
+
+
+def test_ext_crosscheck_shape_and_kernel(benchmark, result):
+    ref, qry = lidar_frame_pair(30_000, seed=0, scene_kind="highway")
+    accel = QuickNN(QuickNNConfig(n_fus=64))
+    # The timed kernel: the headline operating point on the second scene.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

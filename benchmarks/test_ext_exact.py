@@ -1,0 +1,22 @@
+"""Extension: the price of exactness on QuickNN's memory system."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import ExactKdArch, QuickNNConfig
+from repro.datasets import lidar_frame_pair
+from repro.harness.exp_extensions import ext_exact_search
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_exact_search()
+
+
+def test_ext_exact_shape_and_kernel(benchmark, result):
+    ref, qry = lidar_frame_pair(15_000, seed=0)
+    accel = ExactKdArch(QuickNNConfig(n_fus=64))
+    # The timed kernel: one exact-search round (dominated by the
+    # backtracking functional search).
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

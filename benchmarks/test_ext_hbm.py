@@ -1,0 +1,21 @@
+"""Extension: QuickNN behind near-chip HBM (Section 7.2 outlook)."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_extensions import ext_hbm
+from repro.sim import DramTimingParams
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_hbm()
+
+
+def test_ext_hbm_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=128, dram=DramTimingParams.hbm2()))
+    # The timed kernel: the HBM-backed high-performance design point.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,20 @@
+"""Extension: rebuild vs incremental TBuild across frame sizes."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_extensions import ext_incremental_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_incremental_scaling()
+
+
+def test_ext_incremental_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=128, tree_strategy="incremental"))
+    # The timed kernel: one incremental-TBuild round at 30k points.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,22 @@
+"""Extension: bucket-size accuracy-throughput Pareto frontier."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.datasets import lidar_frame_pair
+from repro.harness.exp_extensions import ext_pareto
+from repro.kdtree import KdTreeConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_pareto()
+
+
+def test_ext_pareto_shape_and_kernel(benchmark, result):
+    ref, qry = lidar_frame_pair(15_000, seed=0)
+    accel = QuickNN(QuickNNConfig(n_fus=64, tree=KdTreeConfig(bucket_capacity=1024)))
+    # The timed kernel: the largest-bucket end of the frontier.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

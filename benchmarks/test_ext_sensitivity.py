@@ -1,0 +1,24 @@
+"""Extension: robustness of the headline speedup to model constants."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.datasets import lidar_frame_pair
+from repro.harness.exp_extensions import ext_sensitivity
+from repro.sim import DramTimingParams
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_sensitivity()
+
+
+def test_ext_sensitivity_shape_and_kernel(benchmark, result):
+    ref, qry = lidar_frame_pair(15_000, seed=0)
+    accel = QuickNN(QuickNNConfig(
+        n_fus=64, dram=DramTimingParams(row_miss_cycles=24)
+    ))
+    # The timed kernel: the harshest memory perturbation of the sweep.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,28 @@
+"""Figure 10: tree balance over a drive, static reuse vs incremental."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.datasets import DriveConfig, generate_drive
+from repro.harness.exp_incremental import fig10_incremental
+from repro.kdtree import KdTreeConfig, build_tree, update_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig10_incremental()
+
+
+def test_fig10_shape_and_kernel(benchmark, result):
+    config = KdTreeConfig(bucket_capacity=256)
+    frames = list(generate_drive(
+        DriveConfig(n_frames=2, target_points=15_000), seed=0
+    ))
+    tree, _ = build_tree(frames[0].cloud, config)
+
+    # The timed kernel: one incremental update of a 15k-point frame.
+    benchmark.pedantic(
+        lambda: update_tree(tree, frames[1].cloud, config),
+        rounds=3, iterations=1,
+    )
+    attach_and_assert(benchmark, result)

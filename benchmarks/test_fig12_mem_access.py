@@ -1,0 +1,21 @@
+"""Figure 12: external memory traffic of the three architectures."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import SimpleKdArch, SimpleKdConfig
+from repro.harness.exp_memory import fig12_memory_accesses
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig12_memory_accesses()
+
+
+def test_fig12_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    arch = SimpleKdArch(SimpleKdConfig(n_fus=64))
+    # The timed kernel: the Simple k-d run (the heaviest of the three
+    # traffic models, dominated by its scattered bucket reads).
+    benchmark.pedantic(lambda: arch.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

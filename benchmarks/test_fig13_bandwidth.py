@@ -1,0 +1,27 @@
+"""Figure 13: QuickNN memory bandwidth utilization."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.harness.exp_memory import fig13_bandwidth_utilization
+from repro.sim import DramModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig13_bandwidth_utilization()
+
+
+def test_fig13_shape_and_kernel(benchmark, result):
+    # The timed kernel: the DRAM timing model absorbing a frame's worth
+    # of mixed sequential/scattered transactions.
+    def kernel():
+        dram = DramModel()
+        for addr in range(0, 1 << 20, 4096):
+            dram.access("Rd1", addr, 4096, write=False)
+        dram.access_scattered("Wr1", 4_000, 96, write=True)
+        dram.access_scattered("Rd3", 600, 3_080, write=False)
+        return dram.stats.bandwidth_utilization()
+
+    benchmark(kernel)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,21 @@
+"""Figure 14: latency growth with the number of nearest neighbors."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_perf import fig14_k_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig14_k_sweep()
+
+
+def test_fig14_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=128))
+    # The timed kernel: the k=16 extreme at the FU count where the
+    # paper says the write-back overhead becomes noticeable.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 16), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,19 @@
+"""Figure 15: QuickNN latency per frame vs frame size."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_perf import fig15_latency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig15_latency()
+
+
+def test_fig15_shape_and_kernel(benchmark, result):
+    accel = QuickNN(QuickNNConfig(n_fus=64))
+    # The timed kernel: the largest frame of the sweep.
+    benchmark.pedantic(lambda: accel.simulate(30_000, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,20 @@
+"""Figure 16: performance per area and per watt vs FU count."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_perf import fig16_perf_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig16_perf_scaling()
+
+
+def test_fig16_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=32))
+    # The timed kernel: the design point where perf/area peaks.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

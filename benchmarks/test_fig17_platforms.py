@@ -1,0 +1,24 @@
+"""Figure 17: CPU / GPU / FPGA latency comparison across frame sizes."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.analysis.platforms import CPU_MODEL, GPU_MODEL
+from repro.harness.exp_platforms import fig17_platforms
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig17_platforms()
+
+
+def test_fig17_shape_and_kernel(benchmark, result):
+    # The timed kernel: the analytic platform sweep itself.
+    def kernel():
+        return [
+            (CPU_MODEL.latency_seconds(n), GPU_MODEL.latency_seconds(n))
+            for n in range(5_000, 35_000, 5_000)
+        ]
+
+    benchmark(kernel)
+    attach_and_assert(benchmark, result)

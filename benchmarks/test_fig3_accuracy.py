@@ -1,0 +1,23 @@
+"""Figure 3: k-d tree search accuracy vs bucket size (k=5, x=0..5)."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.harness.exp_accuracy import fig3_accuracy
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3_accuracy()
+
+
+def test_fig3_shape_and_kernel(benchmark, result, frames_30k):
+    ref, _ = frames_30k
+    # The timed kernel: building the 256-point-bucket tree the paper's
+    # accuracy operating point rests on.
+    benchmark.pedantic(
+        lambda: build_tree(ref, KdTreeConfig(bucket_capacity=256)),
+        rounds=3, iterations=1,
+    )
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,29 @@
+"""Figure 8: write-gather cache memory-access speedup sweep."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import WriteGatherCache
+from repro.harness.exp_memory import fig8_write_gather
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig8_write_gather()
+
+
+def test_fig8_shape_and_kernel(benchmark, result, frames_30k):
+    ref, _ = frames_30k
+    from repro.kdtree import KdTreeConfig, build_tree
+
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    leaf_to_bucket = {n.index: n.bucket_id for n in tree.nodes if n.is_leaf}
+    stream = [leaf_to_bucket[int(l)] for l in tree.descend_batch(ref.xyz)]
+
+    # The timed kernel: pushing a full 30k-point placement stream
+    # through the paper's 128 x 4 write-gather configuration.
+    def kernel():
+        return WriteGatherCache(128, 4).process_stream(stream)
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,29 @@
+"""Figure 9: parallel tree traversal speedup per partition scheme."""
+
+import numpy as np
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import BankedTreeCache, TreeCacheConfig, simulate_traversal
+from repro.datasets import lidar_frame
+from repro.harness.exp_parallel import fig9_traversal
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig9_traversal()
+
+
+def test_fig9_shape_and_kernel(benchmark, result):
+    frame = lidar_frame(6_000, seed=0)
+    tree, _ = build_tree(frame, KdTreeConfig(bucket_capacity=32))
+    cache = BankedTreeCache(tree, TreeCacheConfig(replicated_levels=2),
+                            rng=np.random.default_rng(0))
+
+    # The timed kernel: an 8-worker cycle-accurate traversal pass.
+    benchmark.pedantic(
+        lambda: simulate_traversal(tree, frame.xyz, cache, n_workers=8),
+        rounds=3, iterations=1,
+    )
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not tied to a specific paper figure: these track the performance of the
+software substrate itself (tree build, batched descent, approximate and
+best-bin-first search, incremental update, brute force), so regressions
+in the algorithmic layer are visible independently of the architecture
+models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import knn_bruteforce
+from repro.datasets import lidar_frame_pair
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_bbf, update_tree
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ref, qry = lidar_frame_pair(10_000, seed=4)
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    return ref, qry, tree
+
+
+def test_build_tree_10k(benchmark, workload):
+    ref, _, _ = workload
+    benchmark(lambda: build_tree(ref, KdTreeConfig(bucket_capacity=256)))
+
+
+def test_descend_batch_10k(benchmark, workload):
+    _, qry, tree = workload
+    benchmark(lambda: tree.descend_batch(qry.xyz))
+
+
+def test_knn_approx_10k(benchmark, workload):
+    _, qry, tree = workload
+    result = benchmark(lambda: knn_approx(tree, qry, 8))
+    assert result.indices.shape == (10_000, 8)
+
+
+def test_knn_bbf_1k(benchmark, workload):
+    _, qry, tree = workload
+    benchmark.pedantic(
+        lambda: knn_bbf(tree, qry.xyz[:1_000], 8, max_leaves=2),
+        rounds=3, iterations=1,
+    )
+
+
+def test_update_tree_10k(benchmark, workload):
+    ref, qry, tree = workload
+    benchmark(lambda: update_tree(tree, qry, KdTreeConfig(bucket_capacity=256)))
+
+
+def test_bruteforce_1k_x_10k(benchmark, workload):
+    ref, qry, _ = workload
+    benchmark(lambda: knn_bruteforce(ref, qry.xyz[:1_000], 8))

@@ -1,0 +1,19 @@
+"""Section 7.1: QuickNN scaled to prior accelerators' benchmarks."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_platforms import sec71_prior_accelerators
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sec71_prior_accelerators()
+
+
+def test_sec71_shape_and_kernel(benchmark, result):
+    accel = QuickNN(QuickNNConfig(n_fus=128))
+    # The timed kernel: the Heinzle-scale 5k-point frame.
+    benchmark.pedantic(lambda: accel.simulate(5_000, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

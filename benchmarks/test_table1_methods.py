@@ -1,0 +1,21 @@
+"""Table 1: accuracy / complexity comparison of the four kNN methods."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.harness.exp_accuracy import table1_methods
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1_methods()
+
+
+def test_table1_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    # The timed kernel: a full 30k-query approximate search, the
+    # operation every method in the table is competing on.
+    benchmark.pedantic(lambda: knn_approx(tree, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,19 @@
+"""Table 4: linear architecture FPS across FU counts and frame sizes."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import LinearArch, LinearArchConfig
+from repro.harness.exp_perf import table4_linear_fps
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table4_linear_fps()
+
+
+def test_table4_shape_and_kernel(benchmark, result):
+    arch = LinearArch(LinearArchConfig(n_fus=64))
+    # The timed kernel: one 30k-frame traffic simulation.
+    benchmark.pedantic(lambda: arch.simulate(30_000, 30_000, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,21 @@
+"""Table 5: QuickNN FPS across FU counts and frame sizes."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_perf import table5_quicknn_fps
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table5_quicknn_fps()
+
+
+def test_table5_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=64))
+    # The timed kernel: one steady-state QuickNN round at the paper's
+    # headline operating point (64 FUs, 30k points, k=8).
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

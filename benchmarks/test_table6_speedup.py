@@ -1,0 +1,20 @@
+"""Table 6: speedup and perf/W over the CPU k-d tree search."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.arch import QuickNN, QuickNNConfig
+from repro.harness.exp_platforms import table6_speedup
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table6_speedup()
+
+
+def test_table6_shape_and_kernel(benchmark, result, frames_30k):
+    ref, qry = frames_30k
+    accel = QuickNN(QuickNNConfig(n_fus=128))
+    # The timed kernel: the high-performance design point of the table.
+    benchmark.pedantic(lambda: accel.run(ref, qry, 8), rounds=3, iterations=1)
+    attach_and_assert(benchmark, result)

@@ -1,0 +1,24 @@
+"""Tables 2-3: FPGA resource model vs the paper's synthesis results."""
+
+import pytest
+
+from conftest import attach_and_assert
+from repro.analysis.resources import QUICKNN_RESOURCE_MODEL, quicknn_cache_bytes
+from repro.harness.exp_platforms import tables23_resources
+
+
+@pytest.fixture(scope="module")
+def result():
+    return tables23_resources()
+
+
+def test_tables23_shape_and_kernel(benchmark, result):
+    # The timed kernel: a full design-space sweep of the resource model.
+    def kernel():
+        return [
+            QUICKNN_RESOURCE_MODEL.estimate(f, cache_bytes=quicknn_cache_bytes(f))
+            for f in (16, 32, 64, 128)
+        ]
+
+    benchmark(kernel)
+    attach_and_assert(benchmark, result)

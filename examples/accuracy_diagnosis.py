@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Why the approximate search misses — and what bucket size buys.
+
+Reproduces the geometric mechanism behind the paper's Figure 3: a
+single-bucket search can only lose a neighbor across a cell boundary,
+so misses should concentrate on queries that sit close to their leaf
+region's faces, and bigger buckets (boundaries farther away) should
+reduce the fraction of boundary-limited queries.  This script measures
+both on a real frame pair.
+
+Run:  python examples/accuracy_diagnosis.py
+"""
+
+import repro
+from repro.baselines import knn_bruteforce
+from repro.kdtree import KdTreeConfig, build_tree, diagnose_misses, knn_approx
+
+
+def main() -> None:
+    reference, query = repro.lidar_frame_pair(15_000, seed=0)
+    exact = knn_bruteforce(reference, query, 8)
+    print(f"{'B_N':>5} {'recall':>7} {'boundary-limited':>16} "
+          f"{'miss near bdry':>14} {'miss far':>9}")
+    for bucket in (64, 128, 256, 512, 1024):
+        tree, _ = build_tree(reference, KdTreeConfig(bucket_capacity=bucket))
+        approx = knn_approx(tree, query, 8)
+        d = diagnose_misses(tree, query.xyz, approx, exact)
+        print(f"{bucket:>5} {d.recall:>7.1%} "
+              f"{d.boundary_limited_fraction:>16.1%} "
+              f"{d.miss_rate_near_boundary:>14.1%} "
+              f"{d.miss_rate_far_from_boundary:>9.1%}")
+
+    print("\nMisses concentrate on boundary-adjacent queries, and growing")
+    print("the bucket pushes boundaries away — the geometric content of")
+    print("the paper's Figure 3 accuracy curves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Design-space exploration: pick a QuickNN configuration.
+
+Sweeps the accelerator's main knobs — FU count and bucket size — on the
+30k-point workload, and reports FPS, FPGA area/power (from the resource
+model), and search accuracy, reproducing the trade-off analysis behind
+the paper's Figure 16 and Section 6.3.
+
+Run:  python examples/design_space.py
+"""
+
+import repro
+from repro.analysis import knn_recall
+from repro.analysis.resources import QUICKNN_RESOURCE_MODEL, quicknn_cache_bytes
+from repro.baselines import knn_bruteforce
+
+
+def main() -> None:
+    reference, query = repro.lidar_frame_pair(30_000, seed=0)
+    exact = knn_bruteforce(reference, query, 8)
+
+    print("== FU sweep (bucket size 256) ==")
+    print(f"{'FUs':>4} {'FPS':>7} {'kLUT+FF':>8} {'watts':>6} "
+          f"{'FPS/area':>8} {'FPS/W':>6}")
+    best = None
+    for fus in (16, 32, 64, 128):
+        accel = repro.QuickNN(repro.QuickNNConfig(n_fus=fus))
+        _, report = accel.run(reference, query, k=8)
+        est = QUICKNN_RESOURCE_MODEL.estimate(
+            fus, cache_bytes=quicknn_cache_bytes(fus)
+        )
+        per_area = report.fps / (est.area / 1e5)
+        per_watt = report.fps / est.power_watts
+        print(f"{fus:>4} {report.fps:>7.1f} {est.area / 1e3:>8.0f} "
+              f"{est.power_watts:>6.2f} {per_area:>8.2f} {per_watt:>6.1f}")
+        if best is None or per_area > best[1]:
+            best = (fus, per_area)
+    print(f"-> best perf/area at {best[0]} FUs "
+          f"(the paper reports the peak at 32, declining beyond)\n")
+
+    print("== bucket-size sweep (64 FUs) ==")
+    print(f"{'B_N':>5} {'FPS':>7} {'recall@8':>8}")
+    for bucket in (128, 256, 512, 1024):
+        config = repro.QuickNNConfig(
+            n_fus=64, tree=repro.KdTreeConfig(bucket_capacity=bucket)
+        )
+        result, report = repro.QuickNN(config).run(reference, query, k=8)
+        recall = knn_recall(result, exact, 8)
+        print(f"{bucket:>5} {report.fps:>7.1f} {recall:>8.1%}")
+    print("-> bigger buckets buy accuracy with latency (paper Figure 3 "
+          "vs Table 5): pick the smallest bucket meeting the accuracy "
+          "target of the application.")
+
+
+if __name__ == "__main__":
+    main()

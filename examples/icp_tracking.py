@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Ego-motion estimation with ICP on approximate kNN correspondences.
+
+The paper's motivating application: ICP-based tracking spends ~75% of
+its time in kNN search, and its iterative error tolerance is what makes
+the *approximate* k-d tree search acceptable.  This example registers
+consecutive LiDAR frames of a drive with ICP using three kNN backends —
+brute force, exact k-d tree, approximate k-d tree — and shows that the
+approximate backend recovers the same ego motion.
+
+Run:  python examples/icp_tracking.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.icp import IcpConfig, icp_register
+
+
+def main() -> None:
+    # Moderate motion keeps ICP inside its convergence basin; the yaw
+    # component makes the motion observable despite the straight street
+    # (long parallel walls under-constrain pure x-translation — the
+    # classic aperture problem).
+    drive = repro.DriveConfig(n_frames=4, target_points=4_000, ego_speed=3.0,
+                              ego_yaw_rate=0.1)
+    frames = list(repro.generate_drive(drive, seed=2))
+    step = drive.ego_speed * drive.frame_period          # meters per frame
+    yaw_step = drive.ego_yaw_rate * drive.frame_period   # radians per frame
+    print(f"true ego motion per frame: {step:.2f} m forward, "
+          f"{yaw_step * 1e3:.1f} mrad yaw\n")
+
+    backends = ("bruteforce", "exact", "approx")
+    print(f"{'frame':>5} {'backend':>10} {'dx (m)':>8} {'yaw (mrad)':>10} "
+          f"{'rms (m)':>8} {'iters':>5} {'time':>7}")
+    for prev, current in zip(frames, frames[1:]):
+        # Register in the sensor frame: the recovered transform is the
+        # inverse of the ego step.
+        source = current.sensor_cloud()
+        target = prev.sensor_cloud()
+        for backend in backends:
+            t0 = time.perf_counter()
+            result = icp_register(
+                source, target, IcpConfig(knn=backend, trim_fraction=0.3)
+            )
+            elapsed = time.perf_counter() - t0
+            dx = result.transform.translation[0]
+            yaw = result.transform.yaw()
+            print(f"{current.index:>5} {backend:>10} {dx:>8.3f} "
+                  f"{yaw * 1e3:>10.2f} {result.rms_error:>8.4f} "
+                  f"{result.iterations:>5} {elapsed:>6.2f}s")
+            if backend == "bruteforce":
+                reference_dx = dx
+            else:
+                gap = abs(dx - reference_dx)
+                assert gap < 0.1, f"{backend} diverged from brute force by {gap:.3f} m"
+        print()
+
+    print("All three backends agree to centimeters: the approximation the "
+          "QuickNN hardware makes does not harm the application (Section 2).")
+
+
+if __name__ == "__main__":
+    main()

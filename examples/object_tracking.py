@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""End-to-end perception: detect and track moving objects over a drive.
+
+The paper's opening scenario, assembled from this library's layers:
+LiDAR frames stream in, ground is removed, non-ground points are
+clustered into object candidates, clusters are tracked across frames,
+and per-object velocities separate the moving traffic from the static
+scene — the pipeline whose kNN inner loop QuickNN exists to accelerate.
+
+Run:  python examples/object_tracking.py
+"""
+
+import numpy as np
+
+import repro
+from repro.perception import MultiObjectTracker, euclidean_clusters
+from repro.viz import bev_view
+
+
+def main() -> None:
+    drive = repro.DriveConfig(n_frames=8, target_points=8_000, ego_speed=0.0)
+    frames = list(repro.generate_drive(drive, seed=0))
+    print(f"drive: {len(frames)} frames x {drive.target_points:,} points "
+          f"(stationary ego, watching traffic)\n")
+
+    tracker = MultiObjectTracker(gate_distance=3.0)
+    for frame in frames:
+        clusters = euclidean_clusters(
+            frame.cloud, tolerance=0.8, min_points=15, max_points=3_000
+        )
+        tracker.update(clusters, frame.time)
+
+    print("bird's-eye view of the final frame (sensor at center):")
+    print(bev_view(frames[-1].cloud, width=72, height=20))
+    print()
+
+    moving = sorted(tracker.moving_tracks(min_speed=3.0), key=lambda t: -t.speed)
+    print(f"{len(tracker.confirmed_tracks())} confirmed objects, "
+          f"{len(moving)} moving:")
+    print(f"{'track':>6} {'speed m/s':>10} {'heading':>8} {'position':>22} {'age':>4}")
+    for track in moving:
+        velocity = track.velocity()
+        heading = np.degrees(np.arctan2(velocity[1], velocity[0]))
+        x, y, _ = track.position
+        print(f"{track.track_id:>6} {track.speed:>10.1f} {heading:>7.0f}° "
+              f"({x:>8.1f}, {y:>8.1f} ) {track.age:>4}")
+
+    print("\nThe street scene seeds 4 moving cars at 5-14 m/s in opposing "
+          "lanes; the tracker recovers them from raw points alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Scaling QuickNN to future workloads (the paper's Section 7.2).
+
+Next-generation LiDAR produces 100k+ useful points per frame.  This
+example quantifies the two mitigations the paper proposes — incremental
+tree update and near-chip HBM — using the roofline analyzer to show
+*why* each helps: DDR4 QuickNN is memory-bound, and construction's
+share of the frame grows with N.
+
+Run:  python examples/scaling_outlook.py
+"""
+
+import repro
+from repro.analysis import analyze_bound
+from repro.sim import DramTimingParams
+
+
+def main() -> None:
+    print(f"{'points':>8} {'memory':>8} {'strategy':>12} {'FPS':>7} "
+          f"{'build %':>8} {'bound':>8} {'mem-free speedup':>16}")
+    for n_points in (30_000, 100_000):
+        ref, qry = repro.lidar_frame_pair(n_points, seed=0)
+        for memory, dram in (("DDR4", DramTimingParams.ddr4()),
+                             ("HBM2", DramTimingParams.hbm2())):
+            for strategy in ("rebuild", "incremental"):
+                config = repro.QuickNNConfig(
+                    n_fus=128, dram=dram, tree_strategy=strategy
+                )
+                _, report = repro.QuickNN(config).run(ref, qry, k=8)
+                build = (report.phase_cycles["sample"]
+                         + report.phase_cycles["construct"])
+                analysis = analyze_bound(report)
+                print(f"{n_points:>8,} {memory:>8} {strategy:>12} "
+                      f"{report.fps:>7.1f} "
+                      f"{build / report.total_cycles:>8.1%} "
+                      f"{analysis.bound:>8} "
+                      f"{analysis.speedup_if_memory_free:>16.2f}")
+        print()
+
+    print("Takeaways (matching Section 7.2):")
+    print(" * on DDR4 the design is memory-bound at every size - a perfect")
+    print("   memory would be worth ~3-5x; HBM realizes most of that;")
+    print(" * from-scratch construction grows toward a quarter of the frame")
+    print("   at 100k points; incremental update removes it on coherent")
+    print("   drives, and both mitigations compose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""QuickNN reproduction: k-d tree kNN search for 3D point clouds.
+
+A full-stack Python reproduction of *QuickNN: Memory and Performance
+Optimization of k-d Tree Based Nearest Neighbor Search for 3D Point
+Clouds* (Pinkham, Zeng, Zhang — HPCA 2020):
+
+* :mod:`repro.kdtree` — the bucketed k-d tree algorithms (build,
+  placement, approximate and exact search, incremental update),
+* :mod:`repro.arch` — transaction-level models of the QuickNN
+  accelerator and its hardware baselines over a DDR4 timing model,
+* :mod:`repro.baselines` — brute-force, k-means tree, and LSH searches,
+* :mod:`repro.datasets` — the synthetic LiDAR stand-in for KITTI/Ford,
+* :mod:`repro.icp` — the ICP application layer,
+* :mod:`repro.analysis` — accuracy metrics, platform cost models, and
+  the FPGA resource/power model,
+* :mod:`repro.harness` — regenerators for every table and figure in
+  the paper's evaluation.
+
+Sixty-second tour::
+
+    import repro
+
+    ref, qry = repro.lidar_frame_pair(30_000, seed=0)   # successive frames
+    tree, _ = repro.build_tree(ref)                      # bucketed k-d tree
+    result = repro.knn_approx(tree, qry, k=8)            # approximate kNN
+
+    accel = repro.QuickNN(repro.QuickNNConfig(n_fus=64)) # the accelerator
+    hw_result, report = accel.run(ref, qry, k=8)
+    print(report.fps, report.bandwidth_utilization)
+"""
+
+from repro.analysis import CPU_MODEL, GPU_MODEL, knn_recall, top1_containment
+from repro.arch import (
+    FrameReport,
+    LinearArch,
+    LinearArchConfig,
+    QuickNN,
+    QuickNNConfig,
+    SimpleKdArch,
+    SimpleKdConfig,
+)
+from repro.baselines import KMeansTree, LshIndex, knn_bruteforce
+from repro.datasets import (
+    DriveConfig,
+    generate_drive,
+    lidar_frame,
+    lidar_frame_pair,
+)
+from repro.geometry import Aabb, PointCloud, RigidTransform
+from repro.icp import IcpConfig, IcpResult, icp_register
+from repro.kdtree import (
+    KdTree,
+    KdTreeConfig,
+    QueryResult,
+    build_tree,
+    knn_approx,
+    knn_exact,
+    reuse_tree,
+    tree_stats,
+    update_tree,
+)
+from repro.sim import DramModel, DramTimingParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aabb",
+    "CPU_MODEL",
+    "DramModel",
+    "DramTimingParams",
+    "DriveConfig",
+    "FrameReport",
+    "GPU_MODEL",
+    "IcpConfig",
+    "IcpResult",
+    "KMeansTree",
+    "KdTree",
+    "KdTreeConfig",
+    "LinearArch",
+    "LinearArchConfig",
+    "LshIndex",
+    "PointCloud",
+    "QueryResult",
+    "QuickNN",
+    "QuickNNConfig",
+    "RigidTransform",
+    "SimpleKdArch",
+    "SimpleKdConfig",
+    "build_tree",
+    "generate_drive",
+    "icp_register",
+    "knn_approx",
+    "knn_bruteforce",
+    "knn_exact",
+    "knn_recall",
+    "lidar_frame",
+    "lidar_frame_pair",
+    "reuse_tree",
+    "top1_containment",
+    "tree_stats",
+    "update_tree",
+]

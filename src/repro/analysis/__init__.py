@@ -1,0 +1,44 @@
+"""Metrics and evaluation models.
+
+* :mod:`repro.analysis.accuracy` — the paper's top-(k+x) recall metric.
+* :mod:`repro.analysis.platforms` — calibrated analytic latency/power
+  models of the CPU (i7-7700k + FLANN) and GPU (GTX 1080 Ti + kNNcuda)
+  comparison points.
+* :mod:`repro.analysis.resources` — the parametric FPGA resource and
+  power model behind Tables 2-3 and Figure 16.
+"""
+
+from repro.analysis.accuracy import knn_recall, top1_containment
+from repro.analysis.platforms import CPU_MODEL, GPU_MODEL, PlatformModel
+from repro.analysis.roofline import BoundAnalysis, analyze_bound, arithmetic_intensity
+from repro.analysis.trajectory import (
+    TrajectoryErrors,
+    absolute_trajectory_error,
+    evaluate_trajectory,
+    relative_pose_errors,
+)
+from repro.analysis.resources import (
+    LINEAR_RESOURCE_MODEL,
+    QUICKNN_RESOURCE_MODEL,
+    ResourceEstimate,
+    ResourceModel,
+)
+
+__all__ = [
+    "CPU_MODEL",
+    "GPU_MODEL",
+    "LINEAR_RESOURCE_MODEL",
+    "PlatformModel",
+    "BoundAnalysis",
+    "analyze_bound",
+    "arithmetic_intensity",
+    "QUICKNN_RESOURCE_MODEL",
+    "ResourceEstimate",
+    "ResourceModel",
+    "knn_recall",
+    "top1_containment",
+    "TrajectoryErrors",
+    "absolute_trajectory_error",
+    "evaluate_trajectory",
+    "relative_pose_errors",
+]

@@ -1,0 +1,61 @@
+"""Search-accuracy metrics.
+
+Section 2.2 of the paper defines accuracy as "the likelihood the k
+nearest neighbors are present in the top k + x nearest neighbors" of
+the approximate search, plus a separate top-1 containment rate.  Both
+are implemented here over :class:`~repro.kdtree.search.QueryResult`
+pairs (approximate result vs exact ground truth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kdtree.search import PAD_INDEX, QueryResult
+
+
+def knn_recall(approx: QueryResult, exact: QueryResult, k: int, x: int = 0) -> float:
+    """The paper's accuracy-at-``(k, x)``.
+
+    Section 2.2: "the likelihood the k nearest neighbors [returned] are
+    present in the top k + x nearest neighbors" — i.e. the mean fraction
+    of the approximate search's top-``k`` answers that fall within the
+    exact top-``(k + x)``.  At ``x = 0`` this is plain top-k recall;
+    growing ``x`` relaxes the rank tolerance, which is how Figure 3's
+    curves rise with x.  ``exact`` must therefore hold at least
+    ``k + x`` columns.  Padded (missing) entries never count as hits.
+    """
+    _check_pair(approx, exact)
+    if k < 1 or k > approx.k:
+        raise ValueError(f"k must be in [1, {approx.k}]")
+    if x < 0 or k + x > exact.k:
+        raise ValueError(f"x must be in [0, {exact.k - k}]")
+    hits = _containment_counts(exact.indices[:, : k + x], approx.indices[:, :k])
+    return float(np.mean(hits / k))
+
+
+def top1_containment(approx: QueryResult, exact: QueryResult) -> float:
+    """Fraction of queries whose true nearest neighbor appears at all."""
+    _check_pair(approx, exact)
+    hits = _containment_counts(approx.indices, exact.indices[:, :1])
+    return float(np.mean(hits))
+
+
+def _containment_counts(approx_idx: np.ndarray, truth_idx: np.ndarray) -> np.ndarray:
+    """Per-query count of truth indices present in the approximate rows."""
+    m = truth_idx.shape[0]
+    counts = np.zeros(m)
+    for i in range(m):
+        row = approx_idx[i]
+        row = set(row[row != PAD_INDEX].tolist())
+        truth = truth_idx[i]
+        truth = truth[truth != PAD_INDEX]
+        counts[i] = sum(1 for t in truth.tolist() if t in row)
+    return counts
+
+
+def _check_pair(approx: QueryResult, exact: QueryResult) -> None:
+    if approx.n_queries != exact.n_queries:
+        raise ValueError(
+            f"query counts differ: approx {approx.n_queries} vs exact {exact.n_queries}"
+        )

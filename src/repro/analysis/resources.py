@@ -1,0 +1,154 @@
+"""Parametric FPGA resource and power model (Tables 2-3, Figure 16).
+
+The paper reports post-synthesis and post-place-and-route utilization of
+the VCU118 prototype and uses LUT+FF as the area metric of Figure 16.
+Synthesis is obviously unavailable here, so resources are modeled
+*parametrically*: every component contributes per-unit costs (an FU's
+DSPs and logic, a cache's storage, the fixed TBuild / wrapper logic),
+with the per-unit constants calibrated once against the paper's 64-FU
+tables.  The model then *extrapolates* across FU counts, which is what
+Figure 16's perf-per-area / perf-per-watt scaling study needs.
+
+Power follows the same structure (static + per-FU dynamic + cache
+activity), anchored to the Xilinx Power Estimator figures the paper
+reports (4.44 W linear, 4.73 W QuickNN at 64 FUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import BUCKET_MAP_BYTES, POINT_BYTES, TREE_NODE_BYTES
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated FPGA footprint of one configuration."""
+
+    luts: int
+    registers: int
+    brams: int
+    dsps: int
+    power_watts: float
+
+    @property
+    def area(self) -> int:
+        """The paper's Figure 16 area metric: LUT + FF."""
+        return self.luts + self.registers
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Per-component cost coefficients of one architecture family.
+
+    ``fixed_*`` covers control FSMs, TBuild, and the wrapper (DDR4
+    controller + host interface); ``per_fu_*`` is one functional unit's
+    datapath; caches are charged by size (distributed LUT-RAM at 64
+    bits per LUT, or BRAM at 36 kb per block for the synthesis-style
+    estimate).
+    """
+
+    name: str
+    fixed_luts: int
+    fixed_registers: int
+    fixed_brams: int
+    per_fu_luts: int
+    per_fu_registers: int
+    per_fu_dsps: int
+    static_watts: float
+    per_fu_watts: float
+    per_cache_byte_watts: float
+
+    #: Distributed-RAM packing density: 64 bits of cache per LUT.
+    CACHE_BITS_PER_LUT = 64
+
+    def cache_luts(self, cache_bytes: int) -> int:
+        return -(-cache_bytes * 8 // self.CACHE_BITS_PER_LUT)
+
+    def estimate(self, n_fus: int, *, cache_bytes: int = 0) -> ResourceEstimate:
+        """Footprint of a configuration with ``n_fus`` FUs.
+
+        ``cache_bytes`` is the architecture's total on-chip cache (use
+        :func:`quicknn_cache_bytes` for QuickNN configurations).
+        """
+        if n_fus < 1:
+            raise ValueError("need at least one FU")
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+        luts = self.fixed_luts + n_fus * self.per_fu_luts + self.cache_luts(cache_bytes)
+        registers = self.fixed_registers + n_fus * self.per_fu_registers
+        power = (
+            self.static_watts
+            + self.per_fu_watts * n_fus
+            + self.per_cache_byte_watts * cache_bytes
+        )
+        return ResourceEstimate(
+            luts=luts,
+            registers=registers,
+            brams=self.fixed_brams,
+            dsps=n_fus * self.per_fu_dsps,
+            power_watts=power,
+        )
+
+
+def quicknn_cache_bytes(
+    n_fus: int,
+    *,
+    n_tree_nodes: int = 255,
+    n_buckets: int = 128,
+    write_gather_slots: int = 128,
+    write_gather_capacity: int = 8,
+    read_gather_slots: int = 128,
+    sample_scratch_points: int = 2048,
+    n_traversal_workers: int = 8,
+    replicated_nodes: int = 7,
+) -> int:
+    """Total on-chip cache bytes of a QuickNN configuration.
+
+    Mirrors the Section 5 inventory: TBuild's scratchpad, tree cache,
+    bucket map and write-gather cache, plus TSearch's tree cache, bucket
+    map and read-gather cache (whose r_n scales with the FU count —
+    the driver of Figure 16's post-32-FU perf-per-area decline).
+    """
+    tree_cache = (
+        n_tree_nodes + (n_traversal_workers - 1) * replicated_nodes
+    ) * TREE_NODE_BYTES
+    bucket_map = n_buckets * BUCKET_MAP_BYTES
+    scratch = sample_scratch_points * POINT_BYTES
+    write_gather = write_gather_slots * write_gather_capacity * POINT_BYTES
+    read_gather = read_gather_slots * n_fus * POINT_BYTES
+    tbuild = scratch + tree_cache + bucket_map + write_gather
+    tsearch = tree_cache + bucket_map + read_gather
+    return tbuild + tsearch
+
+
+#: Linear-search architecture, calibrated to Table 2 (64 FUs:
+#: 45,458 LUTs / 40,024 FFs / 512 DSPs post-synthesis, 4.44 W).
+LINEAR_RESOURCE_MODEL = ResourceModel(
+    name="linear",
+    fixed_luts=7_100,
+    fixed_registers=5_600,
+    fixed_brams=30,
+    per_fu_luts=599,
+    per_fu_registers=538,
+    per_fu_dsps=8,
+    static_watts=4.06,
+    per_fu_watts=0.006,
+    per_cache_byte_watts=0.0,
+)
+
+#: QuickNN, calibrated to Table 3 (64 FUs: 90,754 LUTs / 79,002 FFs /
+#: 512 DSPs / 31 BRAM post-synthesis, 4.73 W).  The fixed part covers
+#: TBuild (13.7k LUTs), TSearch control, and the wrapper.
+QUICKNN_RESOURCE_MODEL = ResourceModel(
+    name="quicknn",
+    fixed_luts=35_000,
+    fixed_registers=44_000,
+    fixed_brams=31,
+    per_fu_luts=599,
+    per_fu_registers=538,
+    per_fu_dsps=8,
+    static_watts=4.20,
+    per_fu_watts=0.006,
+    per_cache_byte_watts=1.5e-6,
+)

@@ -1,0 +1,86 @@
+"""Roofline-style bound analysis of a simulated frame.
+
+Classifies a :class:`~repro.arch.report.FrameReport` as memory-bound or
+compute-bound and quantifies the headroom — the analysis behind the
+paper's Section 7.2 claim that "the most significant bottleneck in the
+system is the limited external memory bandwidth", and behind the HBM
+extension experiment that tests it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.report import FrameReport
+
+
+@dataclass(frozen=True)
+class BoundAnalysis:
+    """Where one simulated frame's time went."""
+
+    memory_busy_fraction: float
+    compute_busy_fraction: float
+    bound: str                      # "memory" | "compute" | "balanced"
+    limiting_engine: str            # busiest engine by cycles
+    speedup_if_memory_free: float   # latency ratio with a perfect memory
+
+    def summary(self) -> str:
+        return (
+            f"{self.bound}-bound (memory busy {self.memory_busy_fraction:.0%}, "
+            f"{self.limiting_engine} is the limiting engine; a perfect "
+            f"memory would speed the frame up {self.speedup_if_memory_free:.2f}x)"
+        )
+
+
+def analyze_bound(report: FrameReport, *, balance_band: float = 0.10) -> BoundAnalysis:
+    """Classify a frame report as memory- or compute-bound.
+
+    ``balance_band`` is the fraction within which the memory and compute
+    occupancies are declared "balanced".
+    """
+    total = report.total_cycles
+    memory_busy = report.dram.busy_cycles
+    compute_busy = max(report.compute_cycles.values(), default=0)
+
+    memory_fraction = min(1.0, memory_busy / total)
+    compute_fraction = min(1.0, compute_busy / total)
+
+    if memory_fraction > compute_fraction * (1.0 + balance_band):
+        bound = "memory"
+    elif compute_fraction > memory_fraction * (1.0 + balance_band):
+        bound = "compute"
+    else:
+        bound = "balanced"
+
+    limiting = "memory"
+    if report.compute_cycles:
+        busiest_engine, busiest = max(
+            report.compute_cycles.items(), key=lambda item: item[1]
+        )
+        if busiest > memory_busy:
+            limiting = busiest_engine
+
+    # With a perfect (zero-latency, infinite-bandwidth) memory the frame
+    # could not run faster than its busiest compute engine.
+    floor = max(compute_busy, 1)
+    speedup = total / floor
+
+    return BoundAnalysis(
+        memory_busy_fraction=memory_fraction,
+        compute_busy_fraction=compute_fraction,
+        bound=bound,
+        limiting_engine=limiting,
+        speedup_if_memory_free=speedup,
+    )
+
+
+def arithmetic_intensity(report: FrameReport) -> float:
+    """Compute cycles per byte of DRAM traffic (a roofline x-axis).
+
+    Low values mean the design streams data with little reuse — the
+    regime the paper's gather caches are built for.
+    """
+    total_bytes = report.dram.bytes
+    if total_bytes == 0:
+        return float("inf")
+    return sum(report.compute_cycles.values()) / total_bytes

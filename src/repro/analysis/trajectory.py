@@ -1,0 +1,103 @@
+"""Trajectory evaluation metrics (ATE / RPE).
+
+Standard odometry metrics for evaluating the ICP tracking layer against
+ground-truth ego poses: absolute trajectory error (global drift) and
+relative pose error (per-step accuracy).  These quantify the end-to-end
+claim the paper leans on — that approximate kNN is good enough for
+motion estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import RigidTransform
+
+
+@dataclass(frozen=True)
+class TrajectoryErrors:
+    """Summary statistics of a trajectory comparison."""
+
+    ate_rmse: float
+    ate_max: float
+    rpe_translation_rmse: float
+    rpe_rotation_rmse: float
+
+    def summary(self) -> str:
+        return (
+            f"ATE {self.ate_rmse:.3f} m rms (max {self.ate_max:.3f}), "
+            f"RPE {self.rpe_translation_rmse:.3f} m / "
+            f"{np.degrees(self.rpe_rotation_rmse):.2f} deg per step"
+        )
+
+
+def absolute_trajectory_error(
+    estimated: Sequence[RigidTransform],
+    truth: Sequence[RigidTransform],
+) -> np.ndarray:
+    """Per-frame position error of an estimated trajectory (meters).
+
+    Both trajectories must be expressed in the same world frame and be
+    aligned at the first pose (the tracker anchors at identity, so pass
+    ground truth re-based to its first pose).
+    """
+    _check_same_length(estimated, truth)
+    est = np.array([p.translation for p in estimated])
+    ref = np.array([p.translation for p in truth])
+    return np.linalg.norm(est - ref, axis=1)
+
+
+def relative_pose_errors(
+    estimated: Sequence[RigidTransform],
+    truth: Sequence[RigidTransform],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-step (translation, rotation) errors between pose increments.
+
+    Step ``i`` compares ``est_i^-1 est_{i+1}`` against
+    ``truth_i^-1 truth_{i+1}``; translation errors are in meters,
+    rotation errors in radians.
+    """
+    _check_same_length(estimated, truth)
+    if len(estimated) < 2:
+        return np.empty(0), np.empty(0)
+    trans_errors = []
+    rot_errors = []
+    for i in range(len(estimated) - 1):
+        est_step = estimated[i].inverse().compose(estimated[i + 1])
+        ref_step = truth[i].inverse().compose(truth[i + 1])
+        delta = ref_step.inverse().compose(est_step)
+        angle, dist = delta.magnitude()
+        trans_errors.append(dist)
+        rot_errors.append(angle)
+    return np.asarray(trans_errors), np.asarray(rot_errors)
+
+
+def evaluate_trajectory(
+    estimated: Sequence[RigidTransform],
+    truth: Sequence[RigidTransform],
+    *,
+    rebase: bool = True,
+) -> TrajectoryErrors:
+    """Full ATE/RPE evaluation; optionally re-bases truth at its first pose."""
+    truth = list(truth)
+    if rebase and truth:
+        origin_inv = truth[0].inverse()
+        truth = [origin_inv.compose(p) for p in truth]
+    ate = absolute_trajectory_error(estimated, truth)
+    rpe_t, rpe_r = relative_pose_errors(estimated, truth)
+    return TrajectoryErrors(
+        ate_rmse=float(np.sqrt(np.mean(ate**2))) if ate.size else 0.0,
+        ate_max=float(ate.max()) if ate.size else 0.0,
+        rpe_translation_rmse=float(np.sqrt(np.mean(rpe_t**2))) if rpe_t.size else 0.0,
+        rpe_rotation_rmse=float(np.sqrt(np.mean(rpe_r**2))) if rpe_r.size else 0.0,
+    )
+
+
+def _check_same_length(a, b) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"trajectory lengths differ: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("trajectories must be non-empty")

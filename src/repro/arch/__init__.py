@@ -1,0 +1,63 @@
+"""Architecture models: QuickNN and its hardware baselines.
+
+Transaction-level, cycle-accounting models of the three accelerators
+the paper evaluates on FPGA —
+
+* :class:`LinearArch` — the exact brute-force baseline (Section 3),
+* :class:`SimpleKdArch` — a k-d tree accelerator with no memory
+  optimizations (the middle bar of Figure 12),
+* :class:`QuickNN` — the full memory- and performance-optimized design
+  (Sections 4-5),
+
+— plus the reusable building blocks: functional units, merge-sort
+accelerator, gather caches, bucket-block store, banked tree cache, and
+the parallel-traversal simulator.
+"""
+
+from repro.arch.bucket_store import BlockSpan, BucketBlockStore
+from repro.arch.exact_arch import ExactKdArch
+from repro.arch.fu import FU_PIPELINE_DEPTH, FunctionalUnit, fu_batch_cycles
+from repro.arch.gather import FlushEvent, GatherCache, ReadGatherCache, WriteGatherCache
+from repro.arch.linear_arch import LinearArch, LinearArchConfig
+from repro.arch.params import CORE_CLOCK_HZ, POINT_BYTES, RESULT_BYTES, fps_from_cycles
+from repro.arch.pipeline import PipelineResult, run_drive
+from repro.arch.quicknn import QuickNN, QuickNNConfig
+from repro.arch.report import FrameReport
+from repro.arch.simple_kd import SimpleKdArch, SimpleKdConfig
+from repro.arch.sorter import MergeSorter, MergeSorterConfig
+from repro.arch.traversal import TraversalReport, simulate_traversal, traversal_cycles_estimate
+from repro.arch.tree_cache import BankedTreeCache, PartitionScheme, TreeCacheConfig
+
+__all__ = [
+    "BankedTreeCache",
+    "BlockSpan",
+    "BucketBlockStore",
+    "CORE_CLOCK_HZ",
+    "ExactKdArch",
+    "FU_PIPELINE_DEPTH",
+    "FlushEvent",
+    "FrameReport",
+    "FunctionalUnit",
+    "GatherCache",
+    "LinearArch",
+    "LinearArchConfig",
+    "MergeSorter",
+    "MergeSorterConfig",
+    "POINT_BYTES",
+    "PartitionScheme",
+    "PipelineResult",
+    "QuickNN",
+    "QuickNNConfig",
+    "RESULT_BYTES",
+    "ReadGatherCache",
+    "SimpleKdArch",
+    "SimpleKdConfig",
+    "TraversalReport",
+    "TreeCacheConfig",
+    "WriteGatherCache",
+    "fps_from_cycles",
+    "fu_batch_cycles",
+    "run_drive",
+    "simulate_traversal",
+    "traversal_cycles_estimate",
+]

@@ -1,0 +1,154 @@
+"""Bucket-block storage in simulated DRAM (Section 4.1, Figure 5).
+
+Buckets live in external memory as *bucket blocks*: fixed-length
+contiguous chunks, each holding up to ``block_points`` points plus a
+link word pointing at the next block of the same bucket (or an end
+token).  Keeping blocks contiguous is what turns bucket reads and
+gathered writes into efficient bursts; linking handles buckets that
+outgrow one block during placement.
+
+The on-chip *bucket cache* of the paper is the ``bucket_map`` here: the
+bucket-id -> first-block-address table that leaf nodes point into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import POINT_BYTES
+from repro.sim.address import AddressAllocator, Region
+
+#: Bytes of the next-block link word (or end token) at the head of a block.
+LINK_BYTES = 8
+
+
+@dataclass(frozen=True)
+class BlockSpan:
+    """One physical (address, nbytes) span of a bucket access."""
+
+    addr: int
+    nbytes: int
+
+
+class BucketBlockStore:
+    """Allocates and addresses bucket blocks inside a DRAM region.
+
+    Parameters
+    ----------
+    allocator:
+        The DRAM address allocator to carve the block pool from.
+    n_buckets:
+        Number of leaf buckets in the tree.
+    block_points:
+        Point capacity of one block.  The paper sizes it "large enough
+        to accommodate the size of a common bucket"; QuickNN uses the
+        tree's bucket capacity so a typical bucket is a single block.
+    pool_blocks:
+        Total blocks in the pool; defaults to twice the bucket count so
+        skewed frames can chain without exhausting the pool.
+    """
+
+    def __init__(
+        self,
+        allocator: AddressAllocator,
+        *,
+        n_buckets: int,
+        block_points: int,
+        pool_blocks: int | None = None,
+    ):
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        if block_points < 1:
+            raise ValueError("block_points must be positive")
+        self.n_buckets = n_buckets
+        self.block_points = block_points
+        self.block_bytes = LINK_BYTES + block_points * POINT_BYTES
+        self.pool_blocks = pool_blocks if pool_blocks is not None else 2 * n_buckets
+        if self.pool_blocks < n_buckets:
+            raise ValueError("pool must hold at least one block per bucket")
+        self.region: Region = allocator.allocate(
+            "bucket_blocks", self.pool_blocks * self.block_bytes
+        )
+        # Every bucket starts with one block; spill blocks come from the tail.
+        self._chains: list[list[int]] = [[i] for i in range(n_buckets)]
+        self._fills: list[int] = [0] * n_buckets
+        self._next_free = n_buckets
+
+    # ------------------------------------------------------------------
+    def _block_addr(self, block_id: int) -> int:
+        return self.region.addr(block_id * self.block_bytes)
+
+    def append(self, bucket_id: int, count: int) -> list[BlockSpan]:
+        """Store ``count`` gathered points into a bucket's chain.
+
+        Returns the physical spans written (one per block touched; a
+        flush that crosses into a fresh spill block produces two spans,
+        and the link-word update of the previous block is folded into
+        its span).
+        """
+        self._check_bucket(bucket_id)
+        if count < 1:
+            raise ValueError("append needs at least one point")
+        spans: list[BlockSpan] = []
+        remaining = count
+        while remaining > 0:
+            block_id = self._chains[bucket_id][-1]
+            # Occupancy of the chain's last block (may be exactly full).
+            used = self._fills[bucket_id] - (len(self._chains[bucket_id]) - 1) * self.block_points
+            room = self.block_points - used
+            if room == 0:
+                block_id = self._grow(bucket_id)
+                used, room = 0, self.block_points
+            take = min(remaining, room)
+            offset = LINK_BYTES + used * POINT_BYTES
+            spans.append(
+                BlockSpan(
+                    addr=self._block_addr(block_id) + offset,
+                    nbytes=take * POINT_BYTES,
+                )
+            )
+            self._fills[bucket_id] += take
+            remaining -= take
+        return spans
+
+    def _grow(self, bucket_id: int) -> int:
+        if self._next_free >= self.pool_blocks:
+            raise RuntimeError("bucket block pool exhausted")
+        block_id = self._next_free
+        self._next_free += 1
+        self._chains[bucket_id].append(block_id)
+        return block_id
+
+    def read_spans(self, bucket_id: int) -> list[BlockSpan]:
+        """Physical spans of a full bucket read (one burst per block)."""
+        self._check_bucket(bucket_id)
+        spans = []
+        remaining = self._fills[bucket_id]
+        for block_id in self._chains[bucket_id]:
+            take = min(remaining, self.block_points)
+            spans.append(
+                BlockSpan(
+                    addr=self._block_addr(block_id),
+                    nbytes=LINK_BYTES + take * POINT_BYTES,
+                )
+            )
+            remaining -= take
+            if remaining <= 0:
+                break
+        return spans
+
+    def bucket_fill(self, bucket_id: int) -> int:
+        self._check_bucket(bucket_id)
+        return self._fills[bucket_id]
+
+    def chain_length(self, bucket_id: int) -> int:
+        self._check_bucket(bucket_id)
+        return len(self._chains[bucket_id])
+
+    @property
+    def blocks_used(self) -> int:
+        return self._next_free
+
+    def _check_bucket(self, bucket_id: int) -> None:
+        if not (0 <= bucket_id < self.n_buckets):
+            raise ValueError(f"bucket {bucket_id} out of range [0, {self.n_buckets})")

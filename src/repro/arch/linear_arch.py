@@ -1,0 +1,121 @@
+"""Linear (brute-force) search architecture — the baseline of Section 3.
+
+The frame's reference points stream from DRAM once per batch of
+``n_fus`` query points, broadcast to every FU; all access is sequential,
+so memory bandwidth utilization is very high (the paper measures 98.7%)
+but the access *volume* is O(N^2 / n_fus) — exactly the pathology the
+k-d tree architecture removes.
+
+``simulate`` produces the cycle/traffic report without doing the O(N^2)
+arithmetic; ``run`` additionally computes the exact kNN results with the
+same batching (functionally identical to brute force, verified in the
+test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.fu import fu_batch_cycles
+from repro.arch.params import POINT_BYTES, RESULT_BYTES, STREAM_CHUNK_BYTES
+from repro.arch.report import FrameReport
+from repro.baselines.linear import knn_bruteforce
+from repro.geometry import PointCloud
+from repro.kdtree.search import QueryResult
+from repro.sim.address import AddressAllocator
+from repro.sim.dram import DramModel, DramTimingParams
+
+
+@dataclass(frozen=True)
+class LinearArchConfig:
+    """Geometry of the linear-search accelerator."""
+
+    n_fus: int = 64
+    dram: DramTimingParams = DramTimingParams()
+
+    def __post_init__(self):
+        if self.n_fus < 1:
+            raise ValueError("need at least one FU")
+
+
+class LinearArch:
+    """Transaction-level model of the linear kNN accelerator."""
+
+    def __init__(self, config: LinearArchConfig | None = None):
+        self.config = config or LinearArchConfig()
+
+    # ------------------------------------------------------------------
+    def simulate(self, n_reference: int, n_query: int, k: int) -> FrameReport:
+        """Cycle/traffic accounting for one frame (no kNN arithmetic)."""
+        if min(n_reference, n_query, k) < 1:
+            raise ValueError("n_reference, n_query and k must be positive")
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        allocator = AddressAllocator()
+        ref_region = allocator.allocate("reference", n_reference * POINT_BYTES)
+        query_region = allocator.allocate("query", n_query * POINT_BYTES)
+        result_region = allocator.allocate("results", n_query * k * RESULT_BYTES)
+
+        passes = -(-n_query // cfg.n_fus)
+        phase_cycles: dict[str, int] = {}
+        compute_total = 0
+        total = 0
+
+        for p in range(passes):
+            batch = min(cfg.n_fus, n_query - p * cfg.n_fus)
+            # Load the batch's query points (sequential).
+            mem = _stream(dram, "RdQuery",
+                          query_region.addr(p * cfg.n_fus * POINT_BYTES),
+                          batch * POINT_BYTES, write=False)
+            # Stream the whole reference frame, broadcast to the FUs.
+            mem += _stream(dram, "RdRef", ref_region.base,
+                           n_reference * POINT_BYTES, write=False)
+            compute = fu_batch_cycles(batch, n_reference, cfg.n_fus)
+            compute_total += compute
+            # FUs consume one point per cycle; the stream feeds them at
+            # the memory rate, so the pass takes the slower of the two.
+            pass_cycles = max(mem, compute)
+            # Flush results (sequential).
+            pass_cycles += _stream(
+                dram, "WrResult",
+                result_region.addr(p * cfg.n_fus * k * RESULT_BYTES),
+                batch * k * RESULT_BYTES, write=True)
+            total += pass_cycles
+
+        phase_cycles["stream_passes"] = total
+        return FrameReport(
+            architecture=f"linear-{cfg.n_fus}fu",
+            n_reference=n_reference,
+            n_query=n_query,
+            k=k,
+            total_cycles=total,
+            phase_cycles=phase_cycles,
+            compute_cycles={"fu": compute_total},
+            dram=dram.stats,
+        )
+
+    def run(
+        self,
+        reference: PointCloud | np.ndarray,
+        queries: PointCloud | np.ndarray,
+        k: int,
+    ) -> tuple[QueryResult, FrameReport]:
+        """Functional execution plus the performance report."""
+        ref = reference.xyz if isinstance(reference, PointCloud) else np.asarray(reference)
+        qry = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries)
+        result = knn_bruteforce(ref, qry, k)
+        report = self.simulate(ref.shape[0], qry.shape[0], k)
+        return result, report
+
+
+def _stream(dram: DramModel, name: str, base: int, nbytes: int, *, write: bool) -> int:
+    """Issue a long sequential transfer as chunked accesses."""
+    cycles = 0
+    offset = 0
+    while offset < nbytes:
+        take = min(STREAM_CHUNK_BYTES, nbytes - offset)
+        cycles += dram.access(name, base + offset, take, write=write)
+        offset += take
+    return cycles

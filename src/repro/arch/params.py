@@ -1,0 +1,44 @@
+"""Constants shared by all architecture models.
+
+These mirror the FPGA prototype of Section 6: a 100 MHz core clock, a
+64-bit DDR4 interface, 3 x 32-bit fixed-point words per point, and
+8-byte (index, distance) result records.
+"""
+
+from __future__ import annotations
+
+CORE_CLOCK_HZ = 100_000_000
+CYCLE_SECONDS = 1.0 / CORE_CLOCK_HZ
+
+#: Bytes of one stored point: x, y, z as 32-bit fixed-point words.
+POINT_BYTES = 12
+
+#: Bytes of one kNN result record: 32-bit point index + 32-bit distance.
+RESULT_BYTES = 8
+
+#: Bytes of one tree node in the on-chip caches: threshold (4), packed
+#: dimension/flags (2), and three node pointers (2 each, 16-bit word
+#: addresses are ample for trees of a few thousand nodes), padded to a
+#: word-addressable 16-byte record.
+TREE_NODE_BYTES = 16
+
+#: Bytes of one bucket-map entry: DRAM start address of a bucket chain.
+BUCKET_MAP_BYTES = 4
+
+#: Size of sequential DRAM accesses issued by streaming engines.  The
+#: MIG-style controller accepts bounded bursts; 4 KiB keeps the access
+#: count realistic without affecting throughput (row misses are charged
+#: per row crossed either way).
+STREAM_CHUNK_BYTES = 4096
+
+
+def cycles_to_seconds(cycles: int | float) -> float:
+    """Convert core cycles to wall-clock seconds (10 ns per cycle)."""
+    return float(cycles) * CYCLE_SECONDS
+
+
+def fps_from_cycles(cycles_per_frame: int | float) -> float:
+    """Frames per second implied by a per-frame cycle count."""
+    if cycles_per_frame <= 0:
+        raise ValueError("cycles_per_frame must be positive")
+    return CORE_CLOCK_HZ / float(cycles_per_frame)

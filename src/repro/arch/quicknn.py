@@ -1,0 +1,360 @@
+"""The QuickNN architecture model (Sections 4-5 of the paper).
+
+One simulated *round* of the steady-state pipeline (Figure 7):
+
+* **TBuild** samples the incoming frame, constructs the next k-d tree
+  with the merge-sort unit, and places every point into bucket blocks
+  through the parallel traversal workers and the **write-gather cache**.
+* **TSearch** *snoops* the same Rd1 point stream (eliminating the Rd2
+  stream entirely), gathers queries per target bucket in the
+  **read-gather cache**, and on each gather flush burst-reads one
+  bucket (Rd3) and scans it through the FU array, writing results (Wr2).
+
+The model is functional *and* performance-accurate at the transaction
+level: the returned neighbors are the real approximate-kNN answers, and
+every DRAM transaction those answers require is charged to the DDR4
+timing model in the order the hardware would issue it.
+
+Cycle composition per frame::
+
+    total = sample + construct + place&search
+
+where the place&search phase runs three concurrent engines and is
+bounded by the busiest one:
+
+* TBuild: max(its memory streams, traversal-worker throughput),
+* TSearch: bucket reads + FU scans + result writes (single-buffered,
+  so these serialize per gather flush),
+* the shared DRAM interface: the sum of all streams' busy cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.bucket_store import BucketBlockStore
+from repro.arch.fu import fu_batch_cycles
+from repro.arch.gather import ReadGatherCache, WriteGatherCache
+from repro.arch.params import (
+    POINT_BYTES,
+    RESULT_BYTES,
+    STREAM_CHUNK_BYTES,
+)
+from repro.arch.report import FrameReport
+from repro.arch.schedule import BucketJob, StreamJob, schedule_phase3
+from repro.arch.sorter import MergeSorter, MergeSorterConfig
+from repro.arch.traversal import traversal_cycles_estimate
+from repro.arch.tree_cache import BankedTreeCache, TreeCacheConfig
+from repro.geometry import PointCloud
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx, place_points, update_tree
+from repro.kdtree.search import QueryResult
+from repro.sim.address import AddressAllocator
+from repro.sim.dram import DramModel, DramTimingParams
+
+
+@dataclass(frozen=True)
+class QuickNNConfig:
+    """Full architecture configuration.
+
+    Defaults reproduce the paper's 64-FU prototype operating point:
+    256-point buckets, a 128 x 8 write-gather cache, a read-gather
+    cache with one slot per bucket-map entry and ``r_n = n_fus``
+    (Section 4.2 requires ``r_n >= N_FU`` to keep the FUs busy), eight
+    traversal workers over a four-bank tree cache with the top three
+    levels replicated.
+    """
+
+    n_fus: int = 64
+    tree: KdTreeConfig = KdTreeConfig()
+    dram: DramTimingParams = DramTimingParams()
+    sorter: MergeSorterConfig = MergeSorterConfig()
+    tree_cache: TreeCacheConfig = TreeCacheConfig()
+    n_traversal_workers: int = 8
+    #: Gather-cache slot counts; ``None`` sizes them to the tree's
+    #: bucket count (one slot per bucket-map entry, as the prototype's
+    #: 128-slot caches match its 128-bucket trees at 30k points).
+    write_gather_slots: int | None = None
+    write_gather_capacity: int = 8
+    read_gather_slots: int | None = None
+    read_gather_capacity: int | None = None
+    #: Control-FSM cycles to launch one gathered-bucket search: bucket
+    #: map lookup, DRAM request issue, FU scoreboard setup.
+    bucket_kickoff_cycles: int = 24
+    #: TSearch snoops TBuild's Rd1 stream (Section 4.2's stream merge).
+    #: Disable to measure the cost of a separate Rd2 stream (ablation).
+    enable_snooping: bool = True
+    #: How TBuild obtains each round's tree: ``"rebuild"`` constructs it
+    #: from scratch (the prototype's choice at <100k points) or
+    #: ``"incremental"`` merges/splits the previous round's tree
+    #: (Section 4.4, which the paper projects as essential at ~1M).
+    tree_strategy: str = "rebuild"
+    #: Model the prototype's fixed-point coordinate datapath: quantize
+    #: all coordinates to 32-bit Q24.8 words before building/searching,
+    #: so the returned neighbors are what the hardware would compute.
+    model_fixed_point: bool = False
+    #: Phase-3 duration estimator: ``"analytic"`` bounds the phase by
+    #: its busiest resource; ``"event"`` runs the discrete-event
+    #: scheduler in :mod:`repro.arch.schedule`, simulating DRAM queueing
+    #: and the snoop/traverse/scan dependency chain explicitly.
+    scheduler: str = "analytic"
+
+    def __post_init__(self):
+        if self.n_fus < 1:
+            raise ValueError("need at least one FU")
+        if self.n_traversal_workers < 1:
+            raise ValueError("need at least one traversal worker")
+        for value in (self.write_gather_slots, self.write_gather_capacity,
+                      self.read_gather_slots):
+            if value is not None and value < 1:
+                raise ValueError("gather cache dimensions must be positive")
+        if self.read_gather_capacity is not None and self.read_gather_capacity < 1:
+            raise ValueError("read_gather_capacity must be positive when given")
+        if self.bucket_kickoff_cycles < 0:
+            raise ValueError("bucket_kickoff_cycles must be non-negative")
+        if self.tree_strategy not in ("rebuild", "incremental"):
+            raise ValueError("tree_strategy must be 'rebuild' or 'incremental'")
+        if self.scheduler not in ("analytic", "event"):
+            raise ValueError("scheduler must be 'analytic' or 'event'")
+
+    @property
+    def effective_read_gather_capacity(self) -> int:
+        """r_n, defaulting to N_FU as the paper prescribes."""
+        return self.read_gather_capacity or self.n_fus
+
+
+class QuickNN:
+    """Transaction-level model of the complete QuickNN accelerator."""
+
+    def __init__(self, config: QuickNNConfig | None = None):
+        self.config = config or QuickNNConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        reference: PointCloud | np.ndarray,
+        queries: PointCloud | np.ndarray,
+        k: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[QueryResult, FrameReport]:
+        """Simulate one steady-state round on a successive-frame pair.
+
+        The *reference* frame's tree (built in the previous round) is
+        searched with the *query* frame, while TBuild simultaneously
+        builds the query frame's own tree for the next round — the
+        paper's Figure 7 data sharing, which is what lets TSearch snoop
+        TBuild's read stream.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        cfg = self.config
+        rng = rng or np.random.default_rng(0)
+        ref = reference.xyz if isinstance(reference, PointCloud) else np.asarray(reference)
+        qry = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries)
+        n_ref, n_qry = ref.shape[0], qry.shape[0]
+        if n_ref == 0 or n_qry == 0:
+            raise ValueError("frames must be non-empty")
+        if cfg.model_fixed_point:
+            from repro.geometry.quantize import roundtrip
+
+            ref = roundtrip(ref)
+            qry = roundtrip(qry)
+
+        # ---------------- functional execution -----------------------
+        # Previous round's tree over the reference frame (searched now).
+        ref_tree, _ = build_tree(ref, cfg.tree, rng=rng)
+        result = knn_approx(ref_tree, qry, k)
+        # This round's TBuild work: the query frame's own tree, either
+        # constructed from scratch or derived from the previous round's
+        # tree by incremental merge/split (Section 4.4).
+        if cfg.tree_strategy == "rebuild":
+            qry_tree, build_trace = build_tree(qry, cfg.tree, rng=rng, place=False)
+            place_points(qry_tree, trace=build_trace)
+            sample_size = build_trace.sample_size
+            sort_sizes = build_trace.sort_sizes
+        else:
+            qry_tree, update_trace = update_tree(ref_tree, qry, cfg.tree)
+            sample_size = 0  # no sampling pass: the old tree seeds the new one
+            sort_sizes = update_trace.sort_sizes
+
+        # ---------------- memory layout -------------------------------
+        dram = DramModel(cfg.dram)
+        allocator = AddressAllocator()
+        frame_region = allocator.allocate("frame", n_qry * POINT_BYTES)
+        result_region = allocator.allocate("results", n_qry * k * RESULT_BYTES)
+        ref_store = BucketBlockStore(
+            allocator, n_buckets=len(ref_tree.buckets),
+            block_points=cfg.tree.bucket_capacity)
+        qry_store = BucketBlockStore(
+            AddressAllocator(alignment=64), n_buckets=len(qry_tree.buckets),
+            block_points=cfg.tree.bucket_capacity)
+        # Pre-fill the reference store exactly as last round's TBuild
+        # left it, so Rd3 sees the true block chains.
+        for bucket_id, members in enumerate(ref_tree.buckets):
+            if members.size:
+                ref_store.append(bucket_id, int(members.size))
+
+        phase_cycles: dict[str, int] = {}
+        compute_cycles: dict[str, int] = {}
+
+        # ---------------- phase 1: initial sampling -------------------
+        sample_cycles = dram.access_scattered(
+            "RdSample", sample_size, POINT_BYTES, write=False
+        ) if sample_size else 0
+        phase_cycles["sample"] = sample_cycles
+
+        # ---------------- phase 2: tree construction ------------------
+        sorter = MergeSorter(cfg.sorter)
+        construct_cycles = sorter.charge_many(sort_sizes)
+        compute_cycles["sorter"] = sorter.total_cycles
+        phase_cycles["construct"] = construct_cycles
+
+        # ---------------- phase 3: placement + snooped search ---------
+        # TBuild side: stream the frame once (Rd1); TSearch snoops it,
+        # so there is no Rd2 — unless snooping is disabled (ablation),
+        # in which case TSearch re-reads the frame itself.
+        rd1_chunk_costs = _stream_chunks(dram, "Rd1", frame_region.base,
+                                         n_qry * POINT_BYTES, write=False)
+        rd1 = sum(rd1_chunk_costs)
+        rd2 = 0
+        rd2_chunk_costs = None
+        if not cfg.enable_snooping:
+            rd2_chunk_costs = _stream_chunks(dram, "Rd2", frame_region.base,
+                                             n_qry * POINT_BYTES, write=False)
+            rd2 = sum(rd2_chunk_costs)
+
+        # Traversal workers route each point to its bucket.
+        cache = BankedTreeCache(qry_tree, cfg.tree_cache,
+                                n_workers=cfg.n_traversal_workers, rng=rng)
+        traversal = traversal_cycles_estimate(
+            n_qry, qry_tree.depth(),
+            n_workers=cfg.n_traversal_workers,
+            n_banks=cfg.tree_cache.n_banks,
+            replicated_levels=cfg.tree_cache.replicated_levels)
+        compute_cycles["traversal"] = traversal
+
+        # Write-gather the placement stream into bucket blocks (Wr1).
+        # Jobs are tagged with the stream position that triggered them
+        # so the event scheduler can replay the dependency order.
+        leaf_to_bucket_q = {n.index: n.bucket_id for n in qry_tree.nodes if n.is_leaf}
+        place_leaves = qry_tree.descend_batch(qry)
+        wg_slots = cfg.write_gather_slots or len(qry_tree.buckets)
+        wg = WriteGatherCache(wg_slots, cfg.write_gather_capacity)
+        wr1 = 0
+        wr1_jobs: list[StreamJob] = []
+        for position, leaf in enumerate(place_leaves):
+            for event in wg.insert(leaf_to_bucket_q[int(leaf)]):
+                cost = 0
+                for span in qry_store.append(event.bucket_id, event.count):
+                    cost += dram.access("Wr1", span.addr, span.nbytes, write=True)
+                wr1 += cost
+                wr1_jobs.append(StreamJob(point_index=position, cost=cost))
+        for event in wg.drain():
+            cost = 0
+            for span in qry_store.append(event.bucket_id, event.count):
+                cost += dram.access("Wr1", span.addr, span.nbytes, write=True)
+            wr1 += cost
+            wr1_jobs.append(StreamJob(point_index=n_qry - 1, cost=cost))
+
+        # TSearch side: read-gather the snooped query stream, burst-read
+        # buckets (Rd3), scan through the FU array, write results (Wr2).
+        leaf_to_bucket_r = {n.index: n.bucket_id for n in ref_tree.nodes if n.is_leaf}
+        search_leaves = ref_tree.descend_batch(qry)
+        rg_slots = cfg.read_gather_slots or len(ref_tree.buckets)
+        rg = ReadGatherCache(rg_slots, cfg.effective_read_gather_capacity)
+        rd3 = wr2 = 0
+        fu_total = 0
+        n_bucket_reads = 0
+        result_cursor = 0
+        bucket_jobs: list[BucketJob] = []
+
+        def charge_bucket(event, position: int) -> None:
+            nonlocal rd3, wr2, fu_total, n_bucket_reads, result_cursor
+            n_bucket_reads += 1
+            rd3_cost = 0
+            for span in ref_store.read_spans(event.bucket_id):
+                rd3_cost += dram.access("Rd3", span.addr, span.nbytes, write=False)
+            rd3 += rd3_cost
+            fu_cost = fu_batch_cycles(
+                event.count, ref_store.bucket_fill(event.bucket_id), cfg.n_fus)
+            fu_total += fu_cost
+            nbytes = event.count * k * RESULT_BYTES
+            wr2_cost = dram.access("Wr2", result_region.addr(result_cursor),
+                                   nbytes, write=True)
+            wr2 += wr2_cost
+            result_cursor += nbytes
+            bucket_jobs.append(BucketJob(
+                point_index=position, rd3_cost=rd3_cost, fu_cost=fu_cost,
+                wr2_cost=wr2_cost, kickoff=cfg.bucket_kickoff_cycles))
+
+        for position, leaf in enumerate(search_leaves):
+            for event in rg.insert(leaf_to_bucket_r[int(leaf)]):
+                charge_bucket(event, position)
+        for event in rg.drain():
+            charge_bucket(event, n_qry - 1)
+
+        compute_cycles["fu"] = fu_total
+        kickoff = n_bucket_reads * cfg.bucket_kickoff_cycles
+
+        tbuild_busy = max(rd1 + wr1, traversal)
+        tsearch_busy = rd2 + rd3 + wr2 + fu_total + kickoff
+        mem_busy = rd1 + rd2 + wr1 + rd3 + wr2
+        if cfg.scheduler == "event":
+            schedule = schedule_phase3(
+                n_points=n_qry,
+                chunk_costs=rd1_chunk_costs,
+                points_per_chunk=max(1, STREAM_CHUNK_BYTES // POINT_BYTES),
+                traversal_cycles_per_point=traversal / n_qry,
+                wr1_jobs=wr1_jobs,
+                bucket_jobs=bucket_jobs,
+                rd2_chunk_costs=rd2_chunk_costs,
+            )
+            phase3 = schedule.total_cycles
+        else:
+            phase3 = max(tbuild_busy, tsearch_busy, mem_busy)
+        phase_cycles["place+search"] = phase3
+
+        total = sample_cycles + construct_cycles + phase3
+        report = FrameReport(
+            architecture=f"quicknn-{cfg.n_fus}fu",
+            n_reference=n_ref,
+            n_query=n_qry,
+            k=k,
+            total_cycles=total,
+            phase_cycles=phase_cycles,
+            compute_cycles=compute_cycles,
+            dram=dram.stats,
+            notes={
+                "bucket_reads": float(n_bucket_reads),
+                "write_gather_flushes": float(wg.stats.flushes),
+                "read_gather_mean_fill": rg.stats.mean_fill_at_flush,
+                "tree_cache_bytes": float(cache.cache_bytes()),
+                "tbuild_busy": float(tbuild_busy),
+                "tsearch_busy": float(tsearch_busy),
+                "mem_busy": float(mem_busy),
+            },
+        )
+        return result, report
+
+    def simulate(self, n_points: int, k: int = 8, *, seed: int = 0) -> FrameReport:
+        """Performance report on a synthetic successive-frame pair."""
+        from repro.datasets import lidar_frame_pair
+
+        ref, qry = lidar_frame_pair(n_points, seed=seed)
+        _, report = self.run(ref, qry, k)
+        return report
+
+
+def _stream_chunks(
+    dram: DramModel, name: str, base: int, nbytes: int, *, write: bool
+) -> list[int]:
+    """Issue a long sequential transfer; returns per-chunk cycle costs."""
+    costs = []
+    offset = 0
+    while offset < nbytes:
+        take = min(STREAM_CHUNK_BYTES, nbytes - offset)
+        costs.append(dram.access(name, base + offset, take, write=write))
+        offset += take
+    return costs

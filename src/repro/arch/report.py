@@ -1,0 +1,66 @@
+"""Per-frame performance reports produced by the architecture models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.params import fps_from_cycles
+from repro.sim.dram import DramStats
+
+
+@dataclass
+class FrameReport:
+    """What one simulated frame cost.
+
+    ``phase_cycles`` breaks the total down by pipeline phase (sample /
+    construct / place+search / drain for QuickNN; stream passes for the
+    linear architecture).  ``dram`` is the frozen traffic statistics of
+    the frame's DRAM transactions.
+    """
+
+    architecture: str
+    n_reference: int
+    n_query: int
+    k: int
+    total_cycles: int
+    phase_cycles: dict[str, int] = field(default_factory=dict)
+    compute_cycles: dict[str, int] = field(default_factory=dict)
+    dram: DramStats = field(default_factory=DramStats)
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+
+    @property
+    def fps(self) -> float:
+        """Frames per second at the 100 MHz core clock."""
+        return fps_from_cycles(self.total_cycles)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles * 1e-5
+
+    @property
+    def memory_accesses(self) -> int:
+        """Access-transaction count (one burst = one access)."""
+        return self.dram.accesses
+
+    @property
+    def memory_words(self) -> int:
+        """8-byte bus words moved — the unit of the paper's Figure 12."""
+        return self.dram.words
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Data cycles over total frame cycles (the paper's Figure 13)."""
+        return self.dram.bandwidth_utilization(self.total_cycles)
+
+    def summary(self) -> str:
+        phases = ", ".join(f"{k}={v}" for k, v in self.phase_cycles.items())
+        return (
+            f"{self.architecture}: {self.n_reference} ref x {self.n_query} qry, "
+            f"k={self.k}: {self.total_cycles} cycles ({self.fps:.1f} FPS), "
+            f"{self.memory_words} words, util={self.bandwidth_utilization:.2f} "
+            f"[{phases}]"
+        )

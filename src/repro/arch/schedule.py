@@ -1,0 +1,213 @@
+"""Event-driven scheduler for QuickNN's place+search phase.
+
+The default QuickNN frame model bounds phase 3 by its busiest resource
+(``max(memory, TBuild, TSearch)``).  This module provides the more
+detailed alternative: a discrete-event simulation of the phase with the
+DRAM interface as a single shared server, TBuild's traversal engine and
+the FU array as serial compute resources, and the real dependency
+chain —
+
+    Rd1 chunk read -> point snooped           -> bucket gather -> Rd3
+                   -> point traversed (TBuild) -> Wr1 flush          \\
+                                                    FU scan -> Wr2
+
+— so queueing and dependency stalls the analytic model folds into a
+``max()`` are simulated explicitly.  The two models are validated
+against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StreamJob:
+    """A DRAM write tied to a stream position (a write-gather flush)."""
+
+    point_index: int
+    cost: int
+
+
+@dataclass(frozen=True)
+class BucketJob:
+    """One gathered-bucket search: Rd3 read, FU scan, Wr2 write-back."""
+
+    point_index: int
+    rd3_cost: int
+    fu_cost: int
+    wr2_cost: int
+    kickoff: int
+
+
+@dataclass(frozen=True)
+class Phase3Schedule:
+    """Outcome of the event-driven phase simulation."""
+
+    total_cycles: int
+    dram_busy: int
+    traversal_busy: int
+    fu_busy: int
+
+    @property
+    def dram_utilization(self) -> float:
+        return self.dram_busy / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclass
+class _Dram:
+    """Single-server FIFO memory interface."""
+
+    free_at: int = 0
+    busy: int = 0
+    queue: list = field(default_factory=list)  # heap of (ready, seq, cost, done_cb)
+    _seq: int = 0
+
+    def submit(self, ready: int, cost: int, on_done) -> None:
+        heapq.heappush(self.queue, (ready, self._seq, cost, on_done))
+        self._seq += 1
+
+    def drain_until_empty(self, events: list) -> None:
+        """Serve the next queued job, if any (called when DRAM frees)."""
+        if not self.queue:
+            return
+        ready, _, cost, on_done = heapq.heappop(self.queue)
+        start = max(ready, self.free_at)
+        done = start + cost
+        self.free_at = done
+        self.busy += cost
+        heapq.heappush(events, (done, _next_event_seq(), on_done))
+
+
+_EVENT_SEQ = [0]
+
+
+def _next_event_seq() -> int:
+    _EVENT_SEQ[0] += 1
+    return _EVENT_SEQ[0]
+
+
+def schedule_phase3(
+    *,
+    n_points: int,
+    chunk_costs: list[int],
+    points_per_chunk: int,
+    traversal_cycles_per_point: float,
+    wr1_jobs: list[StreamJob],
+    bucket_jobs: list[BucketJob],
+    rd2_chunk_costs: list[int] | None = None,
+) -> Phase3Schedule:
+    """Simulate the place+search phase; returns its duration and busy times.
+
+    ``chunk_costs`` are the per-chunk Rd1 service costs (in stream
+    order); point ``p`` becomes visible to both engines when chunk
+    ``p // points_per_chunk`` completes.  ``rd2_chunk_costs`` (snooping
+    disabled) adds a second read stream that gates TSearch instead of
+    the snooped Rd1.
+    """
+    if n_points < 1:
+        raise ValueError("need at least one point")
+    if points_per_chunk < 1:
+        raise ValueError("points_per_chunk must be positive")
+    if traversal_cycles_per_point < 0:
+        raise ValueError("traversal rate must be non-negative")
+
+    dram = _Dram()
+    events: list = []  # heap of (time, seq, callback)
+
+    # Index jobs by the chunk whose completion releases them.
+    wr1_by_chunk: dict[int, list[StreamJob]] = {}
+    for job in wr1_jobs:
+        wr1_by_chunk.setdefault(job.point_index // points_per_chunk, []).append(job)
+    bucket_by_chunk: dict[int, list[BucketJob]] = {}
+    for job in bucket_jobs:
+        bucket_by_chunk.setdefault(job.point_index // points_per_chunk, []).append(job)
+
+    n_chunks = len(chunk_costs)
+    trav_free = 0.0
+    trav_busy = 0.0
+    fu_free = 0
+    fu_busy = 0
+    finished_at = 0
+
+    def note_time(t: int) -> None:
+        nonlocal finished_at
+        finished_at = max(finished_at, int(t))
+
+    def on_bucket_read_done(job: BucketJob):
+        def callback(now: int) -> None:
+            nonlocal fu_free, fu_busy
+            start = max(fu_free, now) + job.kickoff
+            done = start + job.fu_cost
+            fu_free = done
+            fu_busy += job.fu_cost + job.kickoff
+            note_time(done)
+            dram.submit(done, job.wr2_cost, lambda t: note_time(t))
+            dram.drain_until_empty(events)
+        return callback
+
+    def release_tsearch(chunk: int, now: int) -> None:
+        for job in bucket_by_chunk.get(chunk, ()):
+            dram.submit(now, job.rd3_cost, on_bucket_read_done(job))
+        dram.drain_until_empty(events)
+
+    def on_chunk_done(chunk: int):
+        def callback(now: int) -> None:
+            nonlocal trav_free, trav_busy
+            note_time(now)
+            # The streamer self-paces: request the next chunk only once
+            # this one lands, letting gather writes and bucket reads
+            # interleave with the Rd1 stream at the memory controller.
+            if chunk + 1 < n_chunks:
+                dram.submit(now, chunk_costs[chunk + 1], on_chunk_done(chunk + 1))
+            # TBuild: traverse this chunk's points in order.
+            first = chunk * points_per_chunk
+            last = min(n_points, first + points_per_chunk)
+            span = (last - first) * traversal_cycles_per_point
+            start = max(trav_free, now)
+            trav_free = start + span
+            trav_busy += span
+            note_time(trav_free)
+            # Write-gather flushes of this chunk become ready once its
+            # points have been traversed.
+            for job in wr1_by_chunk.get(chunk, ()):
+                dram.submit(int(trav_free), job.cost, lambda t: note_time(t))
+            # TSearch: snoop the chunk directly off the bus...
+            if rd2_chunk_costs is None:
+                release_tsearch(chunk, now)
+            else:
+                # ...or re-read it through its own Rd2 stream first.
+                dram.submit(now, rd2_chunk_costs[chunk],
+                            lambda t, c=chunk: release_tsearch(c, t))
+            dram.drain_until_empty(events)
+        return callback
+
+    # Kick off the Rd1 stream with its first chunk; the rest chain.
+    if n_chunks:
+        dram.submit(0, chunk_costs[0], on_chunk_done(0))
+        dram.drain_until_empty(events)
+
+    while events:
+        now, _, callback = heapq.heappop(events)
+        callback(int(now))
+        dram.drain_until_empty(events)
+
+    # Serve any stragglers left in the DRAM queue (submitted but whose
+    # completion callbacks create no further work).
+    while dram.queue:
+        dram.drain_until_empty(events)
+        while events:
+            now, _, callback = heapq.heappop(events)
+            callback(int(now))
+            dram.drain_until_empty(events)
+
+    note_time(dram.free_at)
+    note_time(int(trav_free))
+    note_time(fu_free)
+    return Phase3Schedule(
+        total_cycles=finished_at,
+        dram_busy=dram.busy,
+        traversal_busy=int(trav_busy),
+        fu_busy=fu_busy,
+    )

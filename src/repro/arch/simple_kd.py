@@ -1,0 +1,150 @@
+""""Simple k-d" architecture: the tree method with no memory optimization.
+
+The middle bar of the paper's Figure 12.  Same algorithm as QuickNN —
+build a bucketed k-d tree, place points, search one bucket per query —
+but with the straightforward software-style memory layout: tree nodes
+*and* points live in DRAM, buckets are pointer lists over scattered
+points, and there are no gather caches and no stream merging.  Every
+traversal step and every bucket point therefore costs an independent
+random DRAM access.
+
+Comparing this model against :class:`~repro.arch.quicknn.QuickNN`
+isolates how much of QuickNN's win comes from the memory system rather
+than from the k-d tree algorithm itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.params import POINT_BYTES, RESULT_BYTES, STREAM_CHUNK_BYTES, TREE_NODE_BYTES
+from repro.arch.report import FrameReport
+from repro.arch.sorter import MergeSorter, MergeSorterConfig
+from repro.arch.fu import fu_batch_cycles
+from repro.geometry import PointCloud
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+from repro.kdtree.search import QueryResult
+from repro.sim.address import AddressAllocator
+from repro.sim.dram import DramModel, DramTimingParams
+
+
+@dataclass(frozen=True)
+class SimpleKdConfig:
+    """Geometry of the unoptimized k-d tree accelerator."""
+
+    n_fus: int = 64
+    tree: KdTreeConfig = KdTreeConfig()
+    dram: DramTimingParams = DramTimingParams()
+    sorter: MergeSorterConfig = MergeSorterConfig()
+    #: The paper's Simple k-d has "only a simple cache": the tree nodes
+    #: fit on chip, but buckets stay scattered in DRAM.  Set False to
+    #: model the fully DRAM-resident software layout instead.
+    tree_cached_on_chip: bool = True
+
+    def __post_init__(self):
+        if self.n_fus < 1:
+            raise ValueError("need at least one FU")
+
+
+class SimpleKdArch:
+    """Transaction-level model of the cache-less k-d tree accelerator."""
+
+    def __init__(self, config: SimpleKdConfig | None = None):
+        self.config = config or SimpleKdConfig()
+
+    def run(
+        self,
+        reference: PointCloud | np.ndarray,
+        queries: PointCloud | np.ndarray,
+        k: int,
+    ) -> tuple[QueryResult, FrameReport]:
+        """Execute the search functionally and account the memory traffic."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        cfg = self.config
+        ref = reference.xyz if isinstance(reference, PointCloud) else np.asarray(reference)
+        qry = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries)
+        n_ref, n_qry = ref.shape[0], qry.shape[0]
+
+        tree, trace = build_tree(ref, cfg.tree)
+        result = knn_approx(tree, qry, k)
+
+        dram = DramModel(cfg.dram)
+        allocator = AddressAllocator()
+        ref_region = allocator.allocate("reference", n_ref * POINT_BYTES)
+        allocator.allocate("query", n_qry * POINT_BYTES)
+        allocator.allocate("tree", tree.n_nodes * TREE_NODE_BYTES)
+
+        depth = tree.depth()
+        phase_cycles: dict[str, int] = {}
+        sorter = MergeSorter(cfg.sorter)
+
+        # --- Build: sample read + on-chip sort (scratchpad), tree write-out.
+        build_cycles = dram.access_scattered(
+            "RdSample", trace.sample_size, POINT_BYTES, write=False)
+        build_cycles += sorter.charge_many(trace.sort_sizes)
+        if not cfg.tree_cached_on_chip:
+            build_cycles += dram.access_scattered(
+                "WrTree", tree.n_nodes, TREE_NODE_BYTES, write=True)
+        phase_cycles["build"] = build_cycles
+
+        # --- Placement: stream the frame in, then per point walk the
+        # tree and write the point into its scattered bucket.
+        place_cycles = _stream(dram, "Rd1", ref_region.base, n_ref * POINT_BYTES)
+        if not cfg.tree_cached_on_chip:
+            place_cycles += dram.access_scattered(
+                "RdTreePlace", n_ref * (depth + 1), TREE_NODE_BYTES, write=False,
+                turnaround_each=False)
+        place_cycles += dram.access_scattered(
+            "Wr1", n_ref, POINT_BYTES, write=True, turnaround_each=True)
+        phase_cycles["place"] = place_cycles
+
+        # --- Search: per query, read the query point, walk the tree,
+        # then fetch every bucket point through its pointer.
+        leaf_ids = tree.descend_batch(qry)
+        bucket_points_read = int(
+            sum(tree.buckets[tree.nodes[int(l)].bucket_id].size for l in leaf_ids)
+        )
+        search_mem = _stream(dram, "Rd2", ref_region.base, n_qry * POINT_BYTES)
+        if not cfg.tree_cached_on_chip:
+            search_mem += dram.access_scattered(
+                "RdTreeSearch", n_qry * (depth + 1), TREE_NODE_BYTES, write=False)
+        search_mem += dram.access_scattered(
+            "Rd3", bucket_points_read, POINT_BYTES, write=False)
+        search_mem += dram.access_scattered(
+            "Wr2", n_qry, k * RESULT_BYTES, write=True)
+        search_compute = fu_batch_cycles(n_qry, bucket_points_read // max(n_qry, 1), cfg.n_fus)
+        phase_cycles["search"] = max(search_mem, search_compute)
+
+        total = sum(phase_cycles.values())
+        report = FrameReport(
+            architecture=f"simple-kd-{cfg.n_fus}fu",
+            n_reference=n_ref,
+            n_query=n_qry,
+            k=k,
+            total_cycles=total,
+            phase_cycles=phase_cycles,
+            compute_cycles={"sorter": sorter.total_cycles, "fu": search_compute},
+            dram=dram.stats,
+        )
+        return result, report
+
+    def simulate(self, n_reference: int, n_query: int, k: int, *, seed: int = 0) -> FrameReport:
+        """Traffic report on a synthetic frame pair of the given size."""
+        from repro.datasets import lidar_frame_pair
+
+        ref, qry = lidar_frame_pair(max(n_reference, n_query), seed=seed)
+        _, report = self.run(ref.xyz[:n_reference], qry.xyz[:n_query], k)
+        return report
+
+
+def _stream(dram: DramModel, name: str, base: int, nbytes: int) -> int:
+    cycles = 0
+    offset = 0
+    while offset < nbytes:
+        take = min(STREAM_CHUNK_BYTES, nbytes - offset)
+        cycles += dram.access(name, base + offset, take, write=False)
+        offset += take
+    return cycles

@@ -1,0 +1,60 @@
+"""Merge-sort accelerator cycle model.
+
+TBuild's construction phase sorts sample subsets at every tree level.
+The prototype uses a dedicated n-way merge-sort unit (after Pugsley et
+al.): each round merges ``n_way`` sorted runs at one element per cycle,
+so sorting ``N`` elements takes ``ceil(log_n_way(N))`` rounds of ``N``
+element-cycles each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MergeSorterConfig:
+    """Sorter geometry: merge width and per-round control overhead."""
+
+    n_way: int = 4
+    round_setup_cycles: int = 16
+
+    def __post_init__(self):
+        if self.n_way < 2:
+            raise ValueError("merge sorter needs n_way >= 2")
+        if self.round_setup_cycles < 0:
+            raise ValueError("round_setup_cycles must be non-negative")
+
+
+class MergeSorter:
+    """Cycle accounting for a hardware n-way merge sorter."""
+
+    def __init__(self, config: MergeSorterConfig | None = None):
+        self.config = config or MergeSorterConfig()
+        self.total_cycles = 0
+        self.total_elements = 0
+
+    def rounds(self, n: int) -> int:
+        """Merge rounds needed to fully sort ``n`` elements."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n <= 1:
+            return 0
+        return max(1, math.ceil(math.log(n, self.config.n_way)))
+
+    def sort_cycles(self, n: int) -> int:
+        """Cycles to sort one array of ``n`` elements."""
+        r = self.rounds(n)
+        return r * (n + self.config.round_setup_cycles)
+
+    def charge(self, n: int) -> int:
+        """Account one sort and return its cost."""
+        cycles = self.sort_cycles(n)
+        self.total_cycles += cycles
+        self.total_elements += n
+        return cycles
+
+    def charge_many(self, sizes) -> int:
+        """Account a sequence of sorts (e.g. a BuildTrace's sort_sizes)."""
+        return sum(self.charge(int(n)) for n in sizes)

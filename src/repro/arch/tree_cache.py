@@ -1,0 +1,155 @@
+"""On-chip tree cache: partial replication + banking (Section 4.3).
+
+Parallel traversal needs the tree nodes close to every worker, but full
+per-worker copies are too costly.  The paper's observation: a node at
+level ``i`` is touched by a random traversal with probability ``2^-i``,
+so only the *upper* levels are hot.  QuickNN therefore
+
+* replicates the top ``replicated_levels`` levels locally in every
+  worker (cheap — few nodes), and
+* keeps a single copy of the lower levels in a cache split across
+  ``n_banks`` banks, each serving one request per cycle.
+
+Three bank-partition schemes from Figure 9a are implemented:
+
+* ``random`` — every lower node lands in a uniformly random bank.
+* ``group``  — each subtree hanging off the replicated region goes to
+  one bank round-robin (the paper's best performer).
+* ``leftright`` — within each group, left children and right children
+  go to different banks (the paper's worst performer: bucket skew makes
+  one side hotter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.params import BUCKET_MAP_BYTES, TREE_NODE_BYTES
+from repro.kdtree.node import KdTree
+
+REPLICATED = -1
+
+
+class PartitionScheme(str, enum.Enum):
+    RANDOM = "random"
+    GROUP = "group"
+    LEFTRIGHT = "leftright"
+
+
+@dataclass(frozen=True)
+class TreeCacheConfig:
+    """Banking geometry of the shared lower-tree cache."""
+
+    n_banks: int = 4
+    replicated_levels: int = 3
+    scheme: PartitionScheme = PartitionScheme.GROUP
+
+    def __post_init__(self):
+        if self.n_banks < 1:
+            raise ValueError("need at least one bank")
+        if self.replicated_levels < 1:
+            raise ValueError("at least the root level must be replicated")
+
+
+class BankedTreeCache:
+    """Bank assignment and size accounting for one tree's node cache."""
+
+    def __init__(
+        self,
+        tree: KdTree,
+        config: TreeCacheConfig | None = None,
+        *,
+        n_workers: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        self.tree = tree
+        self.config = config or TreeCacheConfig()
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        rng = rng or np.random.default_rng(0)
+        self.bank_of = self._assign_banks(rng)
+
+    # ------------------------------------------------------------------
+    def _assign_banks(self, rng: np.random.Generator) -> np.ndarray:
+        cfg = self.config
+        tree = self.tree
+        banks = np.full(tree.n_nodes, REPLICATED, dtype=np.int64)
+        lower = [n for n in tree.nodes if n.depth >= cfg.replicated_levels]
+        if not lower:
+            return banks
+
+        if cfg.scheme is PartitionScheme.RANDOM:
+            for node in lower:
+                banks[node.index] = int(rng.integers(0, cfg.n_banks))
+            return banks
+
+        # group / leftright need the subtree roots at the boundary level.
+        group_of = self._group_roots()
+        if cfg.scheme is PartitionScheme.GROUP:
+            for node in lower:
+                banks[node.index] = group_of[node.index] % cfg.n_banks
+        else:  # LEFTRIGHT
+            for node in lower:
+                parent = tree.nodes[node.index].parent
+                is_left = parent != -1 and tree.nodes[parent].left == node.index
+                base = 2 * group_of[node.index]
+                banks[node.index] = (base + (0 if is_left else 1)) % cfg.n_banks
+        return banks
+
+    def _group_roots(self) -> np.ndarray:
+        """Map every lower node to the id of its boundary-level subtree."""
+        cfg = self.config
+        tree = self.tree
+        group_of = np.full(tree.n_nodes, -1, dtype=np.int64)
+        roots = [
+            n.index
+            for n in tree.nodes
+            if n.depth == cfg.replicated_levels
+            or (n.depth < cfg.replicated_levels and n.is_leaf)
+        ]
+        for g, root in enumerate(sorted(roots)):
+            stack = [root]
+            while stack:
+                index = stack.pop()
+                group_of[index] = g
+                node = tree.nodes[index]
+                if not node.is_leaf:
+                    stack.extend((node.left, node.right))
+        return group_of
+
+    # ------------------------------------------------------------------
+    def is_replicated(self, node_index: int) -> bool:
+        return self.bank_of[node_index] == REPLICATED
+
+    @property
+    def n_replicated_nodes(self) -> int:
+        return int((self.bank_of == REPLICATED).sum())
+
+    @property
+    def n_banked_nodes(self) -> int:
+        return int((self.bank_of != REPLICATED).sum())
+
+    def bank_loads(self, leaf_visits: np.ndarray | None = None) -> np.ndarray:
+        """Nodes (or visit-weighted load) per bank, for balance checks."""
+        loads = np.zeros(self.config.n_banks, dtype=np.float64)
+        for node in self.tree.nodes:
+            bank = self.bank_of[node.index]
+            if bank == REPLICATED:
+                continue
+            loads[bank] += 1.0
+        return loads
+
+    def cache_bytes(self) -> int:
+        """Total on-chip bytes: per-worker top copies + banked lower tree.
+
+        Includes the bucket-map cache (one entry per leaf), mirroring
+        the paper's TBuild/TSearch cache inventories.
+        """
+        replicated = self.n_replicated_nodes * TREE_NODE_BYTES * self.n_workers
+        banked = self.n_banked_nodes * TREE_NODE_BYTES
+        bucket_map = self.tree.n_leaves * BUCKET_MAP_BYTES
+        return replicated + banked + bucket_map

@@ -1,0 +1,24 @@
+"""Baseline kNN search methods the paper compares against (Table 1).
+
+* :func:`knn_bruteforce` — the exact linear search (and the ground
+  truth for every accuracy measurement in the harness).
+* :class:`KMeansTree` — a FLANN-style hierarchical k-means tree with
+  greedy descent, the "Approx. k-means" row.
+* :class:`LshIndex` — random-projection locality-sensitive hashing,
+  the "Approx. LSH" row (which the paper shows collapses in 3D).
+"""
+
+from repro.baselines.grid import GridConfig, GridIndex
+from repro.baselines.kmeans_tree import KMeansTree, KMeansTreeConfig
+from repro.baselines.linear import knn_bruteforce
+from repro.baselines.lsh import LshConfig, LshIndex
+
+__all__ = [
+    "GridConfig",
+    "GridIndex",
+    "KMeansTree",
+    "KMeansTreeConfig",
+    "LshConfig",
+    "LshIndex",
+    "knn_bruteforce",
+]

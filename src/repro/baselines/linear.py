@@ -1,0 +1,75 @@
+"""Exact linear (brute-force) kNN search.
+
+The reference method of Section 2.1: every query is compared against
+every reference point.  Chunked so the pairwise distance matrix never
+exceeds a fixed memory budget, which keeps the 30k x 30k successive-
+frame workload tractable.
+
+This function doubles as the ground truth for all accuracy metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import PointCloud
+from repro.kdtree.search import PAD_INDEX, QueryResult
+
+
+def knn_bruteforce(
+    reference: PointCloud | np.ndarray,
+    queries: PointCloud | np.ndarray,
+    k: int,
+    *,
+    chunk_size: int = 1024,
+) -> QueryResult:
+    """Exact kNN by exhaustive distance computation.
+
+    Parameters
+    ----------
+    reference, queries:
+        Point sets of shapes ``(N, 3)`` and ``(M, 3)``.
+    k:
+        Number of neighbors; results are padded if ``k > N``.
+    chunk_size:
+        Queries processed per chunk (bounds peak memory at
+        ``chunk_size * N`` floats).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    ref = reference.xyz if isinstance(reference, PointCloud) else np.asarray(reference, dtype=np.float64)
+    qry = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries, dtype=np.float64)
+    qry = np.atleast_2d(qry)
+    if ref.ndim != 2 or ref.shape[1] != 3 or qry.shape[1] != 3:
+        raise ValueError("reference and queries must have shape (*, 3)")
+    n, m = ref.shape[0], qry.shape[0]
+    if n == 0:
+        raise ValueError("reference set is empty")
+
+    take = min(k, n)
+    indices = np.full((m, k), PAD_INDEX, dtype=np.int64)
+    distances = np.full((m, k), np.inf)
+
+    ref_sq = (ref * ref).sum(axis=1)
+    for start in range(0, m, chunk_size):
+        stop = min(start + chunk_size, m)
+        block = qry[start:stop]
+        # Squared distances via the expansion |q - r|^2 = |q|^2 - 2 q.r + |r|^2.
+        d2 = (
+            (block * block).sum(axis=1)[:, None]
+            - 2.0 * block @ ref.T
+            + ref_sq[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        if n > take:
+            part = np.argpartition(d2, take - 1, axis=1)[:, :take]
+        else:
+            part = np.broadcast_to(np.arange(n), (stop - start, n)).copy()
+        part_d = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        indices[start:stop, :take] = np.take_along_axis(part, order, axis=1)
+        distances[start:stop, :take] = np.sqrt(np.take_along_axis(part_d, order, axis=1))
+
+    return QueryResult(indices=indices, distances=distances)

@@ -1,0 +1,43 @@
+"""Ground-point removal.
+
+The paper's preprocessing step: "it is common practice to remove many of
+these [ground] points using a ground threshold", taking a ~100k-point
+raw frame down to ~30k useful points.  We implement the same simple
+height-threshold filter (plus a robust variant that estimates the ground
+height first, for scenes where the sensor height drifts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+
+def remove_ground(cloud: PointCloud, *, z_threshold: float = 0.3) -> PointCloud:
+    """Drop every point at or below ``z_threshold`` meters."""
+    if len(cloud) == 0:
+        return cloud
+    return cloud.filter(cloud.xyz[:, 2] > z_threshold)
+
+
+def remove_ground_robust(
+    cloud: PointCloud, *, clearance: float = 0.3, percentile: float = 5.0
+) -> PointCloud:
+    """Threshold relative to an estimated ground height.
+
+    The ground height is taken as a low percentile of the z
+    distribution, which is robust to a minority of below-ground noise
+    returns; points within ``clearance`` of it are removed.
+    """
+    if len(cloud) == 0:
+        return cloud
+    ground_z = float(np.percentile(cloud.xyz[:, 2], percentile))
+    return cloud.filter(cloud.xyz[:, 2] > ground_z + clearance)
+
+
+def ground_fraction(cloud: PointCloud, *, z_threshold: float = 0.3) -> float:
+    """Fraction of points the threshold filter would remove."""
+    if len(cloud) == 0:
+        return 0.0
+    return float((cloud.xyz[:, 2] <= z_threshold).mean())

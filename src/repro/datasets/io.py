@@ -1,0 +1,62 @@
+"""Point-cloud file I/O.
+
+Lets users feed *real* recordings (e.g. KITTI velodyne scans, which are
+flat little-endian float32 ``x y z reflectance`` records) through the
+same pipeline the synthetic data uses, and save generated frames for
+reuse.  Formats:
+
+* ``.npz`` / ``.npy`` — numpy arrays of shape (N, 3) or (N, 4);
+* ``.bin`` — KITTI velodyne binary (float32 x, y, z, reflectance);
+* ``.xyz`` — whitespace-separated ASCII, one point per line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+
+def save_cloud(cloud: PointCloud, path: str | Path) -> None:
+    """Write a cloud to ``.npz``, ``.npy``, ``.bin`` (KITTI) or ``.xyz``."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        np.savez_compressed(path, xyz=cloud.xyz)
+    elif suffix == ".npy":
+        np.save(path, cloud.xyz)
+    elif suffix == ".bin":
+        padded = np.zeros((len(cloud), 4), dtype=np.float32)
+        padded[:, :3] = cloud.xyz
+        padded.tofile(path)
+    elif suffix == ".xyz":
+        np.savetxt(path, cloud.xyz, fmt="%.6f")
+    else:
+        raise ValueError(f"unsupported point-cloud format {suffix!r}")
+
+
+def load_cloud(path: str | Path) -> PointCloud:
+    """Read a cloud written by :func:`save_cloud` (or a KITTI scan)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        with np.load(path) as payload:
+            xyz = payload["xyz"]
+    elif suffix == ".npy":
+        xyz = np.load(path)
+    elif suffix == ".bin":
+        raw = np.fromfile(path, dtype=np.float32)
+        if raw.size % 4 != 0:
+            raise ValueError(f"{path} is not a KITTI velodyne file (size % 4 != 0)")
+        xyz = raw.reshape(-1, 4)[:, :3].astype(np.float64)
+    elif suffix == ".xyz":
+        xyz = np.loadtxt(path, ndmin=2)
+    else:
+        raise ValueError(f"unsupported point-cloud format {suffix!r}")
+
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if xyz.ndim != 2 or xyz.shape[1] < 3:
+        raise ValueError(f"{path} does not contain (N, >=3) points")
+    return PointCloud(xyz[:, :3], copy=False)

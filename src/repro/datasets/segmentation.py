@@ -1,0 +1,100 @@
+"""RANSAC ground-plane segmentation.
+
+A more realistic preprocessing stage than the height threshold: fits a
+plane to the dominant ground structure with RANSAC (robust to slopes
+and sensor-height drift), following the spirit of the fast segmentation
+pipelines the paper cites for ground removal (Zermas et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+
+@dataclass(frozen=True)
+class GroundPlaneFit:
+    """A fitted ground plane ``normal . x = offset`` plus its inliers."""
+
+    normal: np.ndarray
+    offset: float
+    inlier_fraction: float
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        """Height of each point above (+) or below (-) the plane."""
+        return np.atleast_2d(points) @ self.normal - self.offset
+
+
+def fit_ground_plane(
+    cloud: PointCloud,
+    *,
+    rng: np.random.Generator | None = None,
+    n_iterations: int = 64,
+    inlier_tolerance: float = 0.15,
+    max_tilt_deg: float = 15.0,
+) -> GroundPlaneFit:
+    """RANSAC plane fit constrained to near-horizontal orientations.
+
+    Samples point triples, keeps the plane with the most points within
+    ``inlier_tolerance``, rejecting candidate planes tilted more than
+    ``max_tilt_deg`` from horizontal (walls must not win), and refines
+    the winner with a least-squares fit over its inliers.
+    """
+    if len(cloud) < 3:
+        raise ValueError("need at least 3 points to fit a plane")
+    rng = rng or np.random.default_rng(0)
+    xyz = cloud.xyz
+    min_vertical = np.cos(np.deg2rad(max_tilt_deg))
+
+    best_count = -1
+    best: tuple[np.ndarray, float] | None = None
+    for _ in range(n_iterations):
+        triple = xyz[rng.choice(len(cloud), size=3, replace=False)]
+        normal = np.cross(triple[1] - triple[0], triple[2] - triple[0])
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            continue
+        normal = normal / norm
+        if normal[2] < 0:
+            normal = -normal
+        if normal[2] < min_vertical:
+            continue  # too tilted to be ground
+        offset = float(normal @ triple[0])
+        count = int((np.abs(xyz @ normal - offset) <= inlier_tolerance).sum())
+        if count > best_count:
+            best_count, best = count, (normal, offset)
+
+    if best is None:
+        raise RuntimeError("RANSAC found no near-horizontal plane")
+
+    # Refine with least squares over the winning inliers: z = a x + b y + c.
+    normal, offset = best
+    inliers = np.abs(xyz @ normal - offset) <= inlier_tolerance
+    pts = xyz[inliers]
+    design = np.column_stack([pts[:, 0], pts[:, 1], np.ones(pts.shape[0])])
+    coeffs, *_ = np.linalg.lstsq(design, pts[:, 2], rcond=None)
+    refined = np.array([-coeffs[0], -coeffs[1], 1.0])
+    refined /= np.linalg.norm(refined)
+    refined_offset = float(coeffs[2] * refined[2])
+    inlier_fraction = float(inliers.mean())
+    return GroundPlaneFit(
+        normal=refined, offset=refined_offset, inlier_fraction=inlier_fraction
+    )
+
+
+def remove_ground_ransac(
+    cloud: PointCloud,
+    *,
+    rng: np.random.Generator | None = None,
+    clearance: float = 0.3,
+    **fit_kwargs,
+) -> PointCloud:
+    """Drop every point within ``clearance`` above the fitted ground."""
+    if len(cloud) < 3:
+        return cloud
+    plane = fit_ground_plane(cloud, rng=rng, **fit_kwargs)
+    heights = plane.signed_distance(cloud.xyz)
+    return cloud.filter(heights > clearance)

@@ -1,0 +1,43 @@
+"""Voxel-grid downsampling.
+
+Standard point-cloud decimation: space is quantized into cubic voxels
+and each occupied voxel is represented by the centroid of its points.
+Useful for bounding ICP cost and for density normalization before
+clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+
+def voxel_downsample(cloud: PointCloud, voxel_size: float) -> PointCloud:
+    """One centroid per occupied ``voxel_size``-sided cube."""
+    if voxel_size <= 0:
+        raise ValueError("voxel_size must be positive")
+    if len(cloud) == 0:
+        return cloud
+    xyz = cloud.xyz
+    keys = np.floor(xyz / voxel_size).astype(np.int64)
+    # Sort by voxel key, then reduce contiguous runs to centroids.
+    order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero((np.diff(sorted_keys, axis=0) != 0).any(axis=1)) + 1
+    groups = np.split(order, boundaries)
+    centroids = np.array([xyz[g].mean(axis=0) for g in groups])
+    return PointCloud(centroids, copy=False)
+
+
+def voxel_occupancy(cloud: PointCloud, voxel_size: float) -> dict[tuple[int, int, int], int]:
+    """Point count per occupied voxel (diagnostics / density maps)."""
+    if voxel_size <= 0:
+        raise ValueError("voxel_size must be positive")
+    counts: dict[tuple[int, int, int], int] = {}
+    if len(cloud) == 0:
+        return counts
+    keys = np.floor(cloud.xyz / voxel_size).astype(np.int64)
+    for key in map(tuple, keys):
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,22 @@
+"""Geometric primitives shared by every layer of the QuickNN reproduction.
+
+This package provides the small vocabulary of 3D geometry used everywhere
+else in the library: point clouds (:class:`PointCloud`), axis-aligned
+bounding boxes (:class:`Aabb`), rigid-body transforms
+(:class:`RigidTransform`), and the fixed-point quantization model that
+mirrors the hardware's numeric format (:mod:`repro.geometry.quantize`).
+"""
+
+from repro.geometry.aabb import Aabb
+from repro.geometry.points import PointCloud
+from repro.geometry.quantize import FixedPointFormat, dequantize, quantize
+from repro.geometry.transforms import RigidTransform
+
+__all__ = [
+    "Aabb",
+    "PointCloud",
+    "RigidTransform",
+    "FixedPointFormat",
+    "quantize",
+    "dequantize",
+]

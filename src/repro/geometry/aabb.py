@@ -1,0 +1,98 @@
+"""Axis-aligned bounding boxes.
+
+Used by the k-d tree (region tracking during exact backtracking search),
+the scene generator (object extents), and the tree validator (verifying
+that every bucketed point lies in its leaf's region).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Aabb:
+    """An axis-aligned box ``[lo, hi]`` in 3D.
+
+    Degenerate boxes (``lo == hi`` on some axis) are allowed; inverted
+    boxes are not.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = np.asarray(lo, dtype=np.float64).copy()
+        self.hi = np.asarray(hi, dtype=np.float64).copy()
+        if self.lo.shape != (3,) or self.hi.shape != (3,):
+            raise ValueError("Aabb corners must have shape (3,)")
+        if (self.lo > self.hi).any():
+            raise ValueError(f"inverted Aabb: lo={self.lo}, hi={self.hi}")
+
+    @classmethod
+    def infinite(cls) -> "Aabb":
+        """A box covering all of space (used as the k-d tree root region)."""
+        box = cls.__new__(cls)
+        box.lo = np.full(3, -np.inf)
+        box.hi = np.full(3, np.inf)
+        return box
+
+    # ------------------------------------------------------------------
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which points lie inside (inclusive)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return ((points >= self.lo) & (points <= self.hi)).all(axis=1)
+
+    def distance_sq_to(self, point: np.ndarray) -> float:
+        """Squared distance from ``point`` to the box (0 if inside).
+
+        This is the standard branch-and-bound lower bound used by the
+        exact (backtracking) k-d tree search.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        delta = np.maximum(self.lo - point, 0.0) + np.maximum(point - self.hi, 0.0)
+        return float(np.dot(delta, delta))
+
+    def intersects_sphere(self, center: np.ndarray, radius: float) -> bool:
+        """Whether a sphere overlaps the box."""
+        return self.distance_sq_to(center) <= radius * radius
+
+    def split(self, dim: int, threshold: float) -> tuple["Aabb", "Aabb"]:
+        """Split into (below, above) halves along ``dim`` at ``threshold``.
+
+        The threshold must fall inside the box on that axis.
+        """
+        if not (self.lo[dim] <= threshold <= self.hi[dim]):
+            raise ValueError(
+                f"threshold {threshold} outside box [{self.lo[dim]}, {self.hi[dim]}]"
+                f" on dim {dim}"
+            )
+        below_hi = self.hi.copy()
+        below_hi[dim] = threshold
+        above_lo = self.lo.copy()
+        above_lo[dim] = threshold
+        below = Aabb.__new__(Aabb)
+        below.lo, below.hi = self.lo.copy(), below_hi
+        above = Aabb.__new__(Aabb)
+        above.lo, above.hi = above_lo, self.hi.copy()
+        return below, above
+
+    def union(self, other: "Aabb") -> "Aabb":
+        out = Aabb.__new__(Aabb)
+        out.lo = np.minimum(self.lo, other.lo)
+        out.hi = np.maximum(self.hi, other.hi)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Aabb(lo={self.lo.tolist()}, hi={self.hi.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Aabb):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))

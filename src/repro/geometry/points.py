@@ -1,0 +1,134 @@
+"""Point-cloud container.
+
+A :class:`PointCloud` is a thin, validated wrapper around an ``(N, 3)``
+float64 array.  Every dataset generator, tree builder, and architecture
+model in this library exchanges points through this type, so the
+validation performed here (finite values, correct shape and dtype) is
+the single gate through which all geometry enters the system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.aabb import Aabb
+
+
+class PointCloud:
+    """An immutable-by-convention collection of 3D points.
+
+    Parameters
+    ----------
+    xyz:
+        Array-like of shape ``(N, 3)``.  Copied unless ``copy=False`` and
+        the input is already a contiguous float64 array.
+    copy:
+        Whether to defensively copy the input array.
+    """
+
+    __slots__ = ("_xyz",)
+
+    def __init__(self, xyz: np.ndarray | Sequence[Sequence[float]], *, copy: bool = True):
+        arr = np.array(xyz, dtype=np.float64, copy=copy)
+        if arr.ndim == 1 and arr.size == 0:
+            arr = arr.reshape(0, 3)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(f"point cloud must have shape (N, 3), got {arr.shape}")
+        if arr.size and not np.isfinite(arr).all():
+            raise ValueError("point cloud contains non-finite coordinates")
+        self._xyz = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "PointCloud":
+        """A point cloud with zero points."""
+        return cls(np.empty((0, 3)), copy=False)
+
+    @classmethod
+    def concatenate(cls, clouds: Iterable["PointCloud"]) -> "PointCloud":
+        """Stack several clouds into one, preserving order."""
+        arrays = [c.xyz for c in clouds]
+        if not arrays:
+            return cls.empty()
+        return cls(np.vstack(arrays), copy=False)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def xyz(self) -> np.ndarray:
+        """The underlying ``(N, 3)`` float64 array (do not mutate)."""
+        return self._xyz
+
+    def __len__(self) -> int:
+        return self._xyz.shape[0]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._xyz)
+
+    def __getitem__(self, index) -> "PointCloud":
+        """Select points; always returns a (possibly single-point) cloud."""
+        selected = np.atleast_2d(self._xyz[index])
+        return PointCloud(selected)
+
+    def __repr__(self) -> str:
+        return f"PointCloud(n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointCloud):
+            return NotImplemented
+        return self._xyz.shape == other._xyz.shape and bool(
+            np.array_equal(self._xyz, other._xyz)
+        )
+
+    def __hash__(self):  # pragma: no cover - clouds are not hashable
+        raise TypeError("PointCloud is not hashable")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounds(self) -> Aabb:
+        """The tight axis-aligned bounding box of the cloud."""
+        if len(self) == 0:
+            raise ValueError("cannot compute bounds of an empty point cloud")
+        return Aabb(self._xyz.min(axis=0), self._xyz.max(axis=0))
+
+    def centroid(self) -> np.ndarray:
+        """The arithmetic mean of the points, shape ``(3,)``."""
+        if len(self) == 0:
+            raise ValueError("cannot compute centroid of an empty point cloud")
+        return self._xyz.mean(axis=0)
+
+    def distances_to(self, point: np.ndarray) -> np.ndarray:
+        """Euclidean distance from every point to ``point``, shape ``(N,)``."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (3,):
+            raise ValueError(f"query point must have shape (3,), got {point.shape}")
+        return np.linalg.norm(self._xyz - point, axis=1)
+
+    def subsample(self, n: int, rng: np.random.Generator) -> "PointCloud":
+        """Choose ``n`` points uniformly at random without replacement."""
+        if n > len(self):
+            raise ValueError(f"cannot subsample {n} points from a cloud of {len(self)}")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return PointCloud(self._xyz[idx])
+
+    def translated(self, offset: np.ndarray) -> "PointCloud":
+        """A copy of the cloud shifted by ``offset`` (shape ``(3,)``)."""
+        offset = np.asarray(offset, dtype=np.float64)
+        if offset.shape != (3,):
+            raise ValueError(f"offset must have shape (3,), got {offset.shape}")
+        return PointCloud(self._xyz + offset, copy=False)
+
+    def filter(self, mask: np.ndarray) -> "PointCloud":
+        """Keep points where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(
+                f"mask must have shape ({len(self)},), got {mask.shape}"
+            )
+        return PointCloud(self._xyz[mask])

@@ -1,0 +1,89 @@
+"""Fixed-point coordinate model.
+
+The QuickNN hardware stores coordinates as fixed-point words (the FPGA
+prototype uses a 32-bit point word per dimension).  Quantization matters
+for two reasons: it defines the *data size* that the memory-traffic model
+charges per point, and it bounds the numeric error the approximate
+search inherits from the hardware.
+
+We model a signed Qm.f format: ``m`` integer bits (including sign) and
+``f`` fractional bits.  The default ``Q24.8`` covers ±8 million meters at
+~4 mm resolution — far beyond any LiDAR return — so quantization error,
+not range clipping, is the only effect in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``integer_bits + fraction_bits`` bits.
+
+    ``integer_bits`` includes the sign bit.
+    """
+
+    integer_bits: int = 24
+    fraction_bits: int = 8
+
+    def __post_init__(self):
+        if self.integer_bits < 1:
+            raise ValueError("need at least a sign bit")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        if self.total_bits > 64:
+            raise ValueError("formats wider than 64 bits are not supported")
+
+    @property
+    def total_bits(self) -> int:
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Real-value weight of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    @property
+    def bytes_per_value(self) -> int:
+        """Storage charged by the memory model, rounded up to whole bytes."""
+        return (self.total_bits + 7) // 8
+
+
+#: Format used by all architecture models: 32-bit point words, 8 fractional
+#: bits (≈4 mm resolution), matching the FPGA prototype's 3 x 32-bit points.
+DEFAULT_FORMAT = FixedPointFormat(integer_bits=24, fraction_bits=8)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Convert real values to integer codes (round-to-nearest, saturating)."""
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.rint(values / fmt.scale)
+    lo = -(2 ** (fmt.total_bits - 1))
+    hi = 2 ** (fmt.total_bits - 1) - 1
+    return np.clip(codes, lo, hi).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Convert integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) * fmt.scale
+
+
+def roundtrip(values: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Real values as the hardware would see them after quantization."""
+    return dequantize(quantize(values, fmt), fmt)
+
+
+def quantization_error_bound(fmt: FixedPointFormat = DEFAULT_FORMAT) -> float:
+    """Worst-case absolute error for in-range values: half an LSB."""
+    return fmt.scale / 2.0

@@ -1,0 +1,110 @@
+"""Rigid-body transforms (rotation + translation).
+
+The ICP application layer estimates frame-to-frame motion as a rigid
+transform, and the drive-sequence generator uses transforms to move the
+ego vehicle and dynamic objects between frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RigidTransform:
+    """A proper rigid transform ``x -> R @ x + t``.
+
+    ``R`` must be a rotation matrix (orthonormal, determinant +1) within a
+    small numeric tolerance.
+    """
+
+    __slots__ = ("rotation", "translation")
+
+    _ORTHONORMAL_TOL = 1e-8
+
+    def __init__(self, rotation: np.ndarray, translation: np.ndarray):
+        rotation = np.asarray(rotation, dtype=np.float64)
+        translation = np.asarray(translation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if translation.shape != (3,):
+            raise ValueError(f"translation must have shape (3,), got {translation.shape}")
+        residual = rotation @ rotation.T - np.eye(3)
+        if np.abs(residual).max() > 1e-6:
+            raise ValueError("rotation matrix is not orthonormal")
+        if np.linalg.det(rotation) < 0:
+            raise ValueError("rotation matrix is a reflection (det < 0)")
+        self.rotation = rotation.copy()
+        self.translation = translation.copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        return cls(np.eye(3), np.zeros(3))
+
+    @classmethod
+    def from_translation(cls, translation) -> "RigidTransform":
+        return cls(np.eye(3), np.asarray(translation, dtype=np.float64))
+
+    @classmethod
+    def from_yaw(cls, yaw: float, translation=(0.0, 0.0, 0.0)) -> "RigidTransform":
+        """Rotation about the vertical (z) axis — vehicle heading."""
+        c, s = np.cos(yaw), np.sin(yaw)
+        rotation = np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+        return cls(rotation, np.asarray(translation, dtype=np.float64))
+
+    @classmethod
+    def from_euler(cls, roll: float, pitch: float, yaw: float, translation=(0.0, 0.0, 0.0)) -> "RigidTransform":
+        """ZYX (yaw-pitch-roll) Euler angles."""
+        cr, sr = np.cos(roll), np.sin(roll)
+        cp, sp = np.cos(pitch), np.sin(pitch)
+        cy, sy = np.cos(yaw), np.sin(yaw)
+        rx = np.array([[1, 0, 0], [0, cr, -sr], [0, sr, cr]], dtype=np.float64)
+        ry = np.array([[cp, 0, sp], [0, 1, 0], [-sp, 0, cp]], dtype=np.float64)
+        rz = np.array([[cy, -sy, 0], [sy, cy, 0], [0, 0, 1]], dtype=np.float64)
+        return cls(rz @ ry @ rx, np.asarray(translation, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(N, 3)`` array (or a single ``(3,)`` point)."""
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        pts = np.atleast_2d(points)
+        out = pts @ self.rotation.T + self.translation
+        return out[0] if single else out
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """``self ∘ other``: apply ``other`` first, then ``self``."""
+        return RigidTransform(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def inverse(self) -> "RigidTransform":
+        rot_inv = self.rotation.T
+        return RigidTransform(rot_inv, -rot_inv @ self.translation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def yaw(self) -> float:
+        """Heading angle (rotation about z) implied by the rotation."""
+        return float(np.arctan2(self.rotation[1, 0], self.rotation[0, 0]))
+
+    def magnitude(self) -> tuple[float, float]:
+        """(rotation angle in radians, translation norm) of the transform."""
+        trace = np.clip((np.trace(self.rotation) - 1.0) / 2.0, -1.0, 1.0)
+        return float(np.arccos(trace)), float(np.linalg.norm(self.translation))
+
+    def is_close(self, other: "RigidTransform", *, atol: float = 1e-9) -> bool:
+        return bool(
+            np.allclose(self.rotation, other.rotation, atol=atol)
+            and np.allclose(self.translation, other.translation, atol=atol)
+        )
+
+    def __repr__(self) -> str:
+        angle, dist = self.magnitude()
+        return f"RigidTransform(angle={angle:.4f} rad, |t|={dist:.4f})"

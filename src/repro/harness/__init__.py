@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment is a function returning an :class:`ExperimentResult`
+(the measured rows, the paper's reference numbers where available, and
+named *shape checks* asserting that the qualitative result — who wins,
+by roughly what factor, where the crossover falls — reproduced).
+
+Run them all from the command line::
+
+    quicknn-experiments list
+    quicknn-experiments run fig12
+    quicknn-experiments all
+
+or programmatically::
+
+    from repro.harness import run_experiment
+    result = run_experiment("table5")
+    print(result.to_text())
+"""
+
+from repro.harness.markdown import report_document, result_to_markdown
+from repro.harness.result import ExperimentResult
+from repro.harness.registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "experiment_ids",
+    "report_document",
+    "result_to_markdown",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,143 @@
+"""Accuracy experiments: Table 1 and Figure 3."""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.accuracy import knn_recall, top1_containment
+from repro.baselines import GridIndex, KMeansTree, LshIndex, knn_bruteforce
+from repro.datasets import lidar_frame_pair
+from repro.harness.result import ExperimentResult
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_bbf
+from repro.kdtree.search import QueryResult
+
+
+def table1_methods(n_points: int = 30_000, k: int = 8, *, seed: int = 0) -> ExperimentResult:
+    """Table 1: accuracy / complexity / memory reads of the kNN methods.
+
+    Accuracy is the paper's metric at x = 0 (fraction of returned
+    neighbors among the true top-k) on a successive LiDAR frame pair —
+    "accuracy for 30k points, 8 nearest neighbors".  The k-d tree row
+    is FLANN-style best-bin-first (the software baseline the paper
+    measured); the single-bucket hardware search is shown alongside.
+    Execution times are for these Python implementations, so only their
+    ordering — not their ratios — is meaningful.
+    """
+    ref, qry = lidar_frame_pair(n_points, seed=seed)
+
+    t0 = time.perf_counter()
+    exact = knn_bruteforce(ref, qry, k)
+    linear_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    kd1 = knn_approx(tree, qry, k)
+    kd1_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    kd_bbf = knn_bbf(tree, qry, k, max_leaves=2)
+    bbf_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    km_index = KMeansTree(ref)
+    km = km_index.query(qry, k)
+    km_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    lsh_index = LshIndex(ref)
+    lsh = lsh_index.query(qry, k)
+    lsh_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grid_index = GridIndex(ref)
+    grid = grid_index.query(qry, k)
+    grid_time = time.perf_counter() - t0
+
+    def acc(result: QueryResult) -> float:
+        return knn_recall(result, exact, k)
+
+    kd1_acc, bbf_acc, km_acc, lsh_acc = acc(kd1), acc(kd_bbf), acc(km), acc(lsh)
+    grid_acc = acc(grid)
+    rows = [
+        ["Linear", 1.0, "N^2", "N^2", linear_time],
+        ["Approx. k-means", km_acc, "N log N", "N log N", km_time],
+        ["Approx. k-d (FLANN bbf)", bbf_acc, "N log N", "N log N", bbf_time],
+        ["Approx. k-d (1 bucket)", kd1_acc, "N log N", "N log N", kd1_time],
+        ["Approx. LSH", lsh_acc, "N log N", "N", lsh_time],
+        ["Uniform grid (exact, ext)", grid_acc, "N r^3", "N r^3", grid_time],
+    ]
+    return ExperimentResult(
+        exp_id="table1",
+        title="Comparison of popular kNN methods",
+        headers=["method", "accuracy", "search complexity", "mem reads", "exec seconds"],
+        rows=rows,
+        paper_says=(
+            "linear 100%, k-means 99%, k-d 91%, LSH 18.4%; k-means is the "
+            "most accurate approximate method but over twice as slow as k-d"
+        ),
+        shape_checks={
+            "linear is exact": True,
+            "FLANN-style k-d lands near the paper's 91%": 0.85 <= bbf_acc <= 0.97,
+            "k-means beats single-bucket k-d": km_acc >= kd1_acc,
+            "LSH collapses in 3D (under half of k-d)": lsh_acc <= 0.5 * bbf_acc,
+            "k-means slower than single-bucket k-d": km_time > kd1_time,
+            "linear slowest": linear_time > max(km_time, bbf_time, lsh_time),
+            "uniform grid is exact (extension row)": grid_acc >= 0.999,
+        },
+        notes=(
+            "The paper's FLANN baseline does limited backtracking; the "
+            "single-bucket row is what the QuickNN hardware executes."
+        ),
+    )
+
+
+def fig3_accuracy(
+    n_points: int = 30_000,
+    k: int = 5,
+    max_extra: int = 5,
+    bucket_sizes: tuple[int, ...] = (256, 512, 1024, 2048, 4096),
+    *,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 3: k-d search accuracy vs bucket size, k=5, x=0..5.
+
+    Each row is one bucket size B_N; columns give the fraction of the
+    single-bucket search's top-5 answers that fall within the exact
+    top-(5+x), plus the top-1 containment rate.
+    """
+    ref, qry = lidar_frame_pair(n_points, seed=seed)
+    exact = knn_bruteforce(ref, qry, k + max_extra)
+
+    rows = []
+    recalls_at_x0: list[float] = []
+    for bucket in bucket_sizes:
+        tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=bucket))
+        approx = knn_approx(tree, qry, k)
+        row: list = [bucket]
+        for x in range(max_extra + 1):
+            row.append(knn_recall(approx, exact, k, x))
+        row.append(top1_containment(approx, exact))
+        recalls_at_x0.append(row[1])
+        rows.append(row)
+
+    monotone_in_bucket = all(
+        recalls_at_x0[i] <= recalls_at_x0[i + 1] + 0.03
+        for i in range(len(recalls_at_x0) - 1)
+    )
+    monotone_in_x = all(row[1] <= row[1 + max_extra] + 1e-9 for row in rows)
+    return ExperimentResult(
+        exp_id="fig3",
+        title="Accuracy of k-d tree search vs bucket size (KITTI-like)",
+        headers=["B_N"] + [f"x={x}" for x in range(max_extra + 1)] + ["top-1"],
+        rows=rows,
+        paper_says=(
+            "larger buckets give better accuracy; at 75% top-10 accuracy the "
+            "minimum bucket size is 256"
+        ),
+        shape_checks={
+            "accuracy rises with bucket size": monotone_in_bucket,
+            "accuracy rises with x": monotone_in_x,
+            "B_N=256 reaches ~75% at x=5": rows[0][1 + max_extra] >= 0.70,
+            "largest bucket >= 90% at x=0": recalls_at_x0[-1] >= 0.90,
+        },
+    )

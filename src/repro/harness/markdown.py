@@ -1,0 +1,52 @@
+"""Markdown rendering of experiment results.
+
+Turns :class:`~repro.harness.result.ExperimentResult` objects into the
+GitHub-flavored markdown used by the repository's EXPERIMENTS-style
+reports, and assembles a full results document from a set of runs —
+the reproducibility artifact ``quicknn-experiments report`` writes.
+"""
+
+from __future__ import annotations
+
+from repro.harness.result import ExperimentResult, _format_cell
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section with table and check list."""
+    lines = [f"## {result.exp_id} — {result.title}", ""]
+    if result.paper_says:
+        lines.append(f"*Paper:* {result.paper_says}")
+        lines.append("")
+    lines.append("| " + " | ".join(result.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+    lines.append("")
+    for name, ok in result.shape_checks.items():
+        mark = "x" if ok else " "
+        lines.append(f"- [{mark}] {name}")
+    if result.notes:
+        lines.append("")
+        lines.append(f"> {result.notes}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def report_document(results: list[ExperimentResult], *, title: str | None = None) -> str:
+    """A complete markdown report over a set of experiment results."""
+    n_checks = sum(len(r.shape_checks) for r in results)
+    n_pass = sum(sum(r.shape_checks.values()) for r in results)
+    header = [
+        f"# {title or 'QuickNN reproduction — regenerated results'}",
+        "",
+        f"{len(results)} experiments, {n_pass}/{n_checks} shape checks passing.",
+        "",
+        "| experiment | title | checks |",
+        "|---|---|---|",
+    ]
+    for r in results:
+        ok = sum(r.shape_checks.values())
+        header.append(f"| {r.exp_id} | {r.title} | {ok}/{len(r.shape_checks)} |")
+    header.append("")
+    sections = [result_to_markdown(r) for r in results]
+    return "\n".join(header) + "\n" + "\n".join(sections)

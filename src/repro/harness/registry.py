@@ -1,0 +1,85 @@
+"""Registry mapping experiment ids to their regenerator functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.exp_accuracy import fig3_accuracy, table1_methods
+from repro.harness.exp_incremental import fig10_incremental
+from repro.harness.exp_memory import (
+    fig8_write_gather,
+    fig12_memory_accesses,
+    fig13_bandwidth_utilization,
+)
+from repro.harness.exp_parallel import fig9_traversal
+from repro.harness.exp_perf import (
+    fig14_k_sweep,
+    fig15_latency,
+    fig16_perf_scaling,
+    table4_linear_fps,
+    table5_quicknn_fps,
+)
+from repro.harness.exp_extensions import (
+    ext_ablation,
+    ext_banks,
+    ext_crosscheck,
+    ext_exact_search,
+    ext_hbm,
+    ext_incremental_scaling,
+    ext_pareto,
+    ext_sensitivity,
+)
+from repro.harness.exp_platforms import (
+    fig17_platforms,
+    sec71_prior_accelerators,
+    table6_speedup,
+    tables23_resources,
+)
+from repro.harness.result import ExperimentResult
+
+#: Every table and figure of the paper's evaluation, in paper order.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_methods,
+    "fig3": fig3_accuracy,
+    "fig8": fig8_write_gather,
+    "fig9": fig9_traversal,
+    "fig10": fig10_incremental,
+    "tables23": tables23_resources,
+    "table4": table4_linear_fps,
+    "table5": table5_quicknn_fps,
+    "fig12": fig12_memory_accesses,
+    "fig13": fig13_bandwidth_utilization,
+    "fig14": fig14_k_sweep,
+    "fig15": fig15_latency,
+    "fig16": fig16_perf_scaling,
+    "fig17": fig17_platforms,
+    "table6": table6_speedup,
+    "sec71": sec71_prior_accelerators,
+    # Extensions beyond the paper's evaluation (see exp_extensions).
+    "ext-ablation": ext_ablation,
+    "ext-incremental": ext_incremental_scaling,
+    "ext-hbm": ext_hbm,
+    "ext-crosscheck": ext_crosscheck,
+    "ext-exact": ext_exact_search,
+    "ext-sensitivity": ext_sensitivity,
+    "ext-banks": ext_banks,
+    "ext-pareto": ext_pareto,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All known experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id, passing overrides through."""
+    if exp_id not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+    return EXPERIMENTS[exp_id](**kwargs)
+
+
+def run_all(**kwargs) -> dict[str, ExperimentResult]:
+    """Run the whole evaluation; returns results keyed by id."""
+    return {exp_id: run_experiment(exp_id, **kwargs) for exp_id in EXPERIMENTS}

@@ -1,0 +1,73 @@
+"""Experiment result container and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data for one of the paper's tables or figures.
+
+    ``rows`` are the measured series; ``shape_checks`` are named boolean
+    assertions that the paper's qualitative finding reproduced (these
+    are what the benchmark suite asserts on); ``paper_says`` records the
+    corresponding claim from the paper for side-by-side reading.
+    """
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+    paper_says: str = ""
+    notes: str = ""
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.shape_checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.shape_checks.items() if not ok]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text report."""
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.paper_says:
+            lines.append(f"paper: {self.paper_says}")
+        lines.append(render_table(self.headers, self.rows))
+        for name, ok in self.shape_checks.items():
+            lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Simple aligned ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in cells)
+    return "\n".join(out)

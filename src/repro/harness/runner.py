@@ -1,0 +1,91 @@
+"""Command-line entry point: ``quicknn-experiments``.
+
+Usage::
+
+    quicknn-experiments list                  # show all experiment ids
+    quicknn-experiments run fig12             # regenerate one table/figure
+    quicknn-experiments all [--json out.json] # regenerate the whole evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.harness.registry import experiment_ids, run_experiment
+from repro.harness.result import ExperimentResult
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quicknn-experiments",
+        description="Regenerate the tables and figures of the QuickNN paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("exp_id", choices=experiment_ids())
+    run.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    everything = sub.add_parser("all", help="run every experiment in paper order")
+    everything.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("out", metavar="PATH", help="markdown file to write")
+    return parser
+
+
+def _as_json(results: list[ExperimentResult]) -> str:
+    payload = [
+        {
+            "exp_id": r.exp_id,
+            "title": r.title,
+            "headers": r.headers,
+            "rows": r.rows,
+            "shape_checks": r.shape_checks,
+            "paper_says": r.paper_says,
+            "notes": r.notes,
+        }
+        for r in results
+    ]
+    return json.dumps(payload, indent=2, default=str)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in experiment_ids():
+            print(exp_id)
+        return 0
+
+    ids = [args.exp_id] if args.command == "run" else experiment_ids()
+    results: list[ExperimentResult] = []
+    any_failed = False
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.to_text())
+        print(f"({elapsed:.1f}s)\n")
+        if not result.all_checks_pass:
+            any_failed = True
+
+    if getattr(args, "json", None):
+        with open(args.json, "w") as handle:
+            handle.write(_as_json(results))
+        print(f"wrote {args.json}")
+    if args.command == "report":
+        from repro.harness.markdown import report_document
+
+        with open(args.out, "w") as handle:
+            handle.write(report_document(results))
+        print(f"wrote {args.out}")
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Iterative Closest Point — the application wrapped around kNN.
+
+The paper motivates QuickNN with ICP-based object tracking: "75% of the
+ICP is spent on kNN search", and the error tolerance of the ICP loop is
+what licenses the *approximate* k-d tree search.  This package closes
+that loop: a point-to-point ICP whose correspondence step is a
+pluggable kNN backend, so the examples can demonstrate end-to-end
+motion estimation with exact or approximate search and measure the
+accuracy impact the paper argues is negligible.
+"""
+
+from repro.icp.icp import IcpConfig, IcpResult, icp_register
+from repro.icp.kabsch import estimate_rigid_transform
+from repro.icp.tracking import FrameTracker, TrackerState
+
+__all__ = [
+    "FrameTracker",
+    "IcpConfig",
+    "IcpResult",
+    "TrackerState",
+    "estimate_rigid_transform",
+    "icp_register",
+]

@@ -1,0 +1,130 @@
+"""Point-to-point ICP with a pluggable kNN backend.
+
+Each iteration finds, for every source point, its nearest neighbor in
+the target cloud (through any backend implementing the library's kNN
+interface), optionally rejects the worst matches, solves for the rigid
+transform with Kabsch, and applies it.  Convergence is declared when
+the incremental transform becomes negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.baselines.linear import knn_bruteforce
+from repro.geometry import PointCloud, RigidTransform
+from repro.icp.kabsch import estimate_rigid_transform
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_exact
+from repro.kdtree.search import QueryResult
+
+KnnBackend = Callable[[np.ndarray, np.ndarray, int], QueryResult]
+
+
+@dataclass(frozen=True)
+class IcpConfig:
+    """ICP loop parameters.
+
+    ``knn`` picks the correspondence backend: ``"approx"`` (the paper's
+    accelerated mode), ``"exact"`` (backtracking k-d tree), or
+    ``"bruteforce"``.  ``trim_fraction`` discards that fraction of the
+    worst-residual correspondences each iteration (robustness against
+    non-overlapping geometry).
+    """
+
+    max_iterations: int = 30
+    translation_tolerance: float = 1e-4
+    rotation_tolerance: float = 1e-5
+    trim_fraction: float = 0.2
+    knn: Literal["approx", "exact", "bruteforce"] = "approx"
+    tree: KdTreeConfig = KdTreeConfig(bucket_capacity=128)
+
+    def __post_init__(self):
+        if self.max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if not (0.0 <= self.trim_fraction < 1.0):
+            raise ValueError("trim_fraction must be in [0, 1)")
+        if self.translation_tolerance < 0 or self.rotation_tolerance < 0:
+            raise ValueError("tolerances must be non-negative")
+
+
+@dataclass(frozen=True)
+class IcpResult:
+    """Outcome of one registration."""
+
+    transform: RigidTransform
+    iterations: int
+    converged: bool
+    rms_error: float
+    per_iteration_rms: tuple[float, ...]
+
+
+def icp_register(
+    source: PointCloud | np.ndarray,
+    target: PointCloud | np.ndarray,
+    config: IcpConfig | None = None,
+) -> IcpResult:
+    """Estimate the rigid transform aligning ``source`` onto ``target``.
+
+    Returns the transform such that ``transform.apply(source) ≈ target``
+    over the overlapping geometry.
+    """
+    config = config or IcpConfig()
+    src = source.xyz if isinstance(source, PointCloud) else np.asarray(source, dtype=np.float64)
+    tgt = target.xyz if isinstance(target, PointCloud) else np.asarray(target, dtype=np.float64)
+    if src.ndim != 2 or src.shape[1] != 3 or tgt.ndim != 2 or tgt.shape[1] != 3:
+        raise ValueError("source and target must have shape (N, 3)")
+    if src.shape[0] < 3 or tgt.shape[0] < 3:
+        raise ValueError("clouds must contain at least 3 points")
+
+    backend = _make_backend(tgt, config)
+    transform = RigidTransform.identity()
+    moved = src.copy()
+    rms_history: list[float] = []
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, config.max_iterations + 1):
+        result = backend(moved, 1)
+        matched = result.indices[:, 0]
+        valid = matched >= 0
+        residuals = result.distances[valid, 0]
+        pairs_src = moved[valid]
+        pairs_tgt = tgt[matched[valid]]
+
+        if config.trim_fraction > 0.0 and residuals.size > 10:
+            keep = residuals <= np.quantile(residuals, 1.0 - config.trim_fraction)
+            pairs_src, pairs_tgt = pairs_src[keep], pairs_tgt[keep]
+            residuals = residuals[keep]
+
+        rms_history.append(float(np.sqrt(np.mean(residuals**2))))
+        step = estimate_rigid_transform(pairs_src, pairs_tgt)
+        moved = step.apply(moved)
+        transform = step.compose(transform)
+
+        angle, dist = step.magnitude()
+        if angle < config.rotation_tolerance and dist < config.translation_tolerance:
+            converged = True
+            break
+
+    return IcpResult(
+        transform=transform,
+        iterations=iterations,
+        converged=converged,
+        rms_error=rms_history[-1],
+        per_iteration_rms=tuple(rms_history),
+    )
+
+
+def _make_backend(target: np.ndarray, config: IcpConfig) -> Callable[[np.ndarray, int], QueryResult]:
+    """Bind the chosen kNN method to the fixed target cloud."""
+    if config.knn == "bruteforce":
+        return lambda queries, k: knn_bruteforce(target, queries, k)
+    tree, _ = build_tree(target, config.tree)
+    if config.knn == "exact":
+        return lambda queries, k: knn_exact(tree, queries, k)
+    if config.knn == "approx":
+        return lambda queries, k: knn_approx(tree, queries, k)
+    raise ValueError(f"unknown knn backend {config.knn!r}")

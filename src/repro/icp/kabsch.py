@@ -1,0 +1,54 @@
+"""Rigid-transform estimation from point correspondences (Kabsch/SVD).
+
+Given matched point pairs, find the rotation and translation minimizing
+the sum of squared residuals — the inner solve of every ICP iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import RigidTransform
+
+
+def estimate_rigid_transform(
+    source: np.ndarray,
+    target: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> RigidTransform:
+    """Least-squares rigid transform mapping ``source`` onto ``target``.
+
+    Solves ``argmin_{R,t} sum_i w_i |R s_i + t - t_i|^2`` via the SVD of
+    the weighted cross-covariance, with the determinant correction that
+    guarantees a proper rotation (no reflection).
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError("source and target must both have shape (N, 3)")
+    n = source.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 correspondences")
+
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError(f"weights must have shape ({n},)")
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+    w = weights / weights.sum()
+
+    centroid_s = (w[:, None] * source).sum(axis=0)
+    centroid_t = (w[:, None] * target).sum(axis=0)
+    src = source - centroid_s
+    tgt = target - centroid_t
+
+    covariance = (w[:, None] * src).T @ tgt
+    u, _, vt = np.linalg.svd(covariance)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ correction @ u.T
+    translation = centroid_t - rotation @ centroid_s
+    return RigidTransform(rotation, translation)

@@ -1,0 +1,71 @@
+"""Frame-to-frame trajectory tracking on top of ICP.
+
+Chains per-frame ICP registrations into an ego trajectory — the
+object-tracking/odometry loop the paper's introduction motivates kNN
+acceleration with.  The tracker registers each new sensor-frame cloud
+against the previous one and accumulates the resulting incremental
+transforms into world poses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import PointCloud, RigidTransform
+from repro.icp.icp import IcpConfig, IcpResult, icp_register
+
+
+@dataclass
+class TrackerState:
+    """Accumulated trajectory of a :class:`FrameTracker`."""
+
+    poses: list[RigidTransform] = field(default_factory=list)
+    registrations: list[IcpResult] = field(default_factory=list)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.poses)
+
+    def positions(self) -> np.ndarray:
+        """Ego positions over time, shape ``(n_frames, 3)``."""
+        return np.array([p.translation for p in self.poses])
+
+    def headings(self) -> np.ndarray:
+        """Ego yaw over time, shape ``(n_frames,)``."""
+        return np.array([p.yaw() for p in self.poses])
+
+
+class FrameTracker:
+    """Incremental scan-matching odometry.
+
+    Feed sensor-frame clouds in order with :meth:`update`; the tracker
+    estimates each frame's pose in the world frame anchored at the
+    first frame.
+    """
+
+    def __init__(self, config: IcpConfig | None = None):
+        self.config = config or IcpConfig()
+        self.state = TrackerState()
+        self._previous: PointCloud | None = None
+
+    def update(self, cloud: PointCloud) -> RigidTransform:
+        """Ingest the next sensor frame; returns its estimated world pose."""
+        if self._previous is None:
+            pose = RigidTransform.identity()
+        else:
+            # ICP maps the new frame onto the previous frame's coordinates;
+            # composing with the previous pose lifts it to the world frame.
+            result = icp_register(cloud, self._previous, self.config)
+            self.state.registrations.append(result)
+            pose = self.state.poses[-1].compose(result.transform)
+        self.state.poses.append(pose)
+        self._previous = cloud
+        return pose
+
+    def track(self, clouds) -> TrackerState:
+        """Convenience: run a whole sequence through :meth:`update`."""
+        for cloud in clouds:
+            self.update(cloud)
+        return self.state

@@ -1,0 +1,66 @@
+"""Bucketed k-d tree: the algorithmic core the QuickNN hardware executes.
+
+The functional layer of the reproduction.  Everything here is plain
+software — correct-by-construction trees and searches — while
+:mod:`repro.arch` reuses these exact algorithms and adds the cycle and
+memory-traffic accounting of the hardware.
+
+Quick example::
+
+    from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+
+    tree, trace = build_tree(reference_cloud, KdTreeConfig(bucket_capacity=256))
+    result = knn_approx(tree, query_cloud, k=8)
+"""
+
+from repro.kdtree.build import BuildTrace, build_tree, place_points
+from repro.kdtree.config import KdTreeConfig
+from repro.kdtree.forest import KdForest, KdForestConfig
+from repro.kdtree.incremental import UpdateTrace, reuse_tree, update_tree
+from repro.kdtree.node import NO_NODE, KdNode, KdTree
+from repro.kdtree.query_stats import MissDiagnosis, boundary_distances, diagnose_misses, leaf_regions
+from repro.kdtree.search import (
+    PAD_INDEX,
+    QueryResult,
+    knn_approx,
+    knn_bbf,
+    knn_exact,
+    radius_search,
+)
+from repro.kdtree.serialize import load_tree, save_tree, tree_from_arrays, tree_to_arrays
+from repro.kdtree.stats import TreeStats, node_access_probability, tree_stats
+from repro.kdtree.validate import TreeInvariantError, check_tree
+
+__all__ = [
+    "BuildTrace",
+    "KdForest",
+    "KdForestConfig",
+    "KdNode",
+    "KdTree",
+    "KdTreeConfig",
+    "NO_NODE",
+    "PAD_INDEX",
+    "QueryResult",
+    "TreeInvariantError",
+    "TreeStats",
+    "UpdateTrace",
+    "build_tree",
+    "check_tree",
+    "knn_approx",
+    "knn_bbf",
+    "knn_exact",
+    "MissDiagnosis",
+    "boundary_distances",
+    "diagnose_misses",
+    "leaf_regions",
+    "load_tree",
+    "node_access_probability",
+    "place_points",
+    "radius_search",
+    "reuse_tree",
+    "save_tree",
+    "tree_from_arrays",
+    "tree_stats",
+    "tree_to_arrays",
+    "update_tree",
+]

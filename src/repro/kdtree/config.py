@@ -1,0 +1,87 @@
+"""k-d tree construction parameters.
+
+The paper's tree (Section 2.2) is built in two steps: a *construction*
+phase that sorts and median-splits a sampled subset of points until a
+target depth / minimum occupancy is reached, and a *placement* phase
+that routes every point of the frame into a leaf bucket.  This module
+captures the knobs of that process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KdTreeConfig:
+    """Parameters for building a bucketed k-d tree.
+
+    Parameters
+    ----------
+    bucket_capacity:
+        Target number of points per leaf bucket (the paper's ``B_N``).
+        The tree depth is chosen so a balanced tree yields buckets of
+        roughly this size.  The paper's accuracy operating point is 256.
+    sample_size:
+        Number of points sampled to estimate split thresholds (the
+        paper's ``n < N``).  ``None`` picks ``min(N, 16 * n_leaves)``,
+        enough for stable medians at every level.
+    min_samples_per_leaf:
+        Construction stops splitting a branch when fewer sample points
+        than this would land on a side (the paper's "minimum occupancy").
+    max_depth:
+        Hard cap on tree depth; ``None`` derives it from
+        ``bucket_capacity`` (``log2(N / B_N)``, the paper's ``d``).
+    split_dims:
+        Cycle of dimensions used at successive levels, as in the paper's
+        Figure 2 (x, then y, then z, then x again ...).
+    """
+
+    bucket_capacity: int = 256
+    sample_size: int | None = None
+    min_samples_per_leaf: int = 2
+    max_depth: int | None = None
+    split_dims: tuple[int, ...] = (0, 1, 2)
+
+    def __post_init__(self):
+        if self.bucket_capacity < 1:
+            raise ValueError("bucket_capacity must be positive")
+        if self.sample_size is not None and self.sample_size < 1:
+            raise ValueError("sample_size must be positive when given")
+        if self.min_samples_per_leaf < 1:
+            raise ValueError("min_samples_per_leaf must be positive")
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative when given")
+        if not self.split_dims or any(d not in (0, 1, 2) for d in self.split_dims):
+            raise ValueError("split_dims must be a non-empty cycle over {0, 1, 2}")
+
+    def target_depth(self, n_points: int) -> int:
+        """Depth giving ~``bucket_capacity`` points per leaf for ``n_points``.
+
+        This is the paper's ``d = log2(N / B_N)``, rounded to the nearest
+        whole level and floored at zero.
+        """
+        if n_points < 1:
+            raise ValueError("n_points must be positive")
+        if self.max_depth is not None:
+            derived = self._derived_depth(n_points)
+            return min(self.max_depth, derived)
+        return self._derived_depth(n_points)
+
+    def _derived_depth(self, n_points: int) -> int:
+        ratio = n_points / self.bucket_capacity
+        if ratio <= 1.0:
+            return 0
+        return max(0, round(math.log2(ratio)))
+
+    def effective_sample_size(self, n_points: int) -> int:
+        """Sample count used for construction (``n`` in the paper)."""
+        if self.sample_size is not None:
+            return min(self.sample_size, n_points)
+        n_leaves = 2 ** self.target_depth(n_points)
+        return min(n_points, max(64, 16 * n_leaves))
+
+    def dim_at_depth(self, depth: int) -> int:
+        """Split dimension used at a given tree level."""
+        return self.split_dims[depth % len(self.split_dims)]

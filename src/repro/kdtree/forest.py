@@ -1,0 +1,178 @@
+"""Randomized k-d tree forest (FLANN's multi-tree search).
+
+The FLANN library the paper benchmarks on the CPU does not search one
+k-d tree: it builds several *randomized* trees (each choosing its split
+dimension randomly among the highest-variance axes) and runs a shared
+best-bin-first search across all of them.  Multiple de-correlated
+partitions make it much less likely that a true neighbor hides behind a
+cell boundary in every tree at once.
+
+This module provides that structure for completeness of the software
+baseline: :class:`KdForest` builds ``n_trees`` randomized trees over
+the same points and searches them jointly under one leaf budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import PointCloud
+from repro.kdtree.config import KdTreeConfig
+from repro.kdtree.node import NO_NODE, KdNode, KdTree
+from repro.kdtree.search import PAD_INDEX, QueryResult, _insert_bounded
+
+
+@dataclass(frozen=True)
+class KdForestConfig:
+    """Forest parameters.
+
+    ``top_variance_dims`` is FLANN's randomization knob: each split
+    picks uniformly among that many highest-variance dimensions (in 3D,
+    2 is the sweet spot — pure random over 3 axes degrades balance).
+    """
+
+    n_trees: int = 4
+    bucket_capacity: int = 64
+    top_variance_dims: int = 2
+
+    def __post_init__(self):
+        if self.n_trees < 1:
+            raise ValueError("forest needs at least one tree")
+        if self.bucket_capacity < 1:
+            raise ValueError("bucket_capacity must be positive")
+        if not (1 <= self.top_variance_dims <= 3):
+            raise ValueError("top_variance_dims must be in [1, 3]")
+
+
+class KdForest:
+    """Several randomized k-d trees over one reference set."""
+
+    def __init__(
+        self,
+        reference: PointCloud | np.ndarray,
+        config: KdForestConfig | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config or KdForestConfig()
+        rng = rng or np.random.default_rng(0)
+        self.points = (
+            reference.xyz if isinstance(reference, PointCloud)
+            else np.asarray(reference, dtype=np.float64)
+        )
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError("reference must have shape (N, 3)")
+        if self.points.shape[0] == 0:
+            raise ValueError("reference set is empty")
+        self.trees = [
+            self._build_randomized(rng) for _ in range(self.config.n_trees)
+        ]
+
+    # ------------------------------------------------------------------
+    def _build_randomized(self, rng: np.random.Generator) -> KdTree:
+        """One tree with random split dimensions among top-variance axes."""
+        cfg = KdTreeConfig(bucket_capacity=self.config.bucket_capacity)
+        tree = KdTree(points=self.points)
+        n = self.points.shape[0]
+        target_depth = cfg.target_depth(n)
+        all_points = np.arange(n, dtype=np.int64)
+
+        def construct(members: np.ndarray, depth: int, parent: int) -> int:
+            index = len(tree.nodes)
+            if depth >= target_depth or members.size <= self.config.bucket_capacity:
+                bucket_id = len(tree.buckets)
+                tree.buckets.append(members)
+                tree.nodes.append(
+                    KdNode(index=index, parent=parent, depth=depth, bucket_id=bucket_id)
+                )
+                return index
+            coords = self.points[members]
+            variances = coords.var(axis=0)
+            candidates = np.argsort(variances, kind="stable")[::-1][
+                : self.config.top_variance_dims
+            ]
+            dim = int(rng.choice(candidates))
+            values = coords[:, dim]
+            threshold = float(np.median(values))
+            go_left = values <= threshold
+            if go_left.all() or not go_left.any():
+                bucket_id = len(tree.buckets)
+                tree.buckets.append(members)
+                tree.nodes.append(
+                    KdNode(index=index, parent=parent, depth=depth, bucket_id=bucket_id)
+                )
+                return index
+            node = KdNode(index=index, parent=parent, depth=depth,
+                          dim=dim, threshold=threshold)
+            tree.nodes.append(node)
+            node.left = construct(members[go_left], depth + 1, index)
+            node.right = construct(members[~go_left], depth + 1, index)
+            return index
+
+        construct(all_points, 0, NO_NODE)
+        tree.invalidate_caches()
+        return tree
+
+    # ------------------------------------------------------------------
+    def query(self, queries: PointCloud | np.ndarray, k: int,
+              *, max_leaves: int = 8) -> QueryResult:
+        """Joint best-bin-first search across all trees.
+
+        One shared priority queue orders cells from every tree by their
+        lower-bound distance; at most ``max_leaves`` buckets are scanned
+        per query in total (the FLANN "checks" budget).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if max_leaves < 1:
+            raise ValueError("max_leaves must be positive")
+        q = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries, dtype=np.float64)
+        q = np.atleast_2d(q)
+        m = q.shape[0]
+        indices = np.full((m, k), PAD_INDEX, dtype=np.int64)
+        distances = np.full((m, k), np.inf)
+
+        for i in range(m):
+            point = q[i]
+            best_idx: list[int] = []
+            best_dst: list[float] = []
+            seen: set[int] = set()
+            heap: list[tuple[float, int, int, int]] = [
+                (0.0, t, 0, tree.ROOT) for t, tree in enumerate(self.trees)
+            ]
+            heapq.heapify(heap)
+            counter = len(self.trees)
+            visited = 0
+            while heap and visited < max_leaves:
+                bound, t, _, node_index = heapq.heappop(heap)
+                if len(best_dst) == k and bound >= best_dst[-1]:
+                    break
+                tree = self.trees[t]
+                node = tree.nodes[node_index]
+                while not node.is_leaf:
+                    delta = point[node.dim] - node.threshold
+                    near, far = (
+                        (node.left, node.right) if delta <= 0
+                        else (node.right, node.left)
+                    )
+                    heapq.heappush(heap, (max(bound, abs(delta)), t, counter, far))
+                    counter += 1
+                    node = tree.nodes[near]
+                visited += 1
+                members = tree.buckets[node.bucket_id]
+                if members.size == 0:
+                    continue
+                diffs = self.points[members] - point
+                dists = np.sqrt((diffs * diffs).sum(axis=1))
+                for ci, cd in zip(members, dists):
+                    ci = int(ci)
+                    if ci in seen:
+                        continue
+                    seen.add(ci)
+                    _insert_bounded(best_idx, best_dst, ci, float(cd), k)
+            indices[i, : len(best_idx)] = best_idx
+            distances[i, : len(best_dst)] = best_dst
+        return QueryResult(indices=indices, distances=distances)

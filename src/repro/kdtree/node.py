@@ -1,0 +1,190 @@
+"""k-d tree node and tree containers.
+
+The layout deliberately mirrors the paper's hardware data structure
+(Section 4.1): each tree node carries a threshold, a dimension
+indicator, and parent/child pointers; each leaf points at a bucket of
+points.  Nodes live in a flat list and reference each other by index —
+the software analogue of the word-addressable tree cache — which lets
+the architecture models map nodes directly onto cache words and banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+NO_NODE = -1
+
+
+@dataclass
+class KdNode:
+    """One tree node.  Internal nodes split; leaf nodes own a bucket.
+
+    ``dim``/``threshold``/``left``/``right`` are meaningful for internal
+    nodes; ``bucket_id`` for leaves.  Exactly one of the two roles is
+    active, enforced by :meth:`validate_role`.
+    """
+
+    index: int
+    parent: int = NO_NODE
+    depth: int = 0
+    dim: int = -1
+    threshold: float = np.nan
+    left: int = NO_NODE
+    right: int = NO_NODE
+    bucket_id: int = NO_NODE
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.bucket_id != NO_NODE
+
+    def validate_role(self) -> None:
+        """Raise if the node is neither a proper leaf nor a proper split."""
+        if self.is_leaf:
+            if self.left != NO_NODE or self.right != NO_NODE:
+                raise ValueError(f"leaf node {self.index} has children")
+        else:
+            if self.left == NO_NODE or self.right == NO_NODE:
+                raise ValueError(f"internal node {self.index} missing a child")
+            if self.dim not in (0, 1, 2):
+                raise ValueError(f"internal node {self.index} has invalid dim {self.dim}")
+            if not np.isfinite(self.threshold):
+                raise ValueError(f"internal node {self.index} has invalid threshold")
+
+
+@dataclass
+class KdTree:
+    """A bucketed k-d tree over a fixed reference point set.
+
+    Attributes
+    ----------
+    points:
+        The ``(N, 3)`` reference points the buckets index into.
+    nodes:
+        Flat node list; ``nodes[i].index == i``.  ``root`` is node 0.
+    buckets:
+        One integer index array per bucket, indexing into ``points``.
+        ``nodes[j].bucket_id`` selects the bucket of leaf ``j``.
+    """
+
+    points: np.ndarray
+    nodes: list[KdNode] = field(default_factory=list)
+    buckets: list[np.ndarray] = field(default_factory=list)
+
+    ROOT = 0
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError("tree points must have shape (N, 3)")
+        self._arrays: _NodeArrays | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def leaves(self) -> list[KdNode]:
+        return [n for n in self.nodes if n.is_leaf]
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.nodes if n.is_leaf)
+
+    def depth(self) -> int:
+        """Maximum leaf depth (root alone is depth 0)."""
+        if not self.nodes:
+            raise ValueError("tree has no nodes")
+        return max(n.depth for n in self.nodes if n.is_leaf)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Points per leaf bucket, in leaf order."""
+        return np.array(
+            [len(self.buckets[n.bucket_id]) for n in self.nodes if n.is_leaf],
+            dtype=np.int64,
+        )
+
+    def bucket_points(self, bucket_id: int) -> np.ndarray:
+        """Coordinates of the points in one bucket, shape ``(B, 3)``."""
+        return self.points[self.buckets[bucket_id]]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def descend(self, point: np.ndarray) -> KdNode:
+        """Walk from the root to the leaf whose region contains ``point``."""
+        node = self.nodes[self.ROOT]
+        while not node.is_leaf:
+            child = node.left if point[node.dim] <= node.threshold else node.right
+            node = self.nodes[child]
+        return node
+
+    def descend_path(self, point: np.ndarray) -> list[int]:
+        """Node indices visited from root to leaf (inclusive)."""
+        path = [self.ROOT]
+        node = self.nodes[self.ROOT]
+        while not node.is_leaf:
+            child = node.left if point[node.dim] <= node.threshold else node.right
+            path.append(child)
+            node = self.nodes[child]
+        return path
+
+    def descend_batch(self, points: np.ndarray) -> np.ndarray:
+        """Leaf node index for each of ``(M, 3)`` points, vectorized."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        arrays = self._node_arrays()
+        current = np.zeros(points.shape[0], dtype=np.int64)
+        active = ~arrays.is_leaf[current]
+        while active.any():
+            idx = current[active]
+            dims = arrays.dim[idx]
+            thresholds = arrays.threshold[idx]
+            go_left = points[active, dims] <= thresholds
+            current[active] = np.where(go_left, arrays.left[idx], arrays.right[idx])
+            active = ~arrays.is_leaf[current]
+        return current
+
+    def invalidate_caches(self) -> None:
+        """Must be called after structural edits (incremental update)."""
+        self._arrays = None
+
+    def _node_arrays(self) -> "_NodeArrays":
+        if self._arrays is None:
+            self._arrays = _NodeArrays.from_nodes(self.nodes)
+        return self._arrays
+
+
+@dataclass
+class _NodeArrays:
+    """Structure-of-arrays mirror of the node list, for vectorized descent."""
+
+    dim: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    is_leaf: np.ndarray
+
+    @classmethod
+    def from_nodes(cls, nodes: list[KdNode]) -> "_NodeArrays":
+        n = len(nodes)
+        dim = np.zeros(n, dtype=np.int64)
+        threshold = np.zeros(n, dtype=np.float64)
+        left = np.full(n, NO_NODE, dtype=np.int64)
+        right = np.full(n, NO_NODE, dtype=np.int64)
+        is_leaf = np.zeros(n, dtype=bool)
+        for node in nodes:
+            i = node.index
+            is_leaf[i] = node.is_leaf
+            if not node.is_leaf:
+                dim[i] = node.dim
+                threshold[i] = node.threshold
+                left[i] = node.left
+                right[i] = node.right
+        return cls(dim, threshold, left, right, is_leaf)

@@ -1,0 +1,125 @@
+"""Diagnosing the approximate search's misses.
+
+The single-bucket search loses a neighbor exactly when that neighbor
+sits on the far side of a cell boundary.  This module quantifies that:
+for each query it measures the distance from the query to its leaf
+region's nearest boundary and relates misses to boundary proximity —
+the analysis that explains the shape of the paper's Figure 3 (bigger
+buckets -> boundaries further away -> fewer losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Aabb
+from repro.kdtree.node import KdTree
+from repro.kdtree.search import PAD_INDEX, QueryResult
+
+
+@dataclass(frozen=True)
+class MissDiagnosis:
+    """Aggregate explanation of approximate-search misses."""
+
+    recall: float
+    mean_boundary_distance: float
+    mean_kth_distance: float
+    boundary_limited_fraction: float
+    miss_rate_near_boundary: float
+    miss_rate_far_from_boundary: float
+
+    def summary(self) -> str:
+        return (
+            f"recall {self.recall:.1%}; {self.boundary_limited_fraction:.1%} of "
+            f"queries have their k-th neighbor beyond the cell boundary; "
+            f"miss rate near boundaries {self.miss_rate_near_boundary:.1%} vs "
+            f"{self.miss_rate_far_from_boundary:.1%} away from them"
+        )
+
+
+def leaf_regions(tree: KdTree) -> dict[int, Aabb]:
+    """The half-space region of every leaf node."""
+    regions: dict[int, Aabb] = {}
+
+    def visit(index: int, region: Aabb) -> None:
+        node = tree.nodes[index]
+        if node.is_leaf:
+            regions[index] = region
+            return
+        threshold = min(max(node.threshold, region.lo[node.dim]), region.hi[node.dim])
+        below, above = region.split(node.dim, threshold)
+        visit(node.left, below)
+        visit(node.right, above)
+
+    visit(tree.ROOT, Aabb.infinite())
+    return regions
+
+
+def boundary_distances(tree: KdTree, queries: np.ndarray) -> np.ndarray:
+    """Distance from each query to its own leaf region's nearest face.
+
+    Infinite faces (the space boundary) do not count; a query deep in
+    its cell gets a large value, one at a split plane gets ~0.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    regions = leaf_regions(tree)
+    leaves = tree.descend_batch(queries)
+    out = np.empty(queries.shape[0])
+    for i, leaf in enumerate(leaves):
+        region = regions[int(leaf)]
+        gaps = []
+        for dim in range(3):
+            for face in (region.lo[dim], region.hi[dim]):
+                if np.isfinite(face):
+                    gaps.append(abs(queries[i, dim] - face))
+        out[i] = min(gaps) if gaps else np.inf
+    return out
+
+
+def diagnose_misses(
+    tree: KdTree,
+    queries: np.ndarray,
+    approx: QueryResult,
+    exact: QueryResult,
+) -> MissDiagnosis:
+    """Relate per-query recall to boundary proximity.
+
+    ``approx``/``exact`` must hold the same ``k`` columns for the same
+    queries.  A query is *boundary-limited* when its true k-th neighbor
+    is farther away than its cell boundary — the geometric condition
+    under which the single-bucket search *must* be able to miss.
+    """
+    if approx.n_queries != exact.n_queries or approx.k > exact.k:
+        raise ValueError("approx and exact results must cover the same queries/k")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    k = approx.k
+
+    boundary = boundary_distances(tree, queries)
+    kth = exact.distances[:, k - 1].copy()
+    kth[np.isinf(kth)] = 0.0
+
+    per_query_recall = np.empty(approx.n_queries)
+    for i in range(approx.n_queries):
+        returned = set(int(x) for x in approx.indices[i] if x != PAD_INDEX)
+        truth = [int(x) for x in exact.indices[i, :k] if x != PAD_INDEX]
+        per_query_recall[i] = (
+            sum(1 for t in truth if t in returned) / len(truth) if truth else 1.0
+        )
+
+    limited = kth > boundary
+    missed = per_query_recall < 1.0
+    near = boundary < np.median(boundary)
+
+    def rate(mask: np.ndarray) -> float:
+        return float(missed[mask].mean()) if mask.any() else 0.0
+
+    return MissDiagnosis(
+        recall=float(per_query_recall.mean()),
+        mean_boundary_distance=float(boundary[np.isfinite(boundary)].mean()),
+        mean_kth_distance=float(kth.mean()),
+        boundary_limited_fraction=float(limited.mean()),
+        miss_rate_near_boundary=rate(near),
+        miss_rate_far_from_boundary=rate(~near),
+    )

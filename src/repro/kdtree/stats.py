@@ -1,0 +1,65 @@
+"""Tree balance statistics.
+
+The incremental-update experiment (Figure 10) is entirely about these
+numbers: how far the largest and smallest bucket drift from the mean as
+a tree is reused across frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kdtree.node import KdTree
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary of a tree's shape and bucket-size distribution."""
+
+    n_points: int
+    n_nodes: int
+    n_leaves: int
+    depth: int
+    bucket_min: int
+    bucket_max: int
+    bucket_mean: float
+    bucket_std: float
+    empty_buckets: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean bucket-size ratio; 1.0 is a perfectly even tree."""
+        return self.bucket_max / self.bucket_mean if self.bucket_mean > 0 else np.inf
+
+
+def tree_stats(tree: KdTree) -> TreeStats:
+    """Compute :class:`TreeStats` for a placed tree."""
+    sizes = tree.bucket_sizes()
+    if sizes.size == 0:
+        raise ValueError("tree has no leaves")
+    return TreeStats(
+        n_points=tree.n_points,
+        n_nodes=tree.n_nodes,
+        n_leaves=int(sizes.size),
+        depth=tree.depth(),
+        bucket_min=int(sizes.min()),
+        bucket_max=int(sizes.max()),
+        bucket_mean=float(sizes.mean()),
+        bucket_std=float(sizes.std()),
+        empty_buckets=int((sizes == 0).sum()),
+    )
+
+
+def node_access_probability(depth: int) -> float:
+    """Probability a traversal touches a *given* node at ``depth``.
+
+    With a balanced tree and uniformly routed points this is ``2^-i``
+    at level ``i`` — the observation behind the paper's partial tree
+    replication (Section 4.3): upper levels are contended, lower levels
+    are not.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return 2.0 ** (-depth)

@@ -1,0 +1,137 @@
+"""Structural invariant checks for k-d trees.
+
+Used by the test suite (including the hypothesis property tests) and
+available to users as a debugging aid.  :func:`check_tree` raises
+:class:`TreeInvariantError` describing the first violated invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Aabb
+from repro.kdtree.node import NO_NODE, KdTree
+
+
+class TreeInvariantError(AssertionError):
+    """A k-d tree violated a structural invariant."""
+
+
+def check_tree(tree: KdTree, *, require_all_points: bool = True) -> None:
+    """Verify every structural invariant of a placed tree.
+
+    Checks: node indices and parent/child pointers are consistent; every
+    node is a proper leaf or a proper split; every node is reachable
+    exactly once; every bucket belongs to exactly one leaf; every point
+    appears in exactly one bucket (if ``require_all_points``); and every
+    bucketed point lies inside its leaf's region.
+    """
+    if not tree.nodes:
+        raise TreeInvariantError("tree has no nodes")
+
+    for i, node in enumerate(tree.nodes):
+        if node.index != i:
+            raise TreeInvariantError(f"node at position {i} has index {node.index}")
+        try:
+            node.validate_role()
+        except ValueError as exc:
+            raise TreeInvariantError(str(exc)) from exc
+
+    _check_reachability_and_parents(tree)
+    _check_buckets(tree, require_all_points)
+    _check_regions(tree)
+
+
+def _check_reachability_and_parents(tree: KdTree) -> None:
+    seen = set()
+    stack = [(tree.ROOT, NO_NODE, 0)]
+    while stack:
+        index, parent, depth = stack.pop()
+        if index in seen:
+            raise TreeInvariantError(f"node {index} reachable via two paths")
+        seen.add(index)
+        node = tree.nodes[index]
+        if node.parent != parent:
+            raise TreeInvariantError(
+                f"node {index} has parent {node.parent}, expected {parent}"
+            )
+        if node.depth != depth:
+            raise TreeInvariantError(
+                f"node {index} has depth {node.depth}, expected {depth}"
+            )
+        if not node.is_leaf:
+            stack.append((node.left, index, depth + 1))
+            stack.append((node.right, index, depth + 1))
+    if len(seen) != tree.n_nodes:
+        orphans = set(range(tree.n_nodes)) - seen
+        raise TreeInvariantError(f"unreachable nodes: {sorted(orphans)[:8]}")
+
+
+def _check_buckets(tree: KdTree, require_all_points: bool) -> None:
+    bucket_owners: dict[int, int] = {}
+    for node in tree.nodes:
+        if node.is_leaf:
+            if node.bucket_id in bucket_owners:
+                raise TreeInvariantError(
+                    f"bucket {node.bucket_id} owned by leaves "
+                    f"{bucket_owners[node.bucket_id]} and {node.index}"
+                )
+            if not (0 <= node.bucket_id < len(tree.buckets)):
+                raise TreeInvariantError(
+                    f"leaf {node.index} references missing bucket {node.bucket_id}"
+                )
+            bucket_owners[node.bucket_id] = node.index
+    if len(bucket_owners) != len(tree.buckets):
+        raise TreeInvariantError("some buckets are not attached to any leaf")
+
+    all_members = (
+        np.concatenate([b for b in tree.buckets if b.size])
+        if any(b.size for b in tree.buckets)
+        else np.empty(0, dtype=np.int64)
+    )
+    if all_members.size != np.unique(all_members).size:
+        raise TreeInvariantError("a point index appears in two buckets")
+    if all_members.size and (
+        all_members.min() < 0 or all_members.max() >= tree.n_points
+    ):
+        raise TreeInvariantError("bucket contains an out-of-range point index")
+    if require_all_points and all_members.size != tree.n_points:
+        raise TreeInvariantError(
+            f"buckets hold {all_members.size} points, tree has {tree.n_points}"
+        )
+
+
+def _check_regions(tree: KdTree) -> None:
+    """Every bucketed point must lie in its leaf's half-space region."""
+
+    def visit(index: int, region: Aabb) -> None:
+        node = tree.nodes[index]
+        if node.is_leaf:
+            members = tree.buckets[node.bucket_id]
+            if members.size == 0:
+                return
+            inside = region.contains(tree.points[members])
+            if not inside.all():
+                bad = members[~inside][0]
+                raise TreeInvariantError(
+                    f"point {bad} outside the region of leaf {index}"
+                )
+            return
+        below, above = region.split(node.dim, node.threshold) if _finite_split(
+            region, node.dim, node.threshold
+        ) else _unbounded_split(region, node.dim, node.threshold)
+        visit(node.left, below)
+        visit(node.right, above)
+
+    visit(tree.ROOT, Aabb.infinite())
+
+
+def _finite_split(region: Aabb, dim: int, threshold: float) -> bool:
+    return bool(region.lo[dim] <= threshold <= region.hi[dim])
+
+
+def _unbounded_split(region: Aabb, dim: int, threshold: float) -> tuple[Aabb, Aabb]:
+    # A stale threshold (possible mid-update) may sit outside the region;
+    # clamp so the containment check still applies to the usable side.
+    clamped = min(max(threshold, region.lo[dim]), region.hi[dim])
+    return region.split(dim, clamped)

@@ -1,0 +1,20 @@
+"""Perception layer: the application the paper accelerates kNN *for*.
+
+Section 1 of the paper motivates QuickNN with LiDAR perception —
+detecting obstacles, estimating the motion of moving objects, and
+separating them from the static surroundings, all built on
+nearest-neighbor primitives.  This package closes that loop end to end:
+
+* :mod:`repro.perception.clustering` — Euclidean clustering of
+  non-ground points into object candidates (grid-hashed connected
+  components, the standard segmentation step after ground removal);
+* :mod:`repro.perception.tracker` — a multi-object tracker that
+  associates clusters across frames and estimates per-object velocity
+  from successive positions, the "perceiving the dynamics of moving
+  objects" task of the paper's introduction.
+"""
+
+from repro.perception.clustering import Cluster, euclidean_clusters
+from repro.perception.tracker import MultiObjectTracker, Track
+
+__all__ = ["Cluster", "MultiObjectTracker", "Track", "euclidean_clusters"]

@@ -1,0 +1,142 @@
+"""Multi-object tracking over segmented clusters.
+
+The paper's motivating task: "perceiving the dynamics of moving objects
+in the environment and estimating their relative position."  The
+tracker maintains a set of :class:`Track` objects, associates each new
+frame's clusters to them by nearest predicted centroid, and estimates
+per-object velocity from the smoothed position history — the signal a
+planner consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perception.clustering import Cluster
+
+
+@dataclass
+class Track:
+    """One tracked object."""
+
+    track_id: int
+    positions: list[np.ndarray] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+    last_cluster: Cluster | None = None
+    missed_frames: int = 0
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.positions[-1]
+
+    @property
+    def age(self) -> int:
+        """Number of frames this track has been observed."""
+        return len(self.positions)
+
+    def velocity(self, *, window: int = 3) -> np.ndarray:
+        """Mean velocity over the last ``window`` observations (m/s)."""
+        if len(self.positions) < 2:
+            return np.zeros(3)
+        take = min(window + 1, len(self.positions))
+        pos = np.asarray(self.positions[-take:])
+        t = np.asarray(self.times[-take:])
+        dt = t[-1] - t[0]
+        if dt <= 0:
+            return np.zeros(3)
+        return (pos[-1] - pos[0]) / dt
+
+    def predict(self, time: float) -> np.ndarray:
+        """Constant-velocity position prediction at ``time``."""
+        return self.position + self.velocity() * (time - self.times[-1])
+
+    @property
+    def speed(self) -> float:
+        return float(np.linalg.norm(self.velocity()))
+
+
+class MultiObjectTracker:
+    """Greedy nearest-prediction data association with track management.
+
+    Parameters
+    ----------
+    gate_distance:
+        Maximum distance between a track's predicted position and a
+        cluster centroid for an association to be accepted.
+    max_missed:
+        Tracks unseen for this many consecutive frames are dropped.
+    min_age_confirmed:
+        Frames of observation before a track counts as confirmed
+        (suppresses one-frame noise blobs in :meth:`confirmed_tracks`).
+    """
+
+    def __init__(
+        self,
+        *,
+        gate_distance: float = 3.0,
+        max_missed: int = 2,
+        min_age_confirmed: int = 2,
+    ):
+        if gate_distance <= 0:
+            raise ValueError("gate_distance must be positive")
+        if max_missed < 0:
+            raise ValueError("max_missed must be non-negative")
+        if min_age_confirmed < 1:
+            raise ValueError("min_age_confirmed must be positive")
+        self.gate_distance = gate_distance
+        self.max_missed = max_missed
+        self.min_age_confirmed = min_age_confirmed
+        self.tracks: list[Track] = []
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def update(self, clusters: list[Cluster], time: float) -> list[Track]:
+        """Ingest one frame's clusters; returns the live track list."""
+        unmatched = list(range(len(clusters)))
+        # Greedy association: closest (track, cluster) pairs first.
+        pairs: list[tuple[float, int, int]] = []
+        for ti, track in enumerate(self.tracks):
+            predicted = track.predict(time)
+            for ci in unmatched:
+                gap = float(np.linalg.norm(clusters[ci].centroid - predicted))
+                if gap <= self.gate_distance:
+                    pairs.append((gap, ti, ci))
+        pairs.sort()
+
+        used_tracks: set[int] = set()
+        used_clusters: set[int] = set()
+        for gap, ti, ci in pairs:
+            if ti in used_tracks or ci in used_clusters:
+                continue
+            used_tracks.add(ti)
+            used_clusters.add(ci)
+            track = self.tracks[ti]
+            track.positions.append(clusters[ci].centroid)
+            track.times.append(time)
+            track.last_cluster = clusters[ci]
+            track.missed_frames = 0
+
+        # Unassociated tracks age out; unassociated clusters spawn tracks.
+        for ti, track in enumerate(self.tracks):
+            if ti not in used_tracks:
+                track.missed_frames += 1
+        self.tracks = [t for t in self.tracks if t.missed_frames <= self.max_missed]
+        for ci, cluster in enumerate(clusters):
+            if ci not in used_clusters:
+                track = Track(track_id=next(self._ids))
+                track.positions.append(cluster.centroid)
+                track.times.append(time)
+                track.last_cluster = cluster
+                self.tracks.append(track)
+        return self.tracks
+
+    def confirmed_tracks(self) -> list[Track]:
+        """Tracks observed long enough to be trusted."""
+        return [t for t in self.tracks if t.age >= self.min_age_confirmed]
+
+    def moving_tracks(self, *, min_speed: float = 1.0) -> list[Track]:
+        """Confirmed tracks moving faster than ``min_speed`` m/s."""
+        return [t for t in self.confirmed_tracks() if t.speed >= min_speed]

@@ -1,0 +1,26 @@
+"""Transaction-level hardware simulation substrate.
+
+The paper evaluates RTL co-simulated with a custom SystemVerilog DDR4
+model; this package is the Python equivalent: a DDR4 bank/row-buffer
+timing model (:class:`DramModel`) with per-stream traffic accounting
+(:class:`StreamStats`), plus the address-space allocator the
+architecture models use to lay out frames, buckets, and result buffers
+in the simulated DRAM.
+
+Cycle units everywhere are *core clock cycles* of the accelerator
+(100 MHz, 10 ns, as in the FPGA prototype), so latency-in-cycles maps
+to wall time by a factor of 10 ns.
+"""
+
+from repro.sim.address import AddressAllocator, Region
+from repro.sim.dram import DramModel, DramStats, DramTimingParams, StreamStats, TraceEntry
+
+__all__ = [
+    "AddressAllocator",
+    "DramModel",
+    "DramStats",
+    "DramTimingParams",
+    "Region",
+    "StreamStats",
+    "TraceEntry",
+]

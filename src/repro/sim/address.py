@@ -1,0 +1,63 @@
+"""Simulated DRAM address-space layout.
+
+The architecture models place frames, bucket blocks, and result buffers
+at real byte addresses so the DRAM timing model sees the same locality
+the hardware would.  :class:`AddressAllocator` is a bump allocator
+handing out aligned regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous span of simulated DRAM."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self):
+        if self.base < 0 or self.size < 0:
+            raise ValueError("region base and size must be non-negative")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def addr(self, offset: int) -> int:
+        """Byte address at ``offset`` into the region (bounds checked)."""
+        if not (0 <= offset < self.size or (self.size == 0 and offset == 0)):
+            raise ValueError(
+                f"offset {offset} outside region '{self.name}' of size {self.size}"
+            )
+        return self.base + offset
+
+
+class AddressAllocator:
+    """Bump allocator over the simulated DRAM address space."""
+
+    def __init__(self, *, alignment: int = 64):
+        if alignment < 1:
+            raise ValueError("alignment must be positive")
+        self.alignment = alignment
+        self._cursor = 0
+        self.regions: dict[str, Region] = {}
+
+    def allocate(self, name: str, size: int) -> Region:
+        """Reserve ``size`` bytes under a unique name."""
+        if name in self.regions:
+            raise ValueError(f"region '{name}' already allocated")
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        base = -(-self._cursor // self.alignment) * self.alignment
+        region = Region(name=name, base=base, size=size)
+        self._cursor = region.end
+        self.regions[name] = region
+        return region
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor

@@ -1,0 +1,10 @@
+"""Terminal visualization helpers (no plotting dependencies).
+
+ASCII renderings for quick inspection of clouds and results in a
+matplotlib-free environment: a bird's-eye-view density map and a
+sparkline for one-line trend displays in the harness output.
+"""
+
+from repro.viz.ascii import bev_view, sparkline
+
+__all__ = ["bev_view", "sparkline"]

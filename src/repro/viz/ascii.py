@@ -1,0 +1,67 @@
+"""ASCII renderings of point clouds and series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+#: Density ramp from empty to saturated.
+_RAMP = " .:-=+*#%@"
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def bev_view(
+    cloud: PointCloud,
+    *,
+    width: int = 72,
+    height: int = 28,
+    extent: float | None = None,
+) -> str:
+    """Bird's-eye-view density map of a cloud, centered on the origin.
+
+    Each character cell shows the (log-scaled) point count of its x-y
+    column; the sensor sits at the center, x points right, y points up.
+    ``extent`` is the half-width in meters (auto-fitted by default).
+    """
+    if width < 2 or height < 2:
+        raise ValueError("view must be at least 2 x 2 characters")
+    if len(cloud) == 0:
+        return "\n".join(" " * width for _ in range(height))
+    xy = cloud.xyz[:, :2]
+    if extent is None:
+        extent = float(np.percentile(np.abs(xy), 99)) or 1.0
+    # Map x in [-extent, extent] to columns, y likewise to rows (top=+y).
+    cols = ((xy[:, 0] + extent) / (2 * extent) * (width - 1)).round().astype(int)
+    rows = ((extent - xy[:, 1]) / (2 * extent) * (height - 1)).round().astype(int)
+    inside = (cols >= 0) & (cols < width) & (rows >= 0) & (rows < height)
+    grid = np.zeros((height, width), dtype=np.int64)
+    np.add.at(grid, (rows[inside], cols[inside]), 1)
+
+    peak = grid.max()
+    if peak == 0:
+        return "\n".join(" " * width for _ in range(height))
+    levels = np.zeros_like(grid)
+    occupied = grid > 0
+    levels[occupied] = (
+        1 + (np.log1p(grid[occupied]) / np.log1p(peak) * (len(_RAMP) - 2))
+    ).astype(np.int64)
+    levels = np.clip(levels, 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in levels)
+
+
+def sparkline(values, *, lo: float | None = None, hi: float | None = None) -> str:
+    """One-line block-character trend of a numeric sequence."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return ""
+    lo = float(data.min()) if lo is None else lo
+    hi = float(data.max()) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[0] * data.size
+    normalized = (data - lo) / (hi - lo)
+    indices = np.clip((normalized * (len(_BLOCKS) - 1)).round().astype(int),
+                      0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[i] for i in indices)

@@ -1,0 +1,76 @@
+"""Unit tests for the accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import knn_recall, top1_containment
+from repro.kdtree.search import PAD_INDEX, QueryResult
+
+
+def result(indices):
+    idx = np.asarray(indices, dtype=np.int64)
+    dst = np.where(idx == PAD_INDEX, np.inf, np.arange(idx.shape[1], dtype=float))
+    dst = np.broadcast_to(dst, idx.shape).copy()
+    return QueryResult(indices=idx, distances=dst)
+
+
+class TestRecall:
+    def test_perfect(self):
+        exact = result([[1, 2, 3]])
+        assert knn_recall(exact, exact, 3) == 1.0
+
+    def test_partial(self):
+        approx = result([[1, 9, 8]])
+        exact = result([[1, 2, 3]])
+        assert knn_recall(approx, exact, 3) == pytest.approx(1 / 3)
+
+    def test_x_relaxes_rank(self):
+        # Approx returns items ranked 3 and 4 in the exact ordering.
+        approx = result([[30, 40]])
+        exact = result([[10, 20, 30, 40]])
+        assert knn_recall(approx, exact, 2, x=0) == 0.0
+        assert knn_recall(approx, exact, 2, x=1) == pytest.approx(0.5)
+        assert knn_recall(approx, exact, 2, x=2) == 1.0
+
+    def test_monotone_in_x(self):
+        approx = result([[5, 6, 7]])
+        exact = result([[5, 9, 6, 8, 7, 1]])
+        values = [knn_recall(approx, exact, 3, x=x) for x in range(4)]
+        assert values == sorted(values)
+
+    def test_padding_never_counts(self):
+        approx = result([[1, PAD_INDEX, PAD_INDEX]])
+        exact = result([[1, 2, 3]])
+        assert knn_recall(approx, exact, 3) == pytest.approx(1 / 3)
+
+    def test_averages_over_queries(self):
+        approx = result([[1, 2], [9, 9]])
+        exact = result([[1, 2], [1, 2]])
+        assert knn_recall(approx, exact, 2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        approx = result([[1, 2]])
+        exact = result([[1, 2, 3]])
+        with pytest.raises(ValueError):
+            knn_recall(approx, exact, 0)
+        with pytest.raises(ValueError):
+            knn_recall(approx, exact, 2, x=5)
+        with pytest.raises(ValueError):
+            knn_recall(approx, result([[1, 2], [3, 4]]), 1)
+
+
+class TestTop1:
+    def test_contained_anywhere(self):
+        approx = result([[9, 9, 1]])
+        exact = result([[1, 2, 3]])
+        assert top1_containment(approx, exact) == 1.0
+
+    def test_missing(self):
+        approx = result([[9, 8, 7]])
+        exact = result([[1, 2, 3]])
+        assert top1_containment(approx, exact) == 0.0
+
+    def test_fractional(self):
+        approx = result([[1, 5], [6, 7]])
+        exact = result([[1, 2], [1, 2]])
+        assert top1_containment(approx, exact) == pytest.approx(0.5)

@@ -1,0 +1,51 @@
+"""Unit tests for the CPU/GPU platform cost models."""
+
+import pytest
+
+from repro.analysis.platforms import CPU_MODEL, GPU_MODEL, PlatformModel
+
+
+class TestCalibration:
+    def test_cpu_latency_at_operating_point(self):
+        """FLANN on an i7-7700k: ~130 ms for the 30k successive-frame search."""
+        latency = CPU_MODEL.latency_seconds(30_000, 8)
+        assert 0.08 <= latency <= 0.20
+
+    def test_gpu_over_cpu_ratio(self):
+        """Paper Table 6: GPU k-d is 2.62x faster than CPU at 30k."""
+        ratio = CPU_MODEL.latency_seconds(30_000) / GPU_MODEL.latency_seconds(30_000)
+        assert 2.0 <= ratio <= 3.5
+
+    def test_gpu_perf_per_watt_ratio(self):
+        """Paper Table 6: GPU perf/W is ~3.55x the CPU's."""
+        ratio = GPU_MODEL.perf_per_watt(30_000) / CPU_MODEL.perf_per_watt(30_000)
+        assert 2.5 <= ratio <= 5.0
+
+    def test_gpu_advantage_shrinks_at_small_frames(self):
+        """Launch overhead dominates small frames (the paper's Fig 17 shape)."""
+        small = CPU_MODEL.latency_seconds(5_000) / GPU_MODEL.latency_seconds(5_000)
+        big = CPU_MODEL.latency_seconds(30_000) / GPU_MODEL.latency_seconds(30_000)
+        assert small < big
+
+
+class TestModelShape:
+    def test_latency_superlinear_in_n(self):
+        ratio = CPU_MODEL.latency_seconds(40_000) / CPU_MODEL.latency_seconds(10_000)
+        assert ratio > 4.0  # N log N build + N queries
+
+    def test_fps_inverse_of_latency(self):
+        assert CPU_MODEL.fps(10_000) == pytest.approx(1.0 / CPU_MODEL.latency_seconds(10_000))
+
+    def test_k_increases_latency(self):
+        assert CPU_MODEL.latency_seconds(10_000, k=16) > CPU_MODEL.latency_seconds(10_000, k=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPU_MODEL.latency_seconds(0)
+        with pytest.raises(ValueError):
+            CPU_MODEL.latency_seconds(100, k=0)
+        with pytest.raises(ValueError):
+            PlatformModel(
+                name="bad", power_watts=0.0, build_coef=0, query_traverse_coef=0,
+                query_scan_coef=0, query_fixed=0, launch_overhead=0,
+            )

@@ -1,0 +1,66 @@
+"""Unit tests for the FPGA resource/power model."""
+
+import pytest
+
+from repro.analysis.resources import (
+    LINEAR_RESOURCE_MODEL,
+    QUICKNN_RESOURCE_MODEL,
+    ResourceModel,
+    quicknn_cache_bytes,
+)
+
+
+class TestPaperAnchors:
+    def test_linear_64fu_matches_table2(self):
+        est = LINEAR_RESOURCE_MODEL.estimate(64)
+        assert est.luts == pytest.approx(45_458, rel=0.02)
+        assert est.registers == pytest.approx(40_024, rel=0.02)
+        assert est.dsps == 512
+        assert est.power_watts == pytest.approx(4.44, rel=0.05)
+
+    def test_quicknn_64fu_matches_table3(self):
+        est = QUICKNN_RESOURCE_MODEL.estimate(64, cache_bytes=quicknn_cache_bytes(64))
+        assert est.luts == pytest.approx(90_754, rel=0.05)
+        assert est.registers == pytest.approx(79_002, rel=0.05)
+        assert est.dsps == 512
+        assert est.power_watts == pytest.approx(4.73, rel=0.05)
+
+
+class TestScaling:
+    def test_cache_grows_with_fus(self):
+        assert quicknn_cache_bytes(128) > quicknn_cache_bytes(16)
+
+    def test_read_gather_dominates_growth(self):
+        """TSearch cache is 33-243 kB for 16-128 FUs in the paper."""
+        small = quicknn_cache_bytes(16)
+        large = quicknn_cache_bytes(128)
+        assert 40_000 <= small <= 120_000
+        assert large >= 3 * small
+
+    def test_area_monotone_in_fus(self):
+        areas = [
+            QUICKNN_RESOURCE_MODEL.estimate(f, cache_bytes=quicknn_cache_bytes(f)).area
+            for f in (16, 32, 64, 128)
+        ]
+        assert areas == sorted(areas)
+
+    def test_power_monotone_in_fus(self):
+        powers = [
+            QUICKNN_RESOURCE_MODEL.estimate(f, cache_bytes=quicknn_cache_bytes(f)).power_watts
+            for f in (16, 32, 64, 128)
+        ]
+        assert powers == sorted(powers)
+
+    def test_cache_luts_packing(self):
+        model = QUICKNN_RESOURCE_MODEL
+        assert model.cache_luts(64) == 8  # 64 B = 512 bits / 64 bits-per-LUT
+
+
+class TestValidation:
+    def test_rejects_bad_fus(self):
+        with pytest.raises(ValueError):
+            LINEAR_RESOURCE_MODEL.estimate(0)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ValueError):
+            QUICKNN_RESOURCE_MODEL.estimate(16, cache_bytes=-1)

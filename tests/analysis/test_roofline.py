@@ -1,0 +1,62 @@
+"""Unit tests for the roofline / bound analysis."""
+
+import pytest
+
+from repro.analysis import analyze_bound, arithmetic_intensity
+from repro.arch import LinearArch, LinearArchConfig, QuickNN, QuickNNConfig
+from repro.sim import DramTimingParams
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(4_000, seed=11)
+
+
+class TestAnalyzeBound:
+    def test_quicknn_on_ddr4_is_memory_bound(self, frames):
+        ref, qry = frames
+        _, report = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+        analysis = analyze_bound(report)
+        assert analysis.bound == "memory"
+        assert analysis.memory_busy_fraction > analysis.compute_busy_fraction
+        assert analysis.speedup_if_memory_free > 1.0
+
+    def test_hbm_shifts_the_bound(self, frames):
+        """Section 7.2's prediction, quantified."""
+        ref, qry = frames
+        _, ddr4 = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+        _, hbm = QuickNN(
+            QuickNNConfig(n_fus=64, dram=DramTimingParams.hbm2())
+        ).run(ref, qry, 8)
+        assert analyze_bound(hbm).memory_busy_fraction < analyze_bound(
+            ddr4
+        ).memory_busy_fraction
+
+    def test_linear_arch_is_memory_bound(self):
+        report = LinearArch(LinearArchConfig(n_fus=64)).simulate(4_000, 4_000, 8)
+        analysis = analyze_bound(report)
+        assert analysis.bound == "memory"
+        assert analysis.memory_busy_fraction > 0.9
+
+    def test_summary_mentions_bound(self, frames):
+        ref, qry = frames
+        _, report = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        text = analyze_bound(report).summary()
+        assert "bound" in text
+
+
+class TestArithmeticIntensity:
+    def test_positive_for_real_runs(self, frames):
+        ref, qry = frames
+        _, report = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        intensity = arithmetic_intensity(report)
+        assert 0.0 < intensity < 10.0
+
+    def test_more_fus_do_not_raise_intensity(self, frames):
+        """FU count shrinks compute time but leaves bytes unchanged."""
+        ref, qry = frames
+        _, small = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        _, large = QuickNN(QuickNNConfig(n_fus=128)).run(ref, qry, 8)
+        assert arithmetic_intensity(large) <= arithmetic_intensity(small) * 1.05

@@ -1,0 +1,94 @@
+"""Unit tests for trajectory metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    absolute_trajectory_error,
+    evaluate_trajectory,
+    relative_pose_errors,
+)
+from repro.geometry import RigidTransform
+
+
+def straight_line(n, step=1.0, yaw_rate=0.0):
+    poses = [RigidTransform.identity()]
+    for _ in range(n - 1):
+        inc = RigidTransform.from_yaw(yaw_rate, translation=(step, 0.0, 0.0))
+        poses.append(poses[-1].compose(inc))
+    return poses
+
+
+class TestAte:
+    def test_identical_trajectories_zero(self):
+        traj = straight_line(5)
+        errors = absolute_trajectory_error(traj, traj)
+        assert np.allclose(errors, 0.0)
+
+    def test_constant_offset(self):
+        truth = straight_line(4)
+        shifted = [
+            RigidTransform(p.rotation, p.translation + [0.0, 2.0, 0.0])
+            for p in truth
+        ]
+        errors = absolute_trajectory_error(shifted, truth)
+        assert np.allclose(errors, 2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths"):
+            absolute_trajectory_error(straight_line(3), straight_line(4))
+
+
+class TestRpe:
+    def test_identical_zero(self):
+        traj = straight_line(6, yaw_rate=0.05)
+        t, r = relative_pose_errors(traj, traj)
+        assert np.allclose(t, 0.0) and np.allclose(r, 0.0)
+
+    def test_catches_one_bad_step(self):
+        truth = straight_line(5)
+        bad = list(truth)
+        # Corrupt step 2 -> 3 by an extra 0.5 m.
+        for i in range(3, 5):
+            bad[i] = RigidTransform(
+                bad[i].rotation, bad[i].translation + [0.5, 0.0, 0.0]
+            )
+        t, r = relative_pose_errors(bad, truth)
+        assert t[2] == pytest.approx(0.5)
+        assert t[0] == pytest.approx(0.0) and t[3] == pytest.approx(0.0)
+
+    def test_single_pose_empty(self):
+        t, r = relative_pose_errors(straight_line(1), straight_line(1))
+        assert t.size == 0 and r.size == 0
+
+
+class TestEvaluate:
+    def test_rebase_handles_offset_truth(self):
+        # Truth trajectory starts away from the origin; the estimate is
+        # anchored at identity (as a tracker's output is).
+        offset = RigidTransform.from_translation([100.0, 50.0, 0.0])
+        truth = [offset.compose(p) for p in straight_line(5)]
+        estimate = straight_line(5)
+        result = evaluate_trajectory(estimate, truth, rebase=True)
+        assert result.ate_rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_summary_readable(self):
+        result = evaluate_trajectory(straight_line(3), straight_line(3))
+        assert "ATE" in result.summary() and "RPE" in result.summary()
+
+    def test_end_to_end_with_tracker(self):
+        """The ICP tracker's drift, quantified with standard metrics."""
+        from repro.datasets import DriveConfig, generate_drive
+        from repro.icp import FrameTracker, IcpConfig
+
+        config = DriveConfig(
+            n_frames=4, target_points=4_000, ego_speed=3.0, ego_yaw_rate=0.1
+        )
+        frames = list(generate_drive(config, seed=2))
+        tracker = FrameTracker(IcpConfig(knn="approx", trim_fraction=0.3))
+        state = tracker.track(f.sensor_cloud() for f in frames)
+        result = evaluate_trajectory(
+            state.poses, [f.ego_pose for f in frames], rebase=True
+        )
+        assert result.ate_rmse < 0.3
+        assert result.rpe_translation_rmse < 0.2

@@ -1,0 +1,89 @@
+"""Property-based tests of the architecture building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import FunctionalUnit, MergeSorter, MergeSorterConfig
+from repro.arch.bucket_store import LINK_BYTES, BucketBlockStore
+from repro.arch.params import POINT_BYTES
+from repro.sim import AddressAllocator
+
+common = settings(max_examples=40, deadline=None)
+
+
+class TestFuProperties:
+    @common
+    @given(
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 60),
+        k=st.integers(1, 10),
+    )
+    def test_fu_matches_numpy_topk(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        query = rng.normal(size=3)
+        points = rng.normal(size=(n, 3))
+        fu = FunctionalUnit(query, k)
+        fu.process_batch(np.arange(n), points)
+        idx, dst = fu.results()
+
+        dists = np.linalg.norm(points - query, axis=1)
+        order = np.argsort(dists, kind="stable")[:k]
+        take = min(k, n)
+        assert np.allclose(dst[:take], dists[order][:take])
+        # Indices may differ under exact distance ties; distances decide.
+        assert np.allclose(dists[idx[:take]], dists[order][:take])
+
+
+class TestSorterProperties:
+    @common
+    @given(n=st.integers(0, 100_000), n_way=st.integers(2, 16))
+    def test_cycles_scale_with_rounds(self, n, n_way):
+        sorter = MergeSorter(MergeSorterConfig(n_way=n_way))
+        cycles = sorter.sort_cycles(n)
+        rounds = sorter.rounds(n)
+        assert cycles == rounds * (n + sorter.config.round_setup_cycles)
+        if n > 1:
+            assert n_way**rounds >= n > n_way ** (rounds - 1) or rounds == 1
+
+    @common
+    @given(n=st.integers(2, 50_000))
+    def test_wider_merge_never_slower(self, n):
+        narrow = MergeSorter(MergeSorterConfig(n_way=2)).sort_cycles(n)
+        wide = MergeSorter(MergeSorterConfig(n_way=8)).sort_cycles(n)
+        assert wide <= narrow
+
+
+class TestBucketStoreProperties:
+    @common
+    @given(
+        appends=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(1, 40)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_spans_conserve_points_and_never_overlap(self, appends):
+        store = BucketBlockStore(
+            AddressAllocator(), n_buckets=8, block_points=16, pool_blocks=4096
+        )
+        all_spans = []
+        per_bucket = {b: 0 for b in range(8)}
+        for bucket, count in appends:
+            spans = store.append(bucket, count)
+            all_spans.extend(spans)
+            per_bucket[bucket] += count
+            written = sum(s.nbytes for s in spans)
+            assert written == count * POINT_BYTES
+
+        for bucket, total in per_bucket.items():
+            assert store.bucket_fill(bucket) == total
+            read = store.read_spans(bucket)
+            readable = sum(s.nbytes - LINK_BYTES for s in read)
+            assert readable == total * POINT_BYTES
+
+        # Write spans never overlap one another.
+        ordered = sorted(all_spans, key=lambda s: s.addr)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.addr + a.nbytes <= b.addr

@@ -1,0 +1,99 @@
+"""Unit tests for the bucket-block DRAM store."""
+
+import pytest
+
+from repro.arch import BucketBlockStore
+from repro.arch.bucket_store import LINK_BYTES
+from repro.arch.params import POINT_BYTES
+from repro.sim import AddressAllocator
+
+
+def make_store(n_buckets=4, block_points=8, pool_blocks=None):
+    return BucketBlockStore(
+        AddressAllocator(),
+        n_buckets=n_buckets,
+        block_points=block_points,
+        pool_blocks=pool_blocks,
+    )
+
+
+class TestAppend:
+    def test_single_span_within_block(self):
+        store = make_store()
+        spans = store.append(0, 3)
+        assert len(spans) == 1
+        assert spans[0].nbytes == 3 * POINT_BYTES
+        assert store.bucket_fill(0) == 3
+
+    def test_spans_are_contiguous_within_block(self):
+        store = make_store()
+        first = store.append(1, 2)[0]
+        second = store.append(1, 2)[0]
+        assert second.addr == first.addr + first.nbytes
+
+    def test_overflow_links_new_block(self):
+        store = make_store(block_points=4)
+        spans = store.append(0, 6)
+        assert len(spans) == 2
+        assert store.chain_length(0) == 2
+        assert spans[0].nbytes == 4 * POINT_BYTES
+        assert spans[1].nbytes == 2 * POINT_BYTES
+
+    def test_buckets_do_not_overlap(self):
+        store = make_store(n_buckets=3, block_points=4)
+        a = store.append(0, 4)[0]
+        b = store.append(1, 4)[0]
+        assert a.addr + a.nbytes <= b.addr or b.addr + b.nbytes <= a.addr
+
+    def test_pool_exhaustion(self):
+        store = make_store(n_buckets=2, block_points=2, pool_blocks=2)
+        store.append(0, 2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            store.append(0, 1)
+
+    def test_rejects_bad_args(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.append(99, 1)
+        with pytest.raises(ValueError):
+            store.append(0, 0)
+
+
+class TestReadSpans:
+    def test_read_covers_fill(self):
+        store = make_store(block_points=4)
+        store.append(2, 3)
+        spans = store.read_spans(2)
+        assert len(spans) == 1
+        assert spans[0].nbytes == LINK_BYTES + 3 * POINT_BYTES
+
+    def test_read_chained_bucket(self):
+        store = make_store(block_points=4)
+        store.append(0, 10)
+        spans = store.read_spans(0)
+        assert len(spans) == 3
+        total_points = sum((s.nbytes - LINK_BYTES) // POINT_BYTES for s in spans)
+        assert total_points == 10
+
+    def test_empty_bucket_reads_header_only(self):
+        store = make_store()
+        spans = store.read_spans(0)
+        assert len(spans) == 1
+        assert spans[0].nbytes == LINK_BYTES
+
+    def test_blocks_used_accounting(self):
+        store = make_store(n_buckets=2, block_points=2)
+        assert store.blocks_used == 2
+        store.append(0, 5)
+        assert store.blocks_used == 4
+
+
+class TestValidation:
+    def test_rejects_bad_geometry(self):
+        alloc = AddressAllocator()
+        with pytest.raises(ValueError):
+            BucketBlockStore(alloc, n_buckets=0, block_points=4)
+        with pytest.raises(ValueError):
+            BucketBlockStore(AddressAllocator(), n_buckets=2, block_points=0)
+        with pytest.raises(ValueError):
+            BucketBlockStore(AddressAllocator(), n_buckets=4, block_points=2, pool_blocks=2)

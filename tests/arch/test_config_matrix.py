@@ -1,0 +1,82 @@
+"""Configuration-matrix robustness: QuickNN invariants across the design space.
+
+A sweep over the architecture's knobs asserting the invariants that must
+hold for *every* configuration: functional correctness, traffic
+conservation, and report consistency.  This is the failure-injection
+net that catches config-dependent bugs in the cycle model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig
+from repro.arch.params import POINT_BYTES, RESULT_BYTES
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+from repro.sim import DramTimingParams
+
+CONFIG_MATRIX = [
+    QuickNNConfig(n_fus=1),
+    QuickNNConfig(n_fus=8, tree=KdTreeConfig(bucket_capacity=32)),
+    QuickNNConfig(n_fus=64, write_gather_capacity=1),
+    QuickNNConfig(n_fus=64, write_gather_slots=2),
+    QuickNNConfig(n_fus=16, read_gather_slots=2, read_gather_capacity=2),
+    QuickNNConfig(n_fus=32, enable_snooping=False),
+    QuickNNConfig(n_fus=32, tree_strategy="incremental"),
+    QuickNNConfig(n_fus=32, scheduler="event"),
+    QuickNNConfig(n_fus=32, dram=DramTimingParams.hbm2()),
+    QuickNNConfig(n_fus=32, n_traversal_workers=1),
+    QuickNNConfig(n_fus=32, bucket_kickoff_cycles=0),
+    QuickNNConfig(n_fus=128, tree=KdTreeConfig(bucket_capacity=512)),
+]
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(2_500, seed=21)
+
+
+@pytest.mark.parametrize("config", CONFIG_MATRIX, ids=lambda c: (
+    f"fus{c.n_fus}-wg{c.write_gather_slots}x{c.write_gather_capacity}"
+    f"-rg{c.read_gather_slots}-{c.tree_strategy[:4]}-{c.scheduler[:4]}"
+    f"{'-nosnoop' if not c.enable_snooping else ''}"
+))
+class TestConfigMatrix:
+    def test_invariants(self, config, frames):
+        ref, qry = frames
+        k = 4
+        result, report = QuickNN(config).run(ref, qry, k)
+
+        # Functional: every query gets k results (buckets >= k points
+        # here), all indices in range, distances sorted.
+        assert result.indices.shape == (len(qry), k)
+        valid = result.indices >= 0
+        assert valid.mean() > 0.95
+        assert (result.indices[valid] < len(ref)).all()
+        finite = ~np.isinf(result.distances)
+        rows_ok = np.diff(np.where(finite, result.distances, np.inf), axis=1)
+        assert (rows_ok >= -1e12).all()
+
+        # Correctness: results match the software search over the same
+        # (deterministically built) reference tree — except for the
+        # incremental strategy, which still searches the ref tree.
+        tree, _ = build_tree(ref, config.tree, rng=np.random.default_rng(0))
+        expected = knn_approx(tree, qry, k)
+        assert np.array_equal(result.indices, expected.indices)
+
+        # Traffic conservation: Wr1 covers the frame exactly once; Wr2
+        # covers every result record exactly once; Rd1 reads the frame.
+        assert report.dram.stream("Wr1").bytes == len(qry) * POINT_BYTES
+        assert report.dram.stream("Wr2").bytes == len(qry) * k * RESULT_BYTES
+        assert report.dram.stream("Rd1").bytes == len(qry) * POINT_BYTES
+        if config.enable_snooping:
+            assert "Rd2" not in report.dram.streams
+        else:
+            assert report.dram.stream("Rd2").bytes == len(qry) * POINT_BYTES
+
+        # Report consistency.
+        assert report.total_cycles == sum(report.phase_cycles.values())
+        assert report.fps > 0
+        assert 0.0 < report.bandwidth_utilization <= 1.0
+        assert report.notes["bucket_reads"] >= 1

@@ -1,0 +1,56 @@
+"""Unit tests for the exact-search k-d accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ExactKdArch, QuickNN, QuickNNConfig
+from repro.baselines import knn_bruteforce
+from repro.kdtree import KdTreeConfig
+
+
+@pytest.fixture(scope="module")
+def run():
+    from repro.datasets import lidar_frame_pair
+
+    ref, qry = lidar_frame_pair(3_000, seed=13)
+    config = QuickNNConfig(n_fus=16, tree=KdTreeConfig(bucket_capacity=64))
+    result, report = ExactKdArch(config).run(ref, qry, 4)
+    return ref, qry, result, report
+
+
+class TestExactness:
+    def test_results_are_exact(self, run):
+        ref, qry, result, _ = run
+        truth = knn_bruteforce(ref, qry, 4)
+        assert np.allclose(result.distances, truth.distances, atol=1e-9)
+
+    def test_visit_counts_reported(self, run):
+        _, _, _, report = run
+        assert report.notes["mean_buckets_visited"] >= 1.0
+        assert report.notes["max_buckets_visited"] >= report.notes["mean_buckets_visited"]
+
+
+class TestCost:
+    def test_slower_than_approximate_quicknn(self, run):
+        ref, qry, _, exact_report = run
+        config = QuickNNConfig(n_fus=16, tree=KdTreeConfig(bucket_capacity=64))
+        _, approx_report = QuickNN(config).run(ref, qry, 4)
+        assert exact_report.total_cycles > approx_report.total_cycles
+        assert exact_report.memory_words > approx_report.memory_words
+
+    def test_traffic_scales_with_visits(self, run):
+        _, _, _, report = run
+        mean_visits = report.notes["mean_buckets_visited"]
+        rd3 = report.dram.stream("Rd3").bytes
+        n_qry = report.n_query
+        # Rd3 should be roughly visits * bucket bytes worth of reads,
+        # amortized by the gather capacity.
+        assert rd3 > 0
+        assert rd3 < mean_visits * n_qry * 64 * 12  # loose upper bound
+
+    def test_validation(self, run):
+        ref, qry, _, _ = run
+        with pytest.raises(ValueError):
+            ExactKdArch().run(ref, qry, 0)
+        with pytest.raises(ValueError):
+            ExactKdArch().run(np.empty((0, 3)), qry.xyz, 1)

@@ -1,0 +1,52 @@
+"""Tests for QuickNN's fixed-point datapath model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig
+from repro.analysis.accuracy import knn_recall
+from repro.baselines import knn_bruteforce
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(3_000, seed=9)
+
+
+class TestFixedPointMode:
+    def test_quantization_barely_moves_accuracy(self, frames):
+        """Q24.8 resolution (~4 mm) is far below LiDAR noise (~2 cm)."""
+        ref, qry = frames
+        exact = knn_bruteforce(ref, qry, 8)
+        float_result, _ = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        fixed_result, _ = QuickNN(
+            QuickNNConfig(n_fus=16, model_fixed_point=True)
+        ).run(ref, qry, 8)
+        float_recall = knn_recall(float_result, exact, 8)
+        fixed_recall = knn_recall(fixed_result, exact, 8)
+        assert abs(float_recall - fixed_recall) < 0.02
+
+    def test_most_results_unchanged(self, frames):
+        ref, qry = frames
+        float_result, _ = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        fixed_result, _ = QuickNN(
+            QuickNNConfig(n_fus=16, model_fixed_point=True)
+        ).run(ref, qry, 8)
+        agreement = (float_result.indices == fixed_result.indices).mean()
+        assert agreement > 0.9
+
+    def test_performance_model_unaffected(self, frames):
+        """Fixed point changes values, not traffic: same cycle count."""
+        ref, qry = frames
+        _, float_report = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)
+        _, fixed_report = QuickNN(
+            QuickNNConfig(n_fus=16, model_fixed_point=True)
+        ).run(ref, qry, 8)
+        # Quantization can push a few points across bucket thresholds,
+        # nudging traffic and cycles by a fraction of a percent.
+        assert fixed_report.dram.bytes == pytest.approx(float_report.dram.bytes, rel=0.01)
+        assert fixed_report.total_cycles == pytest.approx(
+            float_report.total_cycles, rel=0.01
+        )

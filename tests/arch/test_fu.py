@@ -1,0 +1,72 @@
+"""Unit tests for the Functional Unit model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import FU_PIPELINE_DEPTH, FunctionalUnit, fu_batch_cycles
+from repro.baselines import knn_bruteforce
+from repro.datasets.synthetic import uniform_cloud
+
+
+class TestFunctionalUnit:
+    def test_matches_bruteforce(self, rng):
+        ref = uniform_cloud(200, rng=rng)
+        query = ref.xyz[17]
+        fu = FunctionalUnit(query, k=5)
+        fu.process_batch(np.arange(200), ref.xyz)
+        idx, dst = fu.results()
+        expected = knn_bruteforce(ref, query, 5)
+        assert np.array_equal(idx, expected.indices[0])
+        assert np.allclose(dst, expected.distances[0], atol=1e-9)
+
+    def test_running_list_stays_sorted(self, rng):
+        fu = FunctionalUnit(np.zeros(3), k=4)
+        pts = rng.normal(size=(50, 3))
+        for i, p in enumerate(pts):
+            fu.process(i, p)
+            _, dst = fu.results()
+            finite = dst[~np.isinf(dst)]
+            assert (np.diff(finite) >= 0).all()
+
+    def test_fewer_candidates_than_k_pads(self):
+        fu = FunctionalUnit(np.zeros(3), k=5)
+        fu.process(0, np.array([1.0, 0.0, 0.0]))
+        idx, dst = fu.results()
+        assert idx[0] == 0 and (idx[1:] == -1).all()
+        assert np.isinf(dst[1:]).all()
+
+    def test_far_candidate_rejected_quickly(self):
+        fu = FunctionalUnit(np.zeros(3), k=1)
+        fu.process(0, np.array([1.0, 0.0, 0.0]))
+        fu.process(1, np.array([50.0, 0.0, 0.0]))
+        idx, _ = fu.results()
+        assert idx[0] == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FunctionalUnit(np.zeros(2), k=1)
+        with pytest.raises(ValueError):
+            FunctionalUnit(np.zeros(3), k=0)
+
+
+class TestCycleModel:
+    def test_single_pass(self):
+        assert fu_batch_cycles(64, 1000, 64) == 1000 + FU_PIPELINE_DEPTH
+
+    def test_multi_pass(self):
+        assert fu_batch_cycles(65, 1000, 64) == 2 * (1000 + FU_PIPELINE_DEPTH)
+
+    def test_zero_work_free(self):
+        assert fu_batch_cycles(0, 100, 8) == 0
+        assert fu_batch_cycles(100, 0, 8) == 0
+
+    def test_scales_inverse_with_fus(self):
+        wide = fu_batch_cycles(256, 500, 128)
+        narrow = fu_batch_cycles(256, 500, 16)
+        assert narrow == 8 * wide
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fu_batch_cycles(1, 1, 0)
+        with pytest.raises(ValueError):
+            fu_batch_cycles(-1, 1, 1)

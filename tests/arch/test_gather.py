@@ -1,0 +1,119 @@
+"""Unit tests for the write-gather / read-gather caches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GatherCache, ReadGatherCache, WriteGatherCache
+
+
+class TestBasicMechanics:
+    def test_natural_flush_at_capacity(self):
+        cache = GatherCache(n_slots=4, slot_capacity=3)
+        assert cache.insert(7) == []
+        assert cache.insert(7) == []
+        events = cache.insert(7)
+        assert len(events) == 1
+        assert events[0].bucket_id == 7
+        assert events[0].count == 3
+        assert not events[0].forced
+        assert cache.fill_of(7) == 0
+
+    def test_forced_eviction_of_fullest(self):
+        cache = GatherCache(n_slots=2, slot_capacity=10)
+        cache.insert(1)
+        cache.insert(1)
+        cache.insert(2)
+        events = cache.insert(3)  # cache full: bucket 1 (fullest) evicted
+        assert len(events) == 1
+        assert events[0].bucket_id == 1
+        assert events[0].count == 2
+        assert events[0].forced
+
+    def test_capacity_one_flushes_immediately(self):
+        cache = GatherCache(n_slots=2, slot_capacity=1)
+        events = cache.insert(5)
+        assert len(events) == 1 and events[0].count == 1
+
+    def test_eviction_plus_fill_two_events(self):
+        cache = GatherCache(n_slots=1, slot_capacity=1)
+        cache_events = cache.insert(1)
+        assert len(cache_events) == 1
+        both = cache.insert(2)  # nothing to evict (slot freed), fills and flushes
+        assert len(both) == 1
+
+    def test_drain_flushes_everything(self):
+        cache = GatherCache(n_slots=8, slot_capacity=10)
+        for bucket in (1, 2, 2, 3):
+            cache.insert(bucket)
+        events = cache.drain()
+        assert sorted(e.bucket_id for e in events) == [1, 2, 3]
+        assert sum(e.count for e in events) == 4
+        assert cache.occupancy == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GatherCache(0, 1)
+        with pytest.raises(ValueError):
+            GatherCache(1, 0)
+
+
+class TestStats:
+    def test_mean_fill(self):
+        cache = GatherCache(n_slots=4, slot_capacity=2)
+        cache.process_stream([1, 1, 2])
+        assert cache.stats.flushes == 2
+        assert cache.stats.flushed_items == 3
+        assert cache.stats.mean_fill_at_flush == pytest.approx(1.5)
+
+    def test_histogram(self):
+        cache = GatherCache(n_slots=4, slot_capacity=3)
+        cache.process_stream([1, 1, 1, 2])
+        assert cache.stats.fill_histogram == {3: 1, 1: 1}
+
+
+class TestConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        stream=st.lists(st.integers(0, 30), max_size=300),
+        slots=st.integers(1, 16),
+        capacity=st.integers(1, 16),
+    )
+    def test_every_item_flushed_exactly_once(self, stream, slots, capacity):
+        cache = GatherCache(slots, capacity)
+        events = cache.process_stream(stream)
+        assert sum(e.count for e in events) == len(stream)
+        # Per-bucket conservation.
+        for bucket in set(stream):
+            sent = sum(e.count for e in events if e.bucket_id == bucket)
+            assert sent == stream.count(bucket)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=st.lists(st.integers(0, 10), min_size=1, max_size=200),
+        slots=st.integers(1, 8),
+        capacity=st.integers(1, 8),
+    )
+    def test_occupancy_never_exceeds_slots(self, stream, slots, capacity):
+        cache = GatherCache(slots, capacity)
+        for bucket in stream:
+            cache.insert(bucket)
+            assert cache.occupancy <= slots
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=st.lists(st.integers(0, 200), min_size=1, max_size=300))
+    def test_bigger_cache_fewer_flushes(self, stream):
+        small = WriteGatherCache(2, 4)
+        big = WriteGatherCache(64, 4)
+        small_events = small.process_stream(stream)
+        big_events = big.process_stream(stream)
+        assert len(big_events) <= len(small_events)
+
+
+class TestAliases:
+    def test_subclasses_share_mechanics(self):
+        for cls in (WriteGatherCache, ReadGatherCache):
+            cache = cls(4, 2)
+            events = cache.process_stream([9, 9, 9])
+            assert sum(e.count for e in events) == 3

@@ -1,0 +1,78 @@
+"""Adversarial access patterns for the gather caches.
+
+The unit tests cover the mechanics; these cover the *pathological*
+streams a gather cache can face — exact flush counts are asserted, not
+just conservation, so policy regressions are caught.
+"""
+
+import numpy as np
+
+from repro.arch import GatherCache, WriteGatherCache
+
+
+class TestPathologicalStreams:
+    def test_single_bucket_stream_is_optimal(self):
+        """All traffic to one bucket: every flush leaves full."""
+        cache = GatherCache(n_slots=4, slot_capacity=8)
+        events = cache.process_stream([3] * 64)
+        assert len(events) == 8
+        assert all(e.count == 8 and not e.forced for e in events)
+
+    def test_round_robin_over_capacity_thrashes(self):
+        """More active buckets than slots, perfectly interleaved: the
+        worst case — almost every insert forces an eviction at fill 1-2,
+        so gathering degenerates (mean fill ~1, far from capacity 8)."""
+        cache = GatherCache(n_slots=4, slot_capacity=8)
+        stream = list(range(8)) * 16  # 8 buckets, 4 slots
+        events = cache.process_stream(stream)
+        assert len(events) >= len(stream) / 2
+        assert cache.stats.mean_fill_at_flush <= 2.0
+
+    def test_round_robin_within_capacity_is_optimal(self):
+        """Interleaving is harmless when the slot count covers the
+        working set."""
+        cache = GatherCache(n_slots=8, slot_capacity=8)
+        stream = list(range(8)) * 16
+        events = cache.process_stream(stream)
+        assert len(events) == 16
+        assert all(e.count == 8 for e in events)
+
+    def test_bursty_stream_matches_burst_structure(self):
+        """Contiguous runs per bucket (sorted stream): flush count is
+        run length / capacity, independent of slot count."""
+        cache = GatherCache(n_slots=2, slot_capacity=4)
+        stream = [0] * 12 + [1] * 12 + [2] * 12
+        events = cache.process_stream(stream)
+        assert len(events) == 9
+        assert all(e.count == 4 for e in events)
+
+    def test_heavy_hitter_sacrificed_to_unique_noise(self):
+        """One hot bucket interleaved with always-fresh cold buckets:
+        the fullest-eviction policy evicts the hot bucket every time
+        (it *is* the fullest), so its accumulation degenerates — the
+        policy optimizes per-eviction burst length, not hot-bucket
+        retention.  This documents the worst case; in placement streams
+        the working set is bounded by the tree's bucket count, where
+        the policy is near-optimal (see Figure 8)."""
+        cache = GatherCache(n_slots=4, slot_capacity=16)
+        stream = []
+        for i in range(96):
+            stream.append(0)            # hot bucket
+            stream.append(100 + i)      # unique cold bucket each time
+        events = cache.process_stream(stream)
+        hot = [e for e in events if e.bucket_id == 0]
+        assert sum(e.count for e in hot) == 96           # conservation
+        assert max(e.count for e in hot) <= cache.n_slots  # no accumulation
+        forced = [e for e in events if e.forced]
+        assert len(forced) > 90  # nearly every insert forces an eviction
+
+    def test_zipf_stream_conserves_and_beats_thrash(self):
+        rng = np.random.default_rng(0)
+        buckets = (rng.zipf(1.5, size=2_000) - 1) % 64
+        wide = WriteGatherCache(64, 8)
+        narrow = WriteGatherCache(2, 8)
+        wide_events = wide.process_stream(buckets)
+        narrow_events = narrow.process_stream(buckets)
+        assert sum(e.count for e in wide_events) == 2_000
+        assert sum(e.count for e in narrow_events) == 2_000
+        assert len(wide_events) < len(narrow_events)

@@ -1,0 +1,60 @@
+"""Unit tests for the linear search architecture model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import LinearArch, LinearArchConfig
+from repro.baselines import knn_bruteforce
+
+
+class TestFunctional:
+    def test_results_exact(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        arch = LinearArch(LinearArchConfig(n_fus=16))
+        result, _ = arch.run(ref, qry, 4)
+        expected = knn_bruteforce(ref, qry, 4)
+        assert np.array_equal(result.indices, expected.indices)
+
+
+class TestCycleModel:
+    def test_quadratic_in_frame_size(self):
+        arch = LinearArch(LinearArchConfig(n_fus=64))
+        small = arch.simulate(10_000, 10_000, 8)
+        big = arch.simulate(30_000, 30_000, 8)
+        ratio = big.total_cycles / small.total_cycles
+        assert 7.0 <= ratio <= 11.0
+
+    def test_fu_scaling_near_linear(self):
+        fps32 = LinearArch(LinearArchConfig(n_fus=32)).simulate(30_000, 30_000, 8).fps
+        fps64 = LinearArch(LinearArchConfig(n_fus=64)).simulate(30_000, 30_000, 8).fps
+        assert 1.85 <= fps64 / fps32 <= 2.1
+
+    def test_matches_paper_magnitude_at_64fu(self):
+        """The paper's 64-FU linear design runs ~21.9M cycles at 30k."""
+        report = LinearArch(LinearArchConfig(n_fus=64)).simulate(30_000, 30_000, 8)
+        assert 15e6 <= report.total_cycles <= 30e6
+
+    def test_bandwidth_utilization_high(self):
+        """All-sequential access: the paper measures 98.7%."""
+        report = LinearArch(LinearArchConfig(n_fus=64)).simulate(30_000, 30_000, 8)
+        assert report.dram.bandwidth_utilization() >= 0.95
+
+    def test_memory_traffic_scales_with_passes(self):
+        arch = LinearArch(LinearArchConfig(n_fus=64))
+        a = arch.simulate(10_000, 10_000, 8)
+        b = arch.simulate(10_000, 20_000, 8)  # twice the queries = twice the passes
+        assert b.dram.stream("RdRef").bytes == pytest.approx(
+            2 * a.dram.stream("RdRef").bytes, rel=0.01
+        )
+
+    def test_report_fields(self):
+        report = LinearArch(LinearArchConfig(n_fus=8)).simulate(1_000, 1_000, 2)
+        assert report.architecture == "linear-8fu"
+        assert report.fps == pytest.approx(1e8 / report.total_cycles)
+        assert report.memory_words > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearArchConfig(n_fus=0)
+        with pytest.raises(ValueError):
+            LinearArch().simulate(0, 10, 1)

@@ -1,0 +1,69 @@
+"""Unit tests for the drive-level round pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig, run_drive
+from repro.datasets import DriveConfig, generate_drive
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+
+
+@pytest.fixture(scope="module")
+def drive_clouds():
+    frames = generate_drive(DriveConfig(n_frames=4, target_points=2_500), seed=6)
+    return [f.cloud for f in frames]
+
+
+@pytest.fixture(scope="module")
+def pipeline(drive_clouds):
+    accel = QuickNN(QuickNNConfig(n_fus=16, tree=KdTreeConfig(bucket_capacity=64)))
+    return run_drive(accel, drive_clouds, k=4)
+
+
+class TestRunDrive:
+    def test_round_count(self, pipeline, drive_clouds):
+        assert pipeline.n_rounds == len(drive_clouds) - 1
+        assert len(pipeline.results) == pipeline.n_rounds
+
+    def test_deterministic(self, pipeline, drive_clouds):
+        accel = QuickNN(QuickNNConfig(n_fus=16, tree=KdTreeConfig(bucket_capacity=64)))
+        again = run_drive(accel, drive_clouds, k=4)
+        for a, b in zip(pipeline.results, again.results):
+            assert np.array_equal(a.indices, b.indices)
+        assert pipeline.total_cycles == again.total_cycles
+
+    def test_each_round_accurate_against_bruteforce(self, pipeline, drive_clouds):
+        from repro.analysis.accuracy import knn_recall
+        from repro.baselines import knn_bruteforce
+
+        for i, result in enumerate(pipeline.results):
+            exact = knn_bruteforce(drive_clouds[i], drive_clouds[i + 1], 4)
+            assert knn_recall(result, exact, 4) > 0.4
+
+    def test_aggregates_consistent(self, pipeline):
+        assert pipeline.total_cycles == sum(r.total_cycles for r in pipeline.reports)
+        assert pipeline.total_memory_words == sum(
+            r.memory_words for r in pipeline.reports
+        )
+        assert pipeline.worst_latency_ms >= max(
+            r.latency_ms for r in pipeline.reports
+        ) - 1e-9
+
+    def test_sustained_fps_between_extremes(self, pipeline):
+        per_round = pipeline.fps_per_round()
+        assert per_round.min() <= pipeline.sustained_fps <= per_round.max()
+
+    def test_meets_frame_rate(self, pipeline):
+        assert pipeline.meets_frame_rate(1.0)
+        assert not pipeline.meets_frame_rate(1e9)
+
+    def test_rejects_single_frame(self, drive_clouds):
+        with pytest.raises(ValueError, match="two frames"):
+            run_drive(QuickNN(), drive_clouds[:1], k=4)
+
+    def test_overlapped_throughput_at_least_sequential(self, pipeline):
+        """Round overlap (Figure 7) can only improve sustained FPS."""
+        overlapped = pipeline.overlapped_throughput_fps()
+        assert overlapped >= pipeline.sustained_fps * 0.999
+        # ...but not beyond the shared-memory bound (sanity ceiling).
+        assert overlapped <= pipeline.sustained_fps * 3.0

@@ -1,0 +1,118 @@
+"""Unit and integration tests for the QuickNN architecture model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+
+
+@pytest.fixture(scope="module")
+def run_small():
+    from repro.datasets import lidar_frame_pair
+
+    ref, qry = lidar_frame_pair(2_000, seed=7)
+    accel = QuickNN(QuickNNConfig(n_fus=16, tree=KdTreeConfig(bucket_capacity=64)))
+    result, report = accel.run(ref, qry, 4)
+    return ref, qry, result, report
+
+
+class TestFunctional:
+    def test_results_match_functional_search(self, run_small):
+        ref, qry, result, _ = run_small
+        tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=64))
+        expected = knn_approx(tree, qry, 4)
+        assert np.array_equal(result.indices, expected.indices)
+
+    def test_report_phases(self, run_small):
+        _, _, _, report = run_small
+        assert set(report.phase_cycles) == {"sample", "construct", "place+search"}
+        assert report.total_cycles == sum(report.phase_cycles.values())
+
+
+class TestStreams:
+    def test_no_rd2_stream(self, run_small):
+        """Snooping TBuild's Rd1 eliminates the query read stream."""
+        _, _, _, report = run_small
+        assert "Rd2" not in report.dram.streams
+        assert "Rd1" in report.dram.streams
+
+    def test_five_streams_minus_snooped(self, run_small):
+        _, _, _, report = run_small
+        assert set(report.dram.streams) == {"RdSample", "Rd1", "Wr1", "Rd3", "Wr2"}
+
+    def test_wr1_bytes_cover_frame(self, run_small):
+        ref, qry, _, report = run_small
+        # Every placed point is written back exactly once.
+        from repro.arch.params import POINT_BYTES
+
+        assert report.dram.stream("Wr1").bytes == len(qry) * POINT_BYTES
+
+    def test_wr2_bytes_cover_results(self, run_small):
+        ref, qry, _, report = run_small
+        from repro.arch.params import RESULT_BYTES
+
+        assert report.dram.stream("Wr2").bytes == len(qry) * 4 * RESULT_BYTES
+
+    def test_rd3_reads_buckets_not_frames(self, run_small):
+        ref, qry, _, report = run_small
+        from repro.arch.params import POINT_BYTES
+
+        rd3 = report.dram.stream("Rd3").bytes
+        # Far less than the linear architecture's N reads per query...
+        assert rd3 < len(qry) * 64 * POINT_BYTES
+        # ...but at least one bucket's worth per gather flush.
+        assert rd3 > report.notes["bucket_reads"] * 8
+
+
+class TestScaling:
+    def test_more_fus_not_slower(self):
+        from repro.datasets import lidar_frame_pair
+
+        ref, qry = lidar_frame_pair(5_000, seed=3)
+        cycles = []
+        for fus in (8, 32, 128):
+            _, report = QuickNN(QuickNNConfig(n_fus=fus)).run(ref, qry, 8)
+            cycles.append(report.total_cycles)
+        assert cycles[0] > cycles[1] >= cycles[2]
+
+    def test_matches_paper_magnitude_at_64fu(self):
+        """Paper: 908k cycles/frame at 64 FUs, 30k points, k=8."""
+        report = QuickNN(QuickNNConfig(n_fus=64)).simulate(30_000, 8)
+        assert 450_000 <= report.total_cycles <= 1_400_000
+
+    def test_speedup_over_linear_in_paper_band(self):
+        """Paper: 24.1x over the 64-FU linear architecture at 30k."""
+        from repro.arch import LinearArch, LinearArchConfig
+
+        quick = QuickNN(QuickNNConfig(n_fus=64)).simulate(30_000, 8)
+        linear = LinearArch(LinearArchConfig(n_fus=64)).simulate(30_000, 30_000, 8)
+        speedup = linear.total_cycles / quick.total_cycles
+        assert 15.0 <= speedup <= 45.0
+
+    def test_notes_expose_cache_behavior(self, run_small):
+        _, _, _, report = run_small
+        assert report.notes["bucket_reads"] > 0
+        assert report.notes["read_gather_mean_fill"] > 1.0
+        assert report.notes["tree_cache_bytes"] > 0
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QuickNNConfig(n_fus=0)
+        with pytest.raises(ValueError):
+            QuickNNConfig(write_gather_capacity=0)
+        with pytest.raises(ValueError):
+            QuickNNConfig(bucket_kickoff_cycles=-1)
+
+    def test_run_validation(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        with pytest.raises(ValueError):
+            QuickNN().run(ref, qry, 0)
+        with pytest.raises(ValueError):
+            QuickNN().run(np.empty((0, 3)), qry.xyz, 1)
+
+    def test_read_gather_capacity_defaults_to_fus(self):
+        assert QuickNNConfig(n_fus=32).effective_read_gather_capacity == 32
+        assert QuickNNConfig(n_fus=32, read_gather_capacity=8).effective_read_gather_capacity == 8

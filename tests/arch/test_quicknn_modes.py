@@ -1,0 +1,95 @@
+"""Tests for QuickNN's extension modes: snooping, tree strategy, HBM."""
+
+import numpy as np
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig
+from repro.sim import DramTimingParams
+
+
+@pytest.fixture(scope="module")
+def frames():
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(4_000, seed=5)
+
+
+class TestSnooping:
+    def test_disabling_snooping_adds_rd2(self, frames):
+        ref, qry = frames
+        _, snooped = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 4)
+        _, separate = QuickNN(
+            QuickNNConfig(n_fus=16, enable_snooping=False)
+        ).run(ref, qry, 4)
+        assert "Rd2" not in snooped.dram.streams
+        assert "Rd2" in separate.dram.streams
+        assert separate.total_cycles > snooped.total_cycles
+        assert separate.memory_words > snooped.memory_words
+
+    def test_results_identical_either_way(self, frames):
+        ref, qry = frames
+        with_snoop, _ = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 4)
+        without, _ = QuickNN(
+            QuickNNConfig(n_fus=16, enable_snooping=False)
+        ).run(ref, qry, 4)
+        assert np.array_equal(with_snoop.indices, without.indices)
+
+
+class TestTreeStrategy:
+    def test_incremental_skips_sampling(self, frames):
+        ref, qry = frames
+        _, report = QuickNN(
+            QuickNNConfig(n_fus=16, tree_strategy="incremental")
+        ).run(ref, qry, 4)
+        assert report.phase_cycles["sample"] == 0
+        assert "RdSample" not in report.dram.streams
+
+    def test_incremental_construction_cheaper(self, frames):
+        ref, qry = frames
+        _, rebuild = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 4)
+        _, incremental = QuickNN(
+            QuickNNConfig(n_fus=16, tree_strategy="incremental")
+        ).run(ref, qry, 4)
+        rebuild_build = rebuild.phase_cycles["sample"] + rebuild.phase_cycles["construct"]
+        incr_build = incremental.phase_cycles["sample"] + incremental.phase_cycles["construct"]
+        assert incr_build < rebuild_build
+
+    def test_search_results_unaffected_by_strategy(self, frames):
+        ref, qry = frames
+        a, _ = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 4)
+        b, _ = QuickNN(
+            QuickNNConfig(n_fus=16, tree_strategy="incremental")
+        ).run(ref, qry, 4)
+        # TSearch uses the reference tree either way.
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="tree_strategy"):
+            QuickNNConfig(tree_strategy="telepathy")
+
+
+class TestHbm:
+    def test_hbm_preset_is_faster_memory(self):
+        ddr4 = DramTimingParams.ddr4()
+        hbm = DramTimingParams.hbm2()
+        assert hbm.bytes_per_cycle > ddr4.bytes_per_cycle
+        assert hbm.n_banks > ddr4.n_banks
+
+    def test_hbm_speeds_up_quicknn(self, frames):
+        ref, qry = frames
+        _, ddr4 = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+        _, hbm = QuickNN(
+            QuickNNConfig(n_fus=64, dram=DramTimingParams.hbm2())
+        ).run(ref, qry, 8)
+        assert hbm.total_cycles < ddr4.total_cycles
+        # Same algorithm: identical traffic volume, just cheaper.
+        assert hbm.dram.bytes == ddr4.dram.bytes
+
+    def test_hbm_drops_wall_time_utilization(self, frames):
+        """With 8x the bandwidth the design becomes compute-bound."""
+        ref, qry = frames
+        _, ddr4 = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+        _, hbm = QuickNN(
+            QuickNNConfig(n_fus=64, dram=DramTimingParams.hbm2())
+        ).run(ref, qry, 8)
+        assert hbm.bandwidth_utilization < ddr4.bandwidth_utilization

@@ -1,0 +1,72 @@
+"""Unit tests for FrameReport and shared architecture constants."""
+
+import pytest
+
+from repro.arch.params import (
+    CORE_CLOCK_HZ,
+    POINT_BYTES,
+    RESULT_BYTES,
+    cycles_to_seconds,
+    fps_from_cycles,
+)
+from repro.arch.report import FrameReport
+from repro.sim.dram import DramModel
+
+
+class TestParams:
+    def test_clock_conversions(self):
+        assert cycles_to_seconds(CORE_CLOCK_HZ) == pytest.approx(1.0)
+        assert fps_from_cycles(CORE_CLOCK_HZ) == pytest.approx(1.0)
+        assert fps_from_cycles(1_000_000) == pytest.approx(100.0)
+
+    def test_fps_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fps_from_cycles(0)
+
+    def test_record_sizes(self):
+        # The paper's datapath: 3 x 32-bit point, index+distance result.
+        assert POINT_BYTES == 12
+        assert RESULT_BYTES == 8
+
+
+class TestFrameReport:
+    def make(self, cycles=1_000_000):
+        dram = DramModel()
+        dram.access("Rd1", 0, 4096, write=False)
+        return FrameReport(
+            architecture="test-arch",
+            n_reference=100,
+            n_query=100,
+            k=4,
+            total_cycles=cycles,
+            phase_cycles={"a": cycles // 2, "b": cycles // 2},
+            compute_cycles={"fu": 1000},
+            dram=dram.stats,
+        )
+
+    def test_fps_and_latency(self):
+        report = self.make(2_000_000)
+        assert report.fps == pytest.approx(50.0)
+        assert report.latency_ms == pytest.approx(20.0)
+
+    def test_words_and_accesses(self):
+        report = self.make()
+        assert report.memory_accesses == 1
+        assert report.memory_words == 512
+
+    def test_utilization_against_wall_time(self):
+        report = self.make(10_000)
+        util = report.bandwidth_utilization
+        assert 0.0 < util < 1.0
+        assert util == pytest.approx(512 / 10_000)
+
+    def test_summary_mentions_key_figures(self):
+        text = self.make().summary()
+        assert "test-arch" in text
+        assert "FPS" in text
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError):
+            FrameReport(
+                architecture="x", n_reference=1, n_query=1, k=1, total_cycles=0
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for the event-driven phase-3 scheduler."""
+
+import pytest
+
+from repro.arch import QuickNN, QuickNNConfig
+from repro.arch.schedule import BucketJob, Phase3Schedule, StreamJob, schedule_phase3
+
+
+def simple_schedule(**overrides):
+    base = dict(
+        n_points=100,
+        chunk_costs=[50, 50],
+        points_per_chunk=50,
+        traversal_cycles_per_point=1.0,
+        wr1_jobs=[],
+        bucket_jobs=[],
+    )
+    base.update(overrides)
+    return schedule_phase3(**base)
+
+
+class TestBasics:
+    def test_stream_only(self):
+        schedule = simple_schedule()
+        # Two chained 50-cycle chunks, then the last chunk's traversal.
+        assert schedule.dram_busy == 100
+        assert schedule.total_cycles == 100 + 50
+
+    def test_writes_extend_busy_time(self):
+        schedule = simple_schedule(
+            wr1_jobs=[StreamJob(point_index=10, cost=20)]
+        )
+        assert schedule.dram_busy == 120
+        assert schedule.total_cycles >= 120
+
+    def test_bucket_pipeline_chain(self):
+        schedule = simple_schedule(
+            bucket_jobs=[BucketJob(point_index=0, rd3_cost=30, fu_cost=40,
+                                   wr2_cost=10, kickoff=5)]
+        )
+        # Rd3 + Wr2 hit the DRAM; the FU scan overlaps the stream.
+        assert schedule.dram_busy == 100 + 30 + 10
+        assert schedule.fu_busy == 45
+        # Dependency chain: rd3 cannot start before its chunk (50), the
+        # wr2 not before the fu scan finished.
+        assert schedule.total_cycles >= 50 + 30 + 5 + 40 + 10
+
+    def test_rd2_stream_adds_traffic(self):
+        snooped = simple_schedule()
+        separate = simple_schedule(rd2_chunk_costs=[50, 50])
+        assert separate.dram_busy == snooped.dram_busy + 100
+        assert separate.total_cycles > snooped.total_cycles
+
+    def test_total_bounded_by_busy_times(self):
+        schedule = simple_schedule(
+            wr1_jobs=[StreamJob(5, 10), StreamJob(60, 10)],
+            bucket_jobs=[BucketJob(20, 15, 25, 5, 2)],
+        )
+        assert schedule.total_cycles >= schedule.dram_busy
+        assert schedule.total_cycles >= schedule.fu_busy
+        assert schedule.total_cycles <= (
+            schedule.dram_busy + schedule.fu_busy + schedule.traversal_busy + 100
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simple_schedule(n_points=0)
+        with pytest.raises(ValueError):
+            simple_schedule(points_per_chunk=0)
+        with pytest.raises(ValueError):
+            simple_schedule(traversal_cycles_per_point=-1.0)
+
+
+class TestAgainstAnalyticModel:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        from repro.datasets import lidar_frame_pair
+
+        return lidar_frame_pair(5_000, seed=3)
+
+    def test_event_within_band_of_analytic(self, frames):
+        """The DES assumes perfect double buffering, so it can only be
+        faster than the single-buffered analytic bound — but never by
+        more than the serialization slack."""
+        ref, qry = frames
+        for fus in (16, 64):
+            _, analytic = QuickNN(QuickNNConfig(n_fus=fus)).run(ref, qry, 8)
+            _, event = QuickNN(
+                QuickNNConfig(n_fus=fus, scheduler="event")
+            ).run(ref, qry, 8)
+            assert event.total_cycles <= analytic.total_cycles + 1
+            assert event.total_cycles >= 0.5 * analytic.total_cycles
+
+    def test_event_never_beats_memory_busy(self, frames):
+        ref, qry = frames
+        _, event = QuickNN(QuickNNConfig(n_fus=64, scheduler="event")).run(ref, qry, 8)
+        mem_busy = event.dram.busy_cycles - event.dram.stream("RdSample").total_cycles
+        assert event.phase_cycles["place+search"] >= mem_busy
+
+    def test_results_identical_across_schedulers(self, frames):
+        import numpy as np
+
+        ref, qry = frames
+        a, _ = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 4)
+        b, _ = QuickNN(QuickNNConfig(n_fus=16, scheduler="event")).run(ref, qry, 4)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            QuickNNConfig(scheduler="quantum")

@@ -1,0 +1,75 @@
+"""Property-based tests of the event-driven phase scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.schedule import BucketJob, StreamJob, schedule_phase3
+
+common = settings(max_examples=40, deadline=None)
+
+jobs_strategy = st.lists(
+    st.tuples(st.integers(0, 199), st.integers(1, 50)), max_size=15
+)
+buckets_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 199),  # point index
+        st.integers(1, 60),   # rd3
+        st.integers(0, 60),   # fu
+        st.integers(1, 20),   # wr2
+        st.integers(0, 8),    # kickoff
+    ),
+    max_size=10,
+)
+
+
+def run(wr1, buckets, *, chunks=4, chunk_cost=25, trav=0.5):
+    return schedule_phase3(
+        n_points=200,
+        chunk_costs=[chunk_cost] * chunks,
+        points_per_chunk=50,
+        traversal_cycles_per_point=trav,
+        wr1_jobs=[StreamJob(p, c) for p, c in wr1],
+        bucket_jobs=[BucketJob(p, r, f, w, k) for p, r, f, w, k in buckets],
+    )
+
+
+class TestSchedulerInvariants:
+    @common
+    @given(wr1=jobs_strategy, buckets=buckets_strategy)
+    def test_total_bounded_below_by_each_resource(self, wr1, buckets):
+        schedule = run(wr1, buckets)
+        assert schedule.total_cycles >= schedule.dram_busy
+        assert schedule.total_cycles >= schedule.fu_busy
+        assert schedule.total_cycles >= schedule.traversal_busy
+
+    @common
+    @given(wr1=jobs_strategy, buckets=buckets_strategy)
+    def test_total_bounded_above_by_full_serialization(self, wr1, buckets):
+        schedule = run(wr1, buckets)
+        upper = schedule.dram_busy + schedule.fu_busy + schedule.traversal_busy
+        assert schedule.total_cycles <= upper
+
+    @common
+    @given(wr1=jobs_strategy, buckets=buckets_strategy)
+    def test_dram_busy_conserves_job_costs(self, wr1, buckets):
+        schedule = run(wr1, buckets)
+        expected = (
+            4 * 25
+            + sum(c for _, c in wr1)
+            + sum(r + w for _, r, _, w, _ in buckets)
+        )
+        assert schedule.dram_busy == expected
+
+    @common
+    @given(wr1=jobs_strategy, buckets=buckets_strategy)
+    def test_adding_work_never_speeds_up(self, wr1, buckets):
+        base = run(wr1, buckets)
+        more = run(wr1 + [(100, 40)], buckets)
+        assert more.total_cycles >= base.total_cycles
+
+    @common
+    @given(buckets=buckets_strategy)
+    def test_fu_busy_counts_scans_and_kickoffs(self, buckets):
+        schedule = run([], buckets)
+        expected = sum(f + k for _, _, f, _, k in buckets)
+        assert schedule.fu_busy == expected

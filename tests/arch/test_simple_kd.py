@@ -1,0 +1,46 @@
+"""Unit tests for the Simple k-d (unoptimized) architecture model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import SimpleKdArch, SimpleKdConfig
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx
+
+
+class TestFunctional:
+    def test_results_match_functional_search(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        arch = SimpleKdArch(SimpleKdConfig(tree=KdTreeConfig(bucket_capacity=64)))
+        result, _ = arch.run(ref, qry, 4)
+        tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=64))
+        expected = knn_approx(tree, qry, 4)
+        assert np.array_equal(result.indices, expected.indices)
+
+
+class TestTraffic:
+    def test_bucket_reads_dominate(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        _, report = SimpleKdArch().run(ref, qry, 8)
+        rd3 = report.dram.stream("Rd3").bytes
+        assert rd3 > 0.5 * report.dram.bytes
+
+    def test_tree_in_dram_adds_traffic(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        _, cached = SimpleKdArch(SimpleKdConfig(tree_cached_on_chip=True)).run(ref, qry, 8)
+        _, dram_tree = SimpleKdArch(SimpleKdConfig(tree_cached_on_chip=False)).run(ref, qry, 8)
+        assert dram_tree.memory_words > cached.memory_words
+        assert "RdTreeSearch" in dram_tree.dram.streams
+        assert "RdTreeSearch" not in cached.dram.streams
+
+    def test_phases_present(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        _, report = SimpleKdArch().run(ref, qry, 8)
+        assert set(report.phase_cycles) == {"build", "place", "search"}
+        assert report.total_cycles == sum(report.phase_cycles.values())
+
+    def test_validation(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        with pytest.raises(ValueError):
+            SimpleKdConfig(n_fus=0)
+        with pytest.raises(ValueError):
+            SimpleKdArch().run(ref, qry, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the merge-sort accelerator cycle model."""
+
+import pytest
+
+from repro.arch import MergeSorter, MergeSorterConfig
+
+
+class TestRounds:
+    def test_trivial_inputs(self):
+        sorter = MergeSorter()
+        assert sorter.rounds(0) == 0
+        assert sorter.rounds(1) == 0
+
+    def test_four_way_rounds(self):
+        sorter = MergeSorter(MergeSorterConfig(n_way=4))
+        assert sorter.rounds(4) == 1
+        assert sorter.rounds(16) == 2
+        assert sorter.rounds(17) == 3
+        assert sorter.rounds(64) == 3
+
+    def test_two_way_matches_log2(self):
+        sorter = MergeSorter(MergeSorterConfig(n_way=2))
+        assert sorter.rounds(1024) == 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MergeSorter().rounds(-1)
+
+
+class TestCycles:
+    def test_cost_formula(self):
+        sorter = MergeSorter(MergeSorterConfig(n_way=4, round_setup_cycles=16))
+        assert sorter.sort_cycles(256) == 4 * (256 + 16)
+
+    def test_charge_accumulates(self):
+        sorter = MergeSorter()
+        a = sorter.charge(100)
+        b = sorter.charge(200)
+        assert sorter.total_cycles == a + b
+        assert sorter.total_elements == 300
+
+    def test_charge_many_matches_loop(self):
+        sizes = [10, 100, 1000]
+        batch = MergeSorter()
+        total = batch.charge_many(sizes)
+        loop = MergeSorter()
+        expected = sum(loop.charge(s) for s in sizes)
+        assert total == expected
+
+    def test_nlogn_scaling(self):
+        sorter = MergeSorter(MergeSorterConfig(n_way=2, round_setup_cycles=0))
+        # Doubling n roughly doubles-and-a-bit the cycles.
+        assert sorter.sort_cycles(2048) == 2048 * 11
+        assert sorter.sort_cycles(4096) == 4096 * 12
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MergeSorterConfig(n_way=1)
+        with pytest.raises(ValueError):
+            MergeSorterConfig(round_setup_cycles=-1)

@@ -1,0 +1,105 @@
+"""Unit tests for the parallel-traversal simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    BankedTreeCache,
+    TreeCacheConfig,
+    simulate_traversal,
+    traversal_cycles_estimate,
+)
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(9)
+    cloud = uniform_cloud(1500, rng=rng)
+    tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=32))
+    cache = BankedTreeCache(tree, TreeCacheConfig(replicated_levels=2), rng=rng)
+    return tree, cloud.xyz, cache
+
+
+class TestSimulation:
+    def test_visits_match_path_lengths(self, setup):
+        tree, points, cache = setup
+        report = simulate_traversal(tree, points, cache, n_workers=1)
+        expected = sum(len(tree.descend_path(p)) for p in points)
+        assert report.node_visits == expected
+
+    def test_more_workers_fewer_cycles(self, setup):
+        tree, points, cache = setup
+        one = simulate_traversal(tree, points, cache, n_workers=1)
+        four = simulate_traversal(tree, points, cache, n_workers=4)
+        assert four.cycles < one.cycles
+        assert four.node_visits == one.node_visits
+
+    def test_two_workers_near_double(self, setup):
+        tree, points, cache = setup
+        one = simulate_traversal(tree, points, cache, n_workers=1)
+        two = simulate_traversal(tree, points, cache, n_workers=2)
+        assert one.cycles / two.cycles > 1.8
+
+    def test_bank_requests_only_to_lower_levels(self, setup):
+        tree, points, cache = setup
+        report = simulate_traversal(tree, points, cache, n_workers=2)
+        lower_visits = sum(
+            len([n for n in tree.descend_path(p) if not cache.is_replicated(n)])
+            for p in points
+        )
+        assert report.bank_requests.sum() == lower_visits
+
+    def test_single_worker_never_stalls(self, setup):
+        tree, points, cache = setup
+        report = simulate_traversal(tree, points, cache, n_workers=1)
+        assert report.stall_cycles == 0
+
+    def test_queue_vs_blocked_same_work(self, setup):
+        tree, points, cache = setup
+        blocked = simulate_traversal(tree, points, cache, n_workers=4, assignment="blocked")
+        queued = simulate_traversal(tree, points, cache, n_workers=4, assignment="queue")
+        assert blocked.node_visits == queued.node_visits
+
+    def test_validation(self, setup):
+        tree, points, cache = setup
+        with pytest.raises(ValueError):
+            simulate_traversal(tree, points, cache, n_workers=0)
+        with pytest.raises(ValueError):
+            simulate_traversal(tree, points, cache, n_workers=1, assignment="bogus")
+        with pytest.raises(ValueError):
+            simulate_traversal(tree, np.empty((0, 3)), cache, n_workers=1)
+
+
+class TestEstimate:
+    def test_tracks_simulator_within_factor(self, setup):
+        tree, points, cache = setup
+        for workers in (1, 4, 8):
+            sim = simulate_traversal(tree, points, cache, n_workers=workers)
+            est = traversal_cycles_estimate(
+                points.shape[0], tree.depth(),
+                n_workers=workers, n_banks=4, replicated_levels=2,
+            )
+            # The closed form is used for frame-level accounting only;
+            # it must stay within ~3x of the cycle-accurate simulation.
+            assert sim.cycles / 3 <= est * 2 <= sim.cycles * 6
+
+    def test_monotone_in_workers(self):
+        estimates = [
+            traversal_cycles_estimate(
+                10_000, 8, n_workers=w, n_banks=4, replicated_levels=3
+            )
+            for w in (1, 2, 4, 8)
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_bank_bandwidth_floor(self):
+        est = traversal_cycles_estimate(
+            1000, 9, n_workers=64, n_banks=4, replicated_levels=2
+        )
+        assert est >= 1000 * 8 / 4  # lower levels / aggregate bank rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            traversal_cycles_estimate(0, 5, n_workers=1, n_banks=1, replicated_levels=1)

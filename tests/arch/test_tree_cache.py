@@ -1,0 +1,94 @@
+"""Unit tests for the banked tree cache and partition schemes."""
+
+import numpy as np
+import pytest
+
+from repro.arch import BankedTreeCache, PartitionScheme, TreeCacheConfig
+from repro.arch.tree_cache import REPLICATED
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(5)
+    cloud = uniform_cloud(4096, rng=rng)
+    built, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+    return built
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeCacheConfig(n_banks=0)
+        with pytest.raises(ValueError):
+            TreeCacheConfig(replicated_levels=0)
+
+
+class TestAssignment:
+    @pytest.mark.parametrize("scheme", list(PartitionScheme))
+    def test_partition_covers_all_lower_nodes(self, tree, scheme, rng):
+        cache = BankedTreeCache(
+            tree, TreeCacheConfig(scheme=scheme, replicated_levels=2), rng=rng
+        )
+        for node in tree.nodes:
+            bank = cache.bank_of[node.index]
+            if node.depth < 2:
+                assert bank == REPLICATED
+            else:
+                assert 0 <= bank < 4
+
+    def test_upper_levels_replicated(self, tree, rng):
+        cache = BankedTreeCache(
+            tree, TreeCacheConfig(replicated_levels=3), rng=rng
+        )
+        # Levels 0..2 of a full binary tree: 7 nodes.
+        assert cache.n_replicated_nodes == 7
+        assert cache.n_banked_nodes == tree.n_nodes - 7
+
+    def test_group_keeps_subtrees_whole(self, tree, rng):
+        cache = BankedTreeCache(
+            tree,
+            TreeCacheConfig(scheme=PartitionScheme.GROUP, replicated_levels=2),
+            rng=rng,
+        )
+        # Every lower node must share its bank with its lower parent.
+        for node in tree.nodes:
+            if node.depth > 2:
+                assert cache.bank_of[node.index] == cache.bank_of[node.parent]
+
+    def test_leftright_splits_siblings(self, tree, rng):
+        cache = BankedTreeCache(
+            tree,
+            TreeCacheConfig(scheme=PartitionScheme.LEFTRIGHT, replicated_levels=2),
+            rng=rng,
+        )
+        for node in tree.nodes:
+            if node.depth >= 2 and not node.is_leaf:
+                left_bank = cache.bank_of[node.left]
+                right_bank = cache.bank_of[node.right]
+                assert left_bank != right_bank
+
+    def test_random_uses_all_banks(self, tree, rng):
+        cache = BankedTreeCache(
+            tree,
+            TreeCacheConfig(scheme=PartitionScheme.RANDOM, replicated_levels=2),
+            rng=rng,
+        )
+        used = set(cache.bank_of[cache.bank_of != REPLICATED].tolist())
+        assert used == {0, 1, 2, 3}
+
+
+class TestSizeAccounting:
+    def test_cache_bytes_grow_with_workers(self, tree, rng):
+        one = BankedTreeCache(tree, n_workers=1, rng=rng).cache_bytes()
+        eight = BankedTreeCache(tree, n_workers=8, rng=rng).cache_bytes()
+        assert eight > one
+
+    def test_bank_loads_sum_to_banked_nodes(self, tree, rng):
+        cache = BankedTreeCache(tree, rng=rng)
+        assert cache.bank_loads().sum() == cache.n_banked_nodes
+
+    def test_rejects_bad_workers(self, tree, rng):
+        with pytest.raises(ValueError):
+            BankedTreeCache(tree, n_workers=0, rng=rng)

@@ -1,0 +1,66 @@
+"""Unit tests for the uniform-grid kNN index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridConfig, GridIndex, knn_bruteforce
+from repro.datasets.synthetic import gaussian_clusters, uniform_cloud
+from repro.kdtree.search import PAD_INDEX
+
+
+class TestExactness:
+    def test_matches_bruteforce_uniform(self, rng):
+        ref = uniform_cloud(800, rng=rng)
+        qry = uniform_cloud(60, rng=rng)
+        result = GridIndex(ref, GridConfig(cell_size=10.0)).query(qry, 5)
+        truth = knn_bruteforce(ref, qry, 5)
+        assert np.allclose(result.distances, truth.distances, atol=1e-9)
+
+    def test_matches_bruteforce_clustered(self, rng):
+        """Non-uniform density stresses the ring expansion."""
+        ref = gaussian_clusters(1_000, rng=rng)
+        qry = uniform_cloud(40, rng=rng)  # queries often far from data
+        result = GridIndex(ref, GridConfig(cell_size=3.0)).query(qry, 4)
+        truth = knn_bruteforce(ref, qry, 4)
+        assert np.allclose(result.distances, truth.distances, atol=1e-9)
+
+    def test_cell_size_does_not_change_answers(self, rng):
+        ref = uniform_cloud(500, rng=rng)
+        qry = uniform_cloud(30, rng=rng)
+        small = GridIndex(ref, GridConfig(cell_size=1.0)).query(qry, 3)
+        large = GridIndex(ref, GridConfig(cell_size=25.0)).query(qry, 3)
+        assert np.allclose(small.distances, large.distances, atol=1e-9)
+
+    def test_self_query(self, rng):
+        ref = uniform_cloud(200, rng=rng)
+        result = GridIndex(ref).query(ref.xyz[:10], 1)
+        assert (result.distances[:, 0] == 0.0).all()
+
+    def test_k_exceeds_n_pads(self, rng):
+        ref = uniform_cloud(3, rng=rng)
+        result = GridIndex(ref).query(ref.xyz[:1], 6)
+        assert (result.indices[0, 3:] == PAD_INDEX).all()
+        assert (result.indices[0, :3] != PAD_INDEX).all()
+
+
+class TestMechanics:
+    def test_ring_cells_counts(self):
+        home = (0, 0, 0)
+        assert len(list(GridIndex._ring_cells(home, 0))) == 1
+        assert len(list(GridIndex._ring_cells(home, 1))) == 26
+        assert len(list(GridIndex._ring_cells(home, 2))) == 98  # 5^3 - 3^3
+
+    def test_occupancy_stats(self, rng):
+        ref = uniform_cloud(500, rng=rng)
+        n_cells, mean, peak = GridIndex(ref, GridConfig(cell_size=20.0)).occupancy_stats()
+        assert n_cells >= 1
+        assert peak >= mean >= 1.0
+        assert n_cells * mean == pytest.approx(500)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GridConfig(cell_size=0.0)
+        with pytest.raises(ValueError):
+            GridIndex(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            GridIndex(uniform_cloud(5, rng=rng)).query(np.zeros((1, 3)), 0)

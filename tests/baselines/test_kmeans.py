@@ -1,0 +1,75 @@
+"""Unit tests for the hierarchical k-means tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KMeansTree, KMeansTreeConfig, knn_bruteforce
+from repro.datasets.synthetic import gaussian_clusters, uniform_cloud
+
+
+class TestConfig:
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ValueError):
+            KMeansTreeConfig(branching=1)
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            KMeansTreeConfig(leaf_size=0)
+
+
+class TestBuild:
+    def test_leaves_partition_points(self, rng):
+        cloud = uniform_cloud(1000, rng=rng)
+        index = KMeansTree(cloud, KMeansTreeConfig(leaf_size=64), rng=rng)
+        assert int(index.leaf_sizes().sum()) == 1000
+
+    def test_leaf_sizes_bounded(self, rng):
+        cloud = gaussian_clusters(2000, rng=rng)
+        index = KMeansTree(cloud, KMeansTreeConfig(leaf_size=100, branching=4), rng=rng)
+        sizes = index.leaf_sizes()
+        # Clusters can exceed leaf_size only in degenerate duplicate data.
+        assert sizes.max() <= 100
+
+    def test_small_cloud_is_single_leaf(self, rng):
+        cloud = uniform_cloud(10, rng=rng)
+        index = KMeansTree(cloud, KMeansTreeConfig(leaf_size=64), rng=rng)
+        assert len(index.leaf_sizes()) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KMeansTree(np.empty((0, 3)))
+
+    def test_duplicate_points_terminate(self):
+        points = np.tile([[3.0, 3.0, 3.0]], (400, 1))
+        index = KMeansTree(points, KMeansTreeConfig(leaf_size=32))
+        assert int(index.leaf_sizes().sum()) == 400
+
+
+class TestQuery:
+    def test_high_recall_on_clusters(self, rng):
+        ref = gaussian_clusters(1500, rng=rng)
+        qry = gaussian_clusters(150, rng=rng)
+        index = KMeansTree(ref, rng=rng)
+        result = index.query(qry, 5)
+        exact = knn_bruteforce(ref, qry, 5)
+        recall = np.mean([
+            len(set(result.indices[i]) & set(exact.indices[i])) / 5
+            for i in range(len(qry))
+        ])
+        assert recall > 0.6
+
+    def test_self_query_finds_self(self, rng):
+        ref = uniform_cloud(500, rng=rng)
+        index = KMeansTree(ref, rng=rng)
+        result = index.query(ref.xyz[:20], 1)
+        assert (result.distances[:, 0] == 0.0).all()
+
+    def test_rejects_bad_k(self, rng):
+        ref = uniform_cloud(50, rng=rng)
+        with pytest.raises(ValueError):
+            KMeansTree(ref, rng=rng).query(ref, 0)
+
+    def test_build_cost_counter_increases(self, rng):
+        ref = uniform_cloud(1000, rng=rng)
+        index = KMeansTree(ref, rng=rng)
+        assert index.n_lloyd_updates > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LshConfig, LshIndex, knn_bruteforce
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree.search import PAD_INDEX
+
+
+class TestConfig:
+    def test_rejects_bad_tables(self):
+        with pytest.raises(ValueError):
+            LshConfig(n_tables=0)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            LshConfig(bucket_width=0.0)
+
+    def test_rejects_bad_candidates(self):
+        with pytest.raises(ValueError):
+            LshConfig(max_candidates=0)
+
+
+class TestIndex:
+    def test_self_query_hits_own_bucket(self, rng):
+        ref = uniform_cloud(500, rng=rng)
+        index = LshIndex(ref, rng=rng)
+        result = index.query(ref.xyz[:30], 1)
+        assert (result.distances[:, 0] == 0.0).all()
+
+    def test_more_tables_no_worse(self, rng):
+        ref = uniform_cloud(800, rng=rng)
+        qry = uniform_cloud(100, rng=rng)
+        exact = knn_bruteforce(ref, qry, 3)
+
+        def recall(config):
+            result = LshIndex(ref, config, rng=np.random.default_rng(1)).query(qry, 3)
+            return np.mean([
+                len(set(result.indices[i]) & set(exact.indices[i])) / 3
+                for i in range(len(qry))
+            ])
+
+        one = recall(LshConfig(n_tables=1, bucket_width=2.0))
+        four = recall(LshConfig(n_tables=4, bucket_width=2.0))
+        # Different table counts redraw all projections, so allow a small
+        # per-seed fluctuation around the statistically expected gain.
+        assert four >= one - 0.05
+
+    def test_wider_buckets_more_candidates(self, rng):
+        ref = uniform_cloud(800, rng=rng)
+        narrow = LshIndex(ref, LshConfig(bucket_width=0.5), rng=np.random.default_rng(0))
+        wide = LshIndex(ref, LshConfig(bucket_width=8.0), rng=np.random.default_rng(0))
+        assert wide.mean_bucket_size() > narrow.mean_bucket_size()
+
+    def test_miss_pads_result(self, rng):
+        ref = uniform_cloud(100, rng=rng, lo=(0, 0, 0), hi=(1, 1, 1))
+        index = LshIndex(ref, LshConfig(bucket_width=0.5), rng=rng)
+        # A query far outside the data hashes to an empty bucket.
+        result = index.query(np.array([[500.0, 500.0, 500.0]]), 3)
+        assert (result.indices == PAD_INDEX).all()
+
+    def test_max_candidates_cap(self, rng):
+        ref = uniform_cloud(500, rng=rng)
+        capped = LshIndex(
+            ref, LshConfig(bucket_width=50.0, max_candidates=5), rng=rng
+        )
+        result = capped.query(ref.xyz[:5], 3)
+        assert result.indices.shape == (5, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LshIndex(np.empty((0, 3)))
+
+    def test_rejects_bad_k(self, rng):
+        ref = uniform_cloud(10, rng=rng)
+        with pytest.raises(ValueError):
+            LshIndex(ref, rng=rng).query(ref, 0)

@@ -1,0 +1,34 @@
+"""Shared fixtures: deterministic RNGs and cached small workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import lidar_frame, lidar_frame_pair
+from repro.kdtree import KdTreeConfig, build_tree
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_frame():
+    """One 2k-point ground-removed LiDAR frame (cached for the session)."""
+    return lidar_frame(2_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_frame_pair():
+    """A 2k-point successive-frame (reference, query) pair."""
+    return lidar_frame_pair(2_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_frame):
+    """A placed k-d tree with 64-point buckets over the small frame."""
+    tree, _ = build_tree(small_frame, KdTreeConfig(bucket_capacity=64))
+    return tree

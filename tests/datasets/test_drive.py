@@ -1,0 +1,89 @@
+"""Unit tests for drive sequences and frame generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DriveConfig, generate_drive, lidar_frame, lidar_frame_pair
+
+
+class TestDriveConfig:
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ValueError):
+            DriveConfig(n_frames=0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            DriveConfig(frame_period=0.0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            DriveConfig(target_points=0)
+
+
+class TestGenerateDrive:
+    def test_frame_count_and_indexing(self):
+        frames = list(generate_drive(DriveConfig(n_frames=3, target_points=1000), seed=1))
+        assert [f.index for f in frames] == [0, 1, 2]
+        assert frames[1].time == pytest.approx(0.1)
+
+    def test_target_points_enforced(self):
+        frames = list(generate_drive(DriveConfig(n_frames=2, target_points=1500), seed=1))
+        assert all(len(f.cloud) == 1500 for f in frames)
+
+    def test_deterministic(self):
+        cfg = DriveConfig(n_frames=2, target_points=800)
+        a = list(generate_drive(cfg, seed=5))
+        b = list(generate_drive(cfg, seed=5))
+        assert np.array_equal(a[1].cloud.xyz, b[1].cloud.xyz)
+
+    def test_ego_moves_forward(self):
+        cfg = DriveConfig(n_frames=3, target_points=500, ego_speed=10.0)
+        frames = list(generate_drive(cfg, seed=0))
+        x0 = frames[0].ego_pose.translation[0]
+        x2 = frames[2].ego_pose.translation[0]
+        assert x2 - x0 == pytest.approx(2.0)  # 2 frames * 0.1 s * 10 m/s
+
+    def test_sensor_cloud_recenters(self):
+        cfg = DriveConfig(n_frames=2, target_points=500, ego_speed=20.0)
+        frames = list(generate_drive(cfg, seed=0))
+        frame = frames[1]
+        world_mean_x = frame.cloud.xyz[:, 0].mean()
+        sensor_mean_x = frame.sensor_cloud().xyz[:, 0].mean()
+        assert abs(sensor_mean_x) < abs(world_mean_x) + 1e-9
+
+    def test_frames_differ_over_time(self):
+        cfg = DriveConfig(n_frames=2, target_points=1000, ego_speed=10.0)
+        frames = list(generate_drive(cfg, seed=0))
+        assert not np.array_equal(frames[0].cloud.xyz, frames[1].cloud.xyz)
+
+
+class TestLidarFrame:
+    def test_exact_size(self):
+        assert len(lidar_frame(1234, seed=11)) == 1234
+
+    def test_cached_identity(self):
+        a = lidar_frame(1000, seed=2)
+        b = lidar_frame(1000, seed=2)
+        assert a is b  # lru-cached
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lidar_frame(0)
+
+    def test_no_ground_points(self):
+        frame = lidar_frame(2000, seed=3)
+        assert (frame.xyz[:, 2] > 0.3).all()
+
+
+class TestFramePair:
+    def test_sizes(self):
+        ref, qry = lidar_frame_pair(1500, seed=4)
+        assert len(ref) == 1500 and len(qry) == 1500
+
+    def test_frames_are_coherent(self):
+        """Successive frames overlap heavily: median NN distance is small."""
+        from scipy.spatial import cKDTree
+
+        ref, qry = lidar_frame_pair(3000, seed=4)
+        d, _ = cKDTree(ref.xyz).query(qry.xyz, k=1)
+        assert np.median(d) < 1.0

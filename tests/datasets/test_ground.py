@@ -1,0 +1,60 @@
+"""Unit tests for ground removal."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground import ground_fraction, remove_ground, remove_ground_robust
+from repro.geometry import PointCloud
+
+
+@pytest.fixture
+def mixed_cloud():
+    ground = np.column_stack([
+        np.linspace(-10, 10, 60),
+        np.linspace(-10, 10, 60),
+        np.zeros(60),
+    ])
+    elevated = np.column_stack([
+        np.linspace(-10, 10, 40),
+        np.zeros(40),
+        np.linspace(1.0, 5.0, 40),
+    ])
+    return PointCloud(np.vstack([ground, elevated]))
+
+
+class TestThreshold:
+    def test_removes_ground(self, mixed_cloud):
+        kept = remove_ground(mixed_cloud, z_threshold=0.3)
+        assert len(kept) == 40
+        assert (kept.xyz[:, 2] > 0.3).all()
+
+    def test_threshold_boundary_removed(self):
+        cloud = PointCloud([[0, 0, 0.3], [0, 0, 0.300001]])
+        kept = remove_ground(cloud, z_threshold=0.3)
+        assert len(kept) == 1
+
+    def test_empty_passthrough(self):
+        assert len(remove_ground(PointCloud.empty())) == 0
+
+    def test_fraction(self, mixed_cloud):
+        assert ground_fraction(mixed_cloud) == pytest.approx(0.6)
+
+    def test_fraction_empty(self):
+        assert ground_fraction(PointCloud.empty()) == 0.0
+
+
+class TestRobust:
+    def test_handles_offset_ground(self, mixed_cloud):
+        shifted = mixed_cloud.translated(np.array([0.0, 0.0, -2.0]))
+        kept = remove_ground_robust(shifted, clearance=0.3)
+        # Same structure survives even though absolute heights changed.
+        assert 30 <= len(kept) <= 45
+
+    def test_empty_passthrough(self):
+        assert len(remove_ground_robust(PointCloud.empty())) == 0
+
+    def test_reduces_realistic_frame(self, small_frame):
+        # The cached fixture is already ground-removed; re-removal with a
+        # higher clearance should only shrink it further.
+        kept = remove_ground_robust(small_frame, clearance=1.0)
+        assert len(kept) < len(small_frame)

@@ -1,0 +1,62 @@
+"""Unit tests for the highway (Ford-style) scene and scene selection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DriveConfig,
+    generate_drive,
+    lidar_frame,
+    lidar_frame_pair,
+    make_highway_scene,
+)
+from repro.datasets.scene import Box, Cylinder, GroundPlane
+
+
+class TestHighwayScene:
+    def test_composition(self):
+        scene = make_highway_scene(seed=0, n_moving_vehicles=5)
+        assert any(isinstance(p, GroundPlane) for p in scene.primitives)
+        assert any(isinstance(p, Cylinder) for p in scene.primitives)
+        movers = [p for p in scene.primitives if np.asarray(p.velocity).any()]
+        assert len(movers) == 5
+
+    def test_highway_traffic_is_fast(self):
+        scene = make_highway_scene(seed=1)
+        speeds = [
+            abs(p.velocity[0]) for p in scene.primitives
+            if np.asarray(p.velocity).any()
+        ]
+        assert min(speeds) >= 20.0
+
+    def test_deterministic(self):
+        a = make_highway_scene(seed=4)
+        b = make_highway_scene(seed=4)
+        assert len(a) == len(b)
+
+
+class TestSceneSelection:
+    def test_frame_kinds_differ(self):
+        street = lidar_frame(3_000, seed=5, scene_kind="street")
+        highway = lidar_frame(3_000, seed=5, scene_kind="highway")
+        assert not np.array_equal(street.xyz, highway.xyz)
+        # The highway's lateral extent is wider than the street canyon.
+        assert np.ptp(highway.xyz[:, 1]) > np.ptp(street.xyz[:, 1])
+
+    def test_pair_sizes_guaranteed(self):
+        ref, qry = lidar_frame_pair(4_000, seed=2, scene_kind="highway")
+        assert len(ref) == len(qry) == 4_000
+
+    def test_drive_with_scene_kind(self):
+        frames = list(generate_drive(
+            DriveConfig(n_frames=2, target_points=2_000, scene_kind="highway",
+                        ego_speed=25.0),
+            seed=1,
+        ))
+        assert all(len(f.cloud) == 2_000 for f in frames)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="scene kind"):
+            lidar_frame(1_000, seed=0, scene_kind="ocean")
+        with pytest.raises(ValueError, match="scene kind"):
+            list(generate_drive(DriveConfig(n_frames=1, scene_kind="ocean")))

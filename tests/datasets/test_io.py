@@ -1,0 +1,58 @@
+"""Unit tests for point-cloud file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cloud, save_cloud
+from repro.datasets.synthetic import uniform_cloud
+from repro.geometry import PointCloud
+
+
+@pytest.fixture
+def cloud(rng):
+    return uniform_cloud(200, rng=rng)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("suffix", [".npz", ".npy", ".bin", ".xyz"])
+    def test_roundtrip(self, cloud, tmp_path, suffix):
+        path = tmp_path / f"cloud{suffix}"
+        save_cloud(cloud, path)
+        restored = load_cloud(path)
+        atol = 1e-4 if suffix in (".bin", ".xyz") else 0.0  # float32 / ascii
+        assert restored.xyz.shape == cloud.xyz.shape
+        assert np.allclose(restored.xyz, cloud.xyz, atol=atol)
+
+    def test_kitti_bin_layout(self, cloud, tmp_path):
+        """The .bin format must match KITTI: float32 x,y,z,reflectance."""
+        path = tmp_path / "scan.bin"
+        save_cloud(cloud, path)
+        raw = np.fromfile(path, dtype=np.float32).reshape(-1, 4)
+        assert raw.shape[0] == len(cloud)
+        assert np.allclose(raw[:, 3], 0.0)
+
+
+class TestValidation:
+    def test_unknown_format(self, cloud, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_cloud(cloud, tmp_path / "cloud.pcd")
+        with pytest.raises(ValueError, match="format"):
+            load_cloud(tmp_path / "cloud.pcd")
+
+    def test_corrupt_bin_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        np.arange(7, dtype=np.float32).tofile(path)  # not a multiple of 4
+        with pytest.raises(ValueError, match="KITTI"):
+            load_cloud(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            load_cloud(path)
+
+    def test_reflectance_column_dropped(self, tmp_path):
+        path = tmp_path / "four.npy"
+        np.save(path, np.ones((5, 4)))
+        cloud = load_cloud(path)
+        assert cloud.xyz.shape == (5, 3)

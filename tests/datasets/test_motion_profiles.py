@@ -1,0 +1,51 @@
+"""Unit tests for ego motion profiles."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DriveConfig, generate_drive
+
+
+class TestYawRateProfiles:
+    def test_straight_constant(self):
+        cfg = DriveConfig(n_frames=6, ego_yaw_rate=0.1)
+        rates = [cfg.yaw_rate_at(i) for i in range(6)]
+        assert rates == [0.1] * 6
+
+    def test_turn_ramps_in(self):
+        cfg = DriveConfig(n_frames=9, ego_profile="turn")
+        rates = [cfg.yaw_rate_at(i) for i in range(9)]
+        assert rates[0] == 0.0 and rates[1] == 0.0
+        assert all(r > 0 for r in rates[3:])
+
+    def test_slalom_oscillates(self):
+        cfg = DriveConfig(n_frames=8, ego_profile="slalom")
+        rates = [cfg.yaw_rate_at(i) for i in range(8)]
+        assert max(rates) > 0 and min(rates) < 0
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError, match="ego_profile"):
+            DriveConfig(ego_profile="teleport")
+
+
+class TestDrivesWithProfiles:
+    def test_turn_curves_the_trajectory(self):
+        straight = list(generate_drive(
+            DriveConfig(n_frames=6, target_points=500, ego_speed=10.0), seed=1
+        ))
+        turning = list(generate_drive(
+            DriveConfig(n_frames=6, target_points=500, ego_speed=10.0,
+                        ego_profile="turn"), seed=1
+        ))
+        straight_y = straight[-1].ego_pose.translation[1]
+        turning_y = turning[-1].ego_pose.translation[1]
+        assert abs(turning_y) > abs(straight_y) + 0.01
+
+    def test_slalom_returns_toward_heading(self):
+        frames = list(generate_drive(
+            DriveConfig(n_frames=9, target_points=500, ego_speed=10.0,
+                        ego_profile="slalom"), seed=1
+        ))
+        final_yaw = frames[-1].ego_pose.yaw()
+        max_yaw = max(abs(f.ego_pose.yaw()) for f in frames)
+        assert abs(final_yaw) < max_yaw  # wobble partially cancels

@@ -1,0 +1,90 @@
+"""Unit tests for the LiDAR scanner model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scanner import LidarScanner, ScannerConfig
+from repro.datasets.scene import Box, GroundPlane, Scene
+from repro.geometry import RigidTransform
+
+
+@pytest.fixture
+def flat_world():
+    return Scene((GroundPlane(height=0.0),))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = ScannerConfig()
+        assert cfg.rays_per_revolution == cfg.n_beams * cfg.n_azimuth
+
+    def test_rejects_bad_elevations(self):
+        with pytest.raises(ValueError):
+            ScannerConfig(elevation_min_deg=5.0, elevation_max_deg=-5.0)
+
+    def test_rejects_bad_dropout(self):
+        with pytest.raises(ValueError):
+            ScannerConfig(dropout_rate=1.0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            ScannerConfig(min_range=5.0, max_range=2.0)
+
+
+class TestScan:
+    def test_ground_only_returns_below_sensor(self, flat_world):
+        scanner = LidarScanner(ScannerConfig(n_beams=8, n_azimuth=64))
+        cloud = scanner.scan(flat_world)
+        assert len(cloud) > 0
+        assert np.allclose(cloud.xyz[:, 2], 0.0, atol=1e-9)
+
+    def test_range_gating(self, flat_world):
+        cfg = ScannerConfig(n_beams=8, n_azimuth=64, max_range=20.0)
+        cloud = LidarScanner(cfg).scan(flat_world)
+        ranges = np.linalg.norm(cloud.xyz - [0.0, 0.0, cfg.sensor_height], axis=1)
+        assert (ranges <= 20.0 + 1e-6).all()
+        assert (ranges >= cfg.min_range - 1e-6).all()
+
+    def test_deterministic_without_rng(self, flat_world):
+        scanner = LidarScanner(ScannerConfig(n_beams=4, n_azimuth=32))
+        a = scanner.scan(flat_world)
+        b = scanner.scan(flat_world)
+        assert np.array_equal(a.xyz, b.xyz)
+
+    def test_noise_perturbs(self, flat_world, rng):
+        scanner = LidarScanner(ScannerConfig(n_beams=4, n_azimuth=32, dropout_rate=0.0))
+        clean = scanner.scan(flat_world)
+        noisy = scanner.scan(flat_world, rng=rng)
+        assert not np.allclose(clean.xyz, noisy.xyz)
+
+    def test_dropout_reduces_returns(self, flat_world, rng):
+        base = LidarScanner(
+            ScannerConfig(n_beams=8, n_azimuth=128, dropout_rate=0.0, range_noise_std=0.0)
+        ).scan(flat_world, rng=rng)
+        dropped = LidarScanner(
+            ScannerConfig(n_beams=8, n_azimuth=128, dropout_rate=0.5, range_noise_std=0.0)
+        ).scan(flat_world, rng=np.random.default_rng(0))
+        assert len(dropped) < len(base)
+
+    def test_wall_appears_at_distance(self):
+        scene = Scene((Box(lo=(9.5, -50, 0), hi=(10.5, 50, 10)),))
+        scanner = LidarScanner(ScannerConfig(n_beams=8, n_azimuth=256))
+        cloud = scanner.scan(scene)
+        assert len(cloud) > 0
+        assert cloud.xyz[:, 0].min() >= 9.4
+
+    def test_ego_pose_moves_origin(self, flat_world):
+        scanner = LidarScanner(ScannerConfig(n_beams=4, n_azimuth=32))
+        pose = RigidTransform.from_translation([100.0, 0.0, 0.0])
+        cloud = scanner.scan(flat_world, ego_pose=pose)
+        # Ground hits cluster around the translated sensor.
+        assert abs(cloud.xyz[:, 0].mean() - 100.0) < 30.0
+
+    def test_density_falls_with_range(self, flat_world):
+        """Point density drops with distance: the LiDAR non-uniformity."""
+        scanner = LidarScanner(ScannerConfig(n_beams=32, n_azimuth=512))
+        cloud = scanner.scan(flat_world)
+        r = np.linalg.norm(cloud.xyz[:, :2], axis=1)
+        near = ((r > 2) & (r < 10)).sum() / (np.pi * (10**2 - 2**2))
+        far = ((r > 30) & (r < 60)).sum() / (np.pi * (60**2 - 30**2))
+        assert near > 5 * far

@@ -1,0 +1,131 @@
+"""Unit tests for scene primitives and ray intersection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scene import Box, Cylinder, GroundPlane, Scene, make_street_scene
+
+
+def rays(origin, direction):
+    o = np.atleast_2d(np.asarray(origin, dtype=float))
+    d = np.atleast_2d(np.asarray(direction, dtype=float))
+    return o, d
+
+
+class TestGroundPlane:
+    def test_downward_ray_hits(self):
+        plane = GroundPlane(height=0.0)
+        o, d = rays([0, 0, 2.0], [0, 0, -1.0])
+        assert plane.intersect(o, d)[0] == pytest.approx(2.0)
+
+    def test_upward_ray_misses(self):
+        plane = GroundPlane(height=0.0)
+        o, d = rays([0, 0, 2.0], [0, 0, 1.0])
+        assert np.isinf(plane.intersect(o, d)[0])
+
+    def test_horizontal_ray_misses(self):
+        plane = GroundPlane(height=0.0)
+        o, d = rays([0, 0, 2.0], [1.0, 0, 0])
+        assert np.isinf(plane.intersect(o, d)[0])
+
+    def test_moved_is_noop(self):
+        plane = GroundPlane(height=0.0)
+        assert plane.moved(1.0) is plane
+
+
+class TestBox:
+    def test_frontal_hit(self):
+        box = Box(lo=(2, -1, 0), hi=(4, 1, 2))
+        o, d = rays([0, 0, 1.0], [1.0, 0, 0])
+        assert box.intersect(o, d)[0] == pytest.approx(2.0)
+
+    def test_miss_above(self):
+        box = Box(lo=(2, -1, 0), hi=(4, 1, 2))
+        o, d = rays([0, 0, 3.0], [1.0, 0, 0])
+        assert np.isinf(box.intersect(o, d)[0])
+
+    def test_ray_starting_inside_exits(self):
+        box = Box(lo=(-1, -1, -1), hi=(1, 1, 1))
+        o, d = rays([0, 0, 0], [1.0, 0, 0])
+        assert box.intersect(o, d)[0] == pytest.approx(1.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Box(lo=(0, 0, 0), hi=(0, 1, 1))
+
+    def test_moved_by_velocity(self):
+        box = Box(lo=(0, 0, 0), hi=(1, 1, 1), velocity=(2.0, 0.0, 0.0))
+        moved = box.moved(0.5)
+        assert moved.lo[0] == pytest.approx(1.0)
+        assert moved.hi[0] == pytest.approx(2.0)
+
+    def test_static_moved_is_same_object(self):
+        box = Box(lo=(0, 0, 0), hi=(1, 1, 1))
+        assert box.moved(1.0) is box
+
+
+class TestCylinder:
+    def test_frontal_hit(self):
+        cyl = Cylinder(cx=5.0, cy=0.0, radius=1.0, z_lo=0.0, z_hi=4.0)
+        o, d = rays([0, 0, 1.0], [1.0, 0, 0])
+        assert cyl.intersect(o, d)[0] == pytest.approx(4.0)
+
+    def test_miss_above_cap(self):
+        cyl = Cylinder(cx=5.0, cy=0.0, radius=1.0, z_lo=0.0, z_hi=2.0)
+        o, d = rays([0, 0, 3.0], [1.0, 0, 0])
+        assert np.isinf(cyl.intersect(o, d)[0])
+
+    def test_vertical_ray_misses(self):
+        cyl = Cylinder(cx=0.0, cy=0.0, radius=1.0, z_lo=0.0, z_hi=2.0)
+        o, d = rays([0, 0, 5.0], [0, 0, -1.0])
+        # Purely vertical ray has a=0 in the quadratic: treated as a miss.
+        assert np.isinf(cyl.intersect(o, d)[0])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Cylinder(cx=0, cy=0, radius=0.0, z_lo=0, z_hi=1)
+        with pytest.raises(ValueError):
+            Cylinder(cx=0, cy=0, radius=1.0, z_lo=2, z_hi=1)
+
+
+class TestScene:
+    def test_nearest_primitive_wins(self):
+        scene = Scene((
+            Box(lo=(2, -1, 0), hi=(3, 1, 2)),
+            Box(lo=(5, -1, 0), hi=(6, 1, 2)),
+        ))
+        o, d = rays([0, 0, 1.0], [1.0, 0, 0])
+        assert scene.intersect(o, d)[0] == pytest.approx(2.0)
+
+    def test_empty_scene_all_misses(self):
+        scene = Scene(())
+        o, d = rays([0, 0, 0], [1, 0, 0])
+        assert np.isinf(scene.intersect(o, d)).all()
+
+    def test_advanced_moves_dynamics_only(self):
+        moving = Box(lo=(0, 0, 0), hi=(1, 1, 1), velocity=(1.0, 0, 0))
+        static = Box(lo=(5, 0, 0), hi=(6, 1, 1))
+        scene = Scene((moving, static)).advanced(1.0)
+        assert scene.primitives[0].lo[0] == pytest.approx(1.0)
+        assert scene.primitives[1] is static
+
+
+class TestStreetScene:
+    def test_deterministic(self):
+        a = make_street_scene(seed=3)
+        b = make_street_scene(seed=3)
+        assert len(a) == len(b)
+
+    def test_different_seeds_differ(self):
+        a = make_street_scene(seed=1)
+        b = make_street_scene(seed=2)
+        assert len(a) != len(b) or any(
+            not np.array_equal(getattr(pa, "velocity"), getattr(pb, "velocity"))
+            for pa, pb in zip(a.primitives, b.primitives)
+        )
+
+    def test_contains_ground_and_movers(self):
+        scene = make_street_scene(seed=0, n_moving_cars=3)
+        assert any(isinstance(p, GroundPlane) for p in scene.primitives)
+        movers = [p for p in scene.primitives if np.asarray(p.velocity).any()]
+        assert len(movers) == 3

@@ -1,0 +1,81 @@
+"""Unit tests for RANSAC ground segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import fit_ground_plane, remove_ground_ransac
+from repro.geometry import PointCloud
+
+
+def make_scene(rng, *, ground_z=0.0, slope=0.0, n_ground=600, n_obstacles=200):
+    gx = rng.uniform(-30, 30, n_ground)
+    gy = rng.uniform(-30, 30, n_ground)
+    gz = ground_z + slope * gx + rng.normal(0, 0.02, n_ground)
+    ground = np.column_stack([gx, gy, gz])
+    ox = rng.uniform(-30, 30, n_obstacles)
+    oy = rng.uniform(-30, 30, n_obstacles)
+    oz = rng.uniform(1.0, 6.0, n_obstacles)
+    obstacles = np.column_stack([ox, oy, oz])
+    return PointCloud(np.vstack([ground, obstacles])), n_ground
+
+
+class TestFit:
+    def test_flat_ground_recovered(self, rng):
+        cloud, n_ground = make_scene(rng)
+        plane = fit_ground_plane(cloud, rng=rng)
+        assert plane.normal[2] > 0.99
+        assert abs(plane.offset) < 0.1
+        assert plane.inlier_fraction > 0.6
+
+    def test_offset_ground_recovered(self, rng):
+        cloud, _ = make_scene(rng, ground_z=-1.8)
+        plane = fit_ground_plane(cloud, rng=rng)
+        assert plane.offset == pytest.approx(-1.8, abs=0.1)
+
+    def test_sloped_ground_recovered(self, rng):
+        cloud, _ = make_scene(rng, slope=0.05)
+        plane = fit_ground_plane(cloud, rng=rng)
+        # ~2.9 degree slope: normal tilts accordingly.
+        assert plane.normal[2] > 0.95
+        heights = plane.signed_distance(cloud.xyz[:600])
+        assert np.abs(heights).mean() < 0.1
+
+    def test_rejects_tiny_cloud(self):
+        with pytest.raises(ValueError):
+            fit_ground_plane(PointCloud([[0, 0, 0], [1, 1, 1]]))
+
+
+class TestRemoval:
+    def test_keeps_obstacles_drops_ground(self, rng):
+        cloud, n_ground = make_scene(rng)
+        kept = remove_ground_ransac(cloud, rng=rng)
+        n_obstacles = len(cloud) - n_ground
+        assert abs(len(kept) - n_obstacles) <= 0.05 * len(cloud)
+        assert kept.xyz[:, 2].min() > 0.2
+
+    def test_robust_to_height_offset(self, rng):
+        """Unlike the fixed threshold, RANSAC adapts to sensor height.
+
+        With the ground *above* the fixed threshold (downhill sensor
+        mount), the threshold filter keeps every ground point; the
+        RANSAC fit still finds and removes the plane.
+        """
+        from repro.datasets import remove_ground
+
+        cloud, n_ground = make_scene(rng, ground_z=1.0)
+        threshold_kept = remove_ground(cloud, z_threshold=0.3)
+        ransac_kept = remove_ground_ransac(cloud, rng=rng)
+        # The fixed threshold keeps the elevated ground...
+        assert len(threshold_kept) > len(cloud) - n_ground + 100
+        # ...while RANSAC still removes it.
+        assert len(ransac_kept) <= len(cloud) - n_ground + 0.05 * len(cloud)
+
+    def test_tiny_cloud_passthrough(self):
+        small = PointCloud([[0, 0, 0], [1, 1, 1]])
+        assert len(remove_ground_ransac(small)) == 2
+
+    def test_on_synthetic_lidar_frame(self, small_frame, rng):
+        # The cached frame is threshold-cleaned already; a second RANSAC
+        # pass should remove little (no dominant plane left).
+        kept = remove_ground_ransac(small_frame, rng=rng)
+        assert len(kept) > 0.4 * len(small_frame)

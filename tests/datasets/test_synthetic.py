@@ -1,0 +1,55 @@
+"""Unit tests for simple synthetic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import gaussian_clusters, perturbed_pair, uniform_cloud
+from repro.geometry import RigidTransform
+
+
+class TestUniform:
+    def test_within_bounds(self, rng):
+        cloud = uniform_cloud(500, rng=rng, lo=(0, 0, 0), hi=(1, 2, 3))
+        assert (cloud.xyz >= 0).all()
+        assert (cloud.xyz <= [1, 2, 3]).all()
+
+    def test_rejects_inverted_bounds(self, rng):
+        with pytest.raises(ValueError):
+            uniform_cloud(10, rng=rng, lo=(1, 0, 0), hi=(0, 1, 1))
+
+    def test_size(self, rng):
+        assert len(uniform_cloud(77, rng=rng)) == 77
+
+
+class TestClusters:
+    def test_size_and_nonuniformity(self, rng):
+        cloud = gaussian_clusters(2000, rng=rng, n_clusters=4, cluster_std=1.0)
+        assert len(cloud) == 2000
+        # Clustered data has much higher local density than uniform.
+        from scipy.spatial import cKDTree
+
+        d, _ = cKDTree(cloud.xyz).query(cloud.xyz, k=2)
+        assert np.median(d[:, 1]) < 1.0
+
+    def test_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, rng=rng, n_clusters=0)
+
+
+class TestPerturbedPair:
+    def test_transform_applies(self, rng):
+        t = RigidTransform.from_yaw(0.1, translation=(1.0, 0.0, 0.0))
+        ref, qry, returned = perturbed_pair(500, rng=rng, transform=t, noise_std=0.0)
+        assert returned is t
+        assert np.allclose(qry.xyz, t.apply(ref.xyz))
+
+    def test_noise_added(self, rng):
+        t = RigidTransform.identity()
+        ref, qry, _ = perturbed_pair(500, rng=rng, transform=t, noise_std=0.05)
+        rms = np.sqrt(((qry.xyz - ref.xyz) ** 2).mean())
+        assert 0.01 < rms < 0.2
+
+    def test_default_transform(self, rng):
+        _, _, t = perturbed_pair(100, rng=rng)
+        angle, dist = t.magnitude()
+        assert angle > 0 and dist > 0

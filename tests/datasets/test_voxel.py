@@ -1,0 +1,61 @@
+"""Unit tests for voxel-grid downsampling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import voxel_downsample, voxel_occupancy
+from repro.datasets.synthetic import uniform_cloud
+from repro.geometry import PointCloud
+
+
+class TestDownsample:
+    def test_reduces_density(self, rng):
+        cloud = uniform_cloud(5_000, rng=rng, lo=(0, 0, 0), hi=(10, 10, 10))
+        down = voxel_downsample(cloud, 1.0)
+        assert len(down) < len(cloud)
+        # 10x10x10 voxels over dense data: close to fully occupied.
+        assert 800 <= len(down) <= 1000
+
+    def test_centroids_inside_their_voxels(self, rng):
+        cloud = uniform_cloud(2_000, rng=rng)
+        down = voxel_downsample(cloud, 2.0)
+        keys = np.floor(down.xyz / 2.0)
+        # Each centroid's voxel must have contained original points.
+        original_keys = {tuple(k) for k in np.floor(cloud.xyz / 2.0).astype(int)}
+        for key in keys.astype(int):
+            assert tuple(key) in original_keys
+
+    def test_one_point_per_voxel_is_identity(self):
+        cloud = PointCloud([[0.5, 0.5, 0.5], [5.5, 0.5, 0.5]])
+        down = voxel_downsample(cloud, 1.0)
+        assert len(down) == 2
+        assert np.allclose(np.sort(down.xyz[:, 0]), [0.5, 5.5])
+
+    def test_coarse_voxel_collapses_everything(self, rng):
+        cloud = uniform_cloud(100, rng=rng, lo=(0, 0, 0), hi=(1, 1, 1))
+        down = voxel_downsample(cloud, 100.0)
+        assert len(down) == 1
+        assert np.allclose(down.xyz[0], cloud.centroid())
+
+    def test_empty_passthrough(self):
+        assert len(voxel_downsample(PointCloud.empty(), 1.0)) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            voxel_downsample(uniform_cloud(10, rng=rng), 0.0)
+
+
+class TestOccupancy:
+    def test_counts_sum_to_n(self, rng):
+        cloud = uniform_cloud(500, rng=rng)
+        occupancy = voxel_occupancy(cloud, 5.0)
+        assert sum(occupancy.values()) == 500
+
+    def test_matches_downsample_voxel_count(self, rng):
+        cloud = uniform_cloud(1_000, rng=rng)
+        occupancy = voxel_occupancy(cloud, 3.0)
+        down = voxel_downsample(cloud, 3.0)
+        assert len(occupancy) == len(down)
+
+    def test_empty(self):
+        assert voxel_occupancy(PointCloud.empty(), 1.0) == {}

@@ -1,0 +1,82 @@
+"""Unit tests for Aabb."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Aabb
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = Aabb([0, 0, 0], [1, 2, 3])
+        assert np.array_equal(box.extent, [1, 2, 3])
+        assert np.array_equal(box.center, [0.5, 1.0, 1.5])
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Aabb([1, 0, 0], [0, 1, 1])
+
+    def test_degenerate_allowed(self):
+        box = Aabb([1, 1, 1], [1, 2, 2])
+        assert box.extent[0] == 0.0
+
+    def test_infinite(self):
+        box = Aabb.infinite()
+        assert np.isinf(box.lo).all() and np.isinf(box.hi).all()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Aabb([0, 0], [1, 1])
+
+
+class TestQueries:
+    def test_contains_inside_and_boundary(self):
+        box = Aabb([0, 0, 0], [1, 1, 1])
+        pts = np.array([[0.5, 0.5, 0.5], [1.0, 1.0, 1.0], [1.1, 0.5, 0.5]])
+        assert box.contains(pts).tolist() == [True, True, False]
+
+    def test_distance_sq_inside_is_zero(self):
+        box = Aabb([0, 0, 0], [2, 2, 2])
+        assert box.distance_sq_to(np.array([1.0, 1.0, 1.0])) == 0.0
+
+    def test_distance_sq_outside(self):
+        box = Aabb([0, 0, 0], [1, 1, 1])
+        # 3-4-0 offset from the (1,1,z) corner region.
+        assert box.distance_sq_to(np.array([4.0, 5.0, 0.5])) == pytest.approx(25.0)
+
+    def test_intersects_sphere(self):
+        box = Aabb([0, 0, 0], [1, 1, 1])
+        assert box.intersects_sphere(np.array([2.0, 0.5, 0.5]), 1.0)
+        assert not box.intersects_sphere(np.array([3.0, 0.5, 0.5]), 1.0)
+
+    def test_union(self):
+        a = Aabb([0, 0, 0], [1, 1, 1])
+        b = Aabb([-1, 0.5, 0], [0.5, 2, 1])
+        u = a.union(b)
+        assert np.array_equal(u.lo, [-1, 0, 0])
+        assert np.array_equal(u.hi, [1, 2, 1])
+
+    def test_equality(self):
+        assert Aabb([0, 0, 0], [1, 1, 1]) == Aabb([0, 0, 0], [1, 1, 1])
+        assert Aabb([0, 0, 0], [1, 1, 1]) != Aabb([0, 0, 0], [1, 1, 2])
+
+
+class TestSplit:
+    def test_split_partitions(self):
+        box = Aabb([0, 0, 0], [2, 2, 2])
+        below, above = box.split(0, 0.5)
+        assert below.hi[0] == 0.5
+        assert above.lo[0] == 0.5
+        assert np.array_equal(below.lo, box.lo)
+        assert np.array_equal(above.hi, box.hi)
+
+    def test_split_outside_raises(self):
+        box = Aabb([0, 0, 0], [1, 1, 1])
+        with pytest.raises(ValueError, match="threshold"):
+            box.split(1, 2.0)
+
+    def test_split_infinite_box(self):
+        below, above = Aabb.infinite().split(2, 0.0)
+        assert below.hi[2] == 0.0
+        assert np.isinf(below.lo[2])
+        assert above.lo[2] == 0.0

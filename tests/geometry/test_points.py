@@ -1,0 +1,129 @@
+"""Unit tests for PointCloud."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+
+
+class TestConstruction:
+    def test_from_list(self):
+        cloud = PointCloud([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert len(cloud) == 2
+        assert cloud.xyz.dtype == np.float64
+
+    def test_copies_input_by_default(self):
+        arr = np.zeros((3, 3))
+        cloud = PointCloud(arr)
+        arr[0, 0] = 99.0
+        assert cloud.xyz[0, 0] == 0.0
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            PointCloud(np.zeros((4, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            PointCloud([[0.0, np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            PointCloud([[np.inf, 0.0, 0.0]])
+
+    def test_empty(self):
+        assert len(PointCloud.empty()) == 0
+
+    def test_concatenate(self):
+        a = PointCloud([[0.0, 0.0, 0.0]])
+        b = PointCloud([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        joined = PointCloud.concatenate([a, b])
+        assert len(joined) == 3
+        assert np.array_equal(joined.xyz[0], a.xyz[0])
+
+    def test_concatenate_nothing(self):
+        assert len(PointCloud.concatenate([])) == 0
+
+
+class TestProtocol:
+    def test_iteration(self):
+        cloud = PointCloud([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        points = list(cloud)
+        assert len(points) == 2
+        assert np.array_equal(points[1], [4.0, 5.0, 6.0])
+
+    def test_getitem_slice(self):
+        cloud = PointCloud(np.arange(30, dtype=float).reshape(10, 3))
+        sub = cloud[2:5]
+        assert isinstance(sub, PointCloud)
+        assert len(sub) == 3
+
+    def test_getitem_single_returns_cloud(self):
+        cloud = PointCloud(np.arange(9, dtype=float).reshape(3, 3))
+        assert len(cloud[1]) == 1
+
+    def test_equality(self):
+        a = PointCloud([[1.0, 2.0, 3.0]])
+        b = PointCloud([[1.0, 2.0, 3.0]])
+        c = PointCloud([[1.0, 2.0, 4.0]])
+        assert a == b
+        assert a != c
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(PointCloud([[0.0, 0.0, 0.0]]))
+
+    def test_repr(self):
+        assert "n=2" in repr(PointCloud(np.zeros((2, 3))))
+
+
+class TestGeometry:
+    def test_bounds(self):
+        cloud = PointCloud([[0.0, 1.0, -2.0], [3.0, -1.0, 5.0]])
+        box = cloud.bounds()
+        assert np.array_equal(box.lo, [0.0, -1.0, -2.0])
+        assert np.array_equal(box.hi, [3.0, 1.0, 5.0])
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud.empty().bounds()
+
+    def test_centroid(self):
+        cloud = PointCloud([[0.0, 0.0, 0.0], [2.0, 4.0, 6.0]])
+        assert np.allclose(cloud.centroid(), [1.0, 2.0, 3.0])
+
+    def test_distances_to(self):
+        cloud = PointCloud([[0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        d = cloud.distances_to(np.zeros(3))
+        assert np.allclose(d, [0.0, 5.0])
+
+    def test_distances_to_bad_shape(self):
+        cloud = PointCloud([[0.0, 0.0, 0.0]])
+        with pytest.raises(ValueError):
+            cloud.distances_to(np.zeros(2))
+
+    def test_subsample(self, rng):
+        cloud = PointCloud(rng.normal(size=(100, 3)))
+        sub = cloud.subsample(10, rng)
+        assert len(sub) == 10
+
+    def test_subsample_too_many(self, rng):
+        cloud = PointCloud(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            cloud.subsample(6, rng)
+
+    def test_translated(self):
+        cloud = PointCloud([[1.0, 1.0, 1.0]])
+        moved = cloud.translated(np.array([1.0, -1.0, 0.5]))
+        assert np.allclose(moved.xyz, [[2.0, 0.0, 1.5]])
+        # Original is unchanged.
+        assert np.allclose(cloud.xyz, [[1.0, 1.0, 1.0]])
+
+    def test_filter(self):
+        cloud = PointCloud(np.arange(9, dtype=float).reshape(3, 3))
+        kept = cloud.filter(np.array([True, False, True]))
+        assert len(kept) == 2
+
+    def test_filter_bad_mask(self):
+        cloud = PointCloud(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            cloud.filter(np.array([True]))

@@ -1,0 +1,64 @@
+"""Unit tests for fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.quantize import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    dequantize,
+    quantization_error_bound,
+    quantize,
+    roundtrip,
+)
+
+
+class TestFormat:
+    def test_default_is_32_bit(self):
+        assert DEFAULT_FORMAT.total_bits == 32
+        assert DEFAULT_FORMAT.bytes_per_value == 4
+
+    def test_scale(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=8)
+        assert fmt.scale == pytest.approx(1.0 / 256.0)
+
+    def test_range(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=0)
+        assert fmt.max_value == 127
+        assert fmt.min_value == -128
+
+    def test_rejects_zero_integer_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=0, fraction_bits=8)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(integer_bits=60, fraction_bits=8)
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.uniform(-100, 100, size=1000)
+        err = np.abs(roundtrip(values) - values)
+        assert err.max() <= quantization_error_bound() + 1e-12
+
+    def test_exact_on_grid(self):
+        fmt = FixedPointFormat(integer_bits=8, fraction_bits=4)
+        values = np.array([0.0, 0.25, -1.5, 3.0625])
+        assert np.array_equal(roundtrip(values, fmt), values)
+
+    def test_saturates(self):
+        fmt = FixedPointFormat(integer_bits=4, fraction_bits=0)
+        assert quantize(np.array([1000.0]), fmt)[0] == 7
+        assert quantize(np.array([-1000.0]), fmt)[0] == -8
+
+    def test_dequantize_inverse_of_quantize_in_range(self):
+        codes = np.array([-5, 0, 17], dtype=np.int64)
+        fmt = FixedPointFormat(integer_bits=16, fraction_bits=8)
+        assert np.array_equal(quantize(dequantize(codes, fmt), fmt), codes)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    def test_roundtrip_property(self, value):
+        err = abs(float(roundtrip(np.array([value]))[0]) - value)
+        assert err <= quantization_error_bound() + 1e-9

@@ -1,0 +1,73 @@
+"""Property-based tests of rigid-transform algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import RigidTransform
+
+angle = st.floats(-3.1, 3.1, allow_nan=False)
+coord = st.floats(-100.0, 100.0, allow_nan=False, width=32)
+
+transforms = st.builds(
+    lambda r, p, y, tx, ty, tz: RigidTransform.from_euler(
+        r, p, y, translation=(tx, ty, tz)
+    ),
+    angle, angle, angle, coord, coord, coord,
+)
+
+common = settings(max_examples=60, deadline=None)
+
+
+class TestGroupLaws:
+    @common
+    @given(t=transforms)
+    def test_inverse_is_two_sided(self, t):
+        assert t.compose(t.inverse()).is_close(RigidTransform.identity(), atol=1e-7)
+        assert t.inverse().compose(t).is_close(RigidTransform.identity(), atol=1e-7)
+
+    @common
+    @given(a=transforms, b=transforms, c=transforms)
+    def test_composition_associative(self, a, b, c):
+        left = a.compose(b).compose(c)
+        right = a.compose(b.compose(c))
+        assert left.is_close(right, atol=1e-6)
+
+    @common
+    @given(t=transforms)
+    def test_identity_is_neutral(self, t):
+        ident = RigidTransform.identity()
+        assert t.compose(ident).is_close(t, atol=1e-9)
+        assert ident.compose(t).is_close(t, atol=1e-9)
+
+    @common
+    @given(a=transforms, b=transforms)
+    def test_apply_respects_composition(self, a, b):
+        point = np.array([1.0, -2.0, 3.0])
+        via_compose = a.compose(b).apply(point)
+        via_sequence = a.apply(b.apply(point))
+        assert np.allclose(via_compose, via_sequence, atol=1e-6)
+
+
+class TestIsometry:
+    @common
+    @given(t=transforms)
+    def test_distances_preserved(self, t):
+        p = np.array([[0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        moved = t.apply(p)
+        original = np.linalg.norm(p[1] - p[0])
+        transformed = np.linalg.norm(moved[1] - moved[0])
+        assert transformed == pytest_approx(original)
+
+    @common
+    @given(t=transforms)
+    def test_magnitude_nonnegative_and_bounded(self, t):
+        rotation_angle, distance = t.magnitude()
+        assert 0.0 <= rotation_angle <= np.pi + 1e-9
+        assert distance >= 0.0
+
+
+def pytest_approx(value, tol=1e-6):
+    import pytest
+
+    return pytest.approx(value, abs=tol)

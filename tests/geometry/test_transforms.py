@@ -1,0 +1,88 @@
+"""Unit tests for RigidTransform."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RigidTransform
+
+
+class TestConstruction:
+    def test_identity(self):
+        t = RigidTransform.identity()
+        p = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(t.apply(p), p)
+
+    def test_rejects_non_orthonormal(self):
+        with pytest.raises(ValueError, match="orthonormal"):
+            RigidTransform(np.eye(3) * 2.0, np.zeros(3))
+
+    def test_rejects_reflection(self):
+        reflection = np.diag([1.0, 1.0, -1.0])
+        with pytest.raises(ValueError, match="reflection"):
+            RigidTransform(reflection, np.zeros(3))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3), np.zeros(2))
+
+    def test_from_yaw(self):
+        t = RigidTransform.from_yaw(np.pi / 2)
+        assert np.allclose(t.apply(np.array([1.0, 0.0, 0.0])), [0.0, 1.0, 0.0])
+
+    def test_from_euler_matches_yaw_only(self):
+        a = RigidTransform.from_yaw(0.3, translation=(1, 2, 3))
+        b = RigidTransform.from_euler(0.0, 0.0, 0.3, translation=(1, 2, 3))
+        assert a.is_close(b)
+
+    def test_from_translation(self):
+        t = RigidTransform.from_translation([1.0, 0.0, -1.0])
+        assert np.allclose(t.apply(np.zeros(3)), [1.0, 0.0, -1.0])
+
+
+class TestAlgebra:
+    def test_apply_batch_shape(self, rng):
+        t = RigidTransform.from_euler(0.1, 0.2, 0.3, translation=(1, 1, 1))
+        pts = rng.normal(size=(10, 3))
+        out = t.apply(pts)
+        assert out.shape == (10, 3)
+
+    def test_apply_single_shape(self):
+        t = RigidTransform.from_yaw(0.5)
+        assert t.apply(np.zeros(3)).shape == (3,)
+
+    def test_compose_order(self):
+        # self.compose(other): other first, then self.
+        rot = RigidTransform.from_yaw(np.pi / 2)
+        shift = RigidTransform.from_translation([1.0, 0.0, 0.0])
+        rotate_then_shift = shift.compose(rot)
+        p = np.array([1.0, 0.0, 0.0])
+        assert np.allclose(rotate_then_shift.apply(p), [1.0, 1.0, 0.0])
+
+    def test_inverse_roundtrip(self, rng):
+        t = RigidTransform.from_euler(0.2, -0.1, 1.3, translation=(4, -2, 0.5))
+        pts = rng.normal(size=(20, 3))
+        back = t.inverse().apply(t.apply(pts))
+        assert np.allclose(back, pts)
+
+    def test_compose_with_inverse_is_identity(self):
+        t = RigidTransform.from_euler(0.2, 0.1, -0.4, translation=(1, 2, 3))
+        ident = t.compose(t.inverse())
+        assert ident.is_close(RigidTransform.identity(), atol=1e-9)
+
+
+class TestIntrospection:
+    def test_yaw_roundtrip(self):
+        assert RigidTransform.from_yaw(0.7).yaw() == pytest.approx(0.7)
+
+    def test_magnitude(self):
+        t = RigidTransform.from_yaw(0.5, translation=(3.0, 4.0, 0.0))
+        angle, dist = t.magnitude()
+        assert angle == pytest.approx(0.5)
+        assert dist == pytest.approx(5.0)
+
+    def test_magnitude_identity(self):
+        angle, dist = RigidTransform.identity().magnitude()
+        assert angle == pytest.approx(0.0)
+        assert dist == 0.0

@@ -1,0 +1,139 @@
+"""Run each experiment at reduced scale: structure and robustness checks.
+
+These do not assert the paper's shape checks (full-scale runs in
+``benchmarks/`` do that); they assert that every experiment produces a
+well-formed result quickly at small workload sizes.
+"""
+
+import pytest
+
+from repro.harness.exp_accuracy import fig3_accuracy, table1_methods
+from repro.harness.exp_incremental import fig10_incremental
+from repro.harness.exp_memory import (
+    fig8_write_gather,
+    fig12_memory_accesses,
+    fig13_bandwidth_utilization,
+)
+from repro.harness.exp_parallel import fig9_traversal
+from repro.harness.exp_perf import (
+    fig14_k_sweep,
+    fig15_latency,
+    fig16_perf_scaling,
+    table4_linear_fps,
+    table5_quicknn_fps,
+)
+from repro.harness.exp_platforms import (
+    fig17_platforms,
+    sec71_prior_accelerators,
+    table6_speedup,
+    tables23_resources,
+)
+
+
+def assert_wellformed(result, n_rows=None):
+    assert result.rows, f"{result.exp_id} produced no rows"
+    width = len(result.headers)
+    assert all(len(row) == width for row in result.rows)
+    assert result.shape_checks
+    if n_rows is not None:
+        assert len(result.rows) == n_rows
+
+
+class TestAccuracyExperiments:
+    def test_table1_small(self):
+        result = table1_methods(n_points=1_500, k=4)
+        assert_wellformed(result, n_rows=6)
+        accuracies = {row[0]: row[1] for row in result.rows}
+        assert accuracies["Linear"] == 1.0
+        assert accuracies["Uniform grid (exact, ext)"] >= 0.999
+
+    def test_fig3_small(self):
+        result = fig3_accuracy(n_points=2_000, k=3, max_extra=2,
+                               bucket_sizes=(64, 256))
+        assert_wellformed(result, n_rows=2)
+        assert result.shape_checks["accuracy rises with x"]
+
+
+class TestMemoryExperiments:
+    def test_fig8_small(self):
+        result = fig8_write_gather(
+            n_points=3_000, bucket_capacity=64,
+            slot_counts=(2, 16), slot_capacities=(1, 4),
+        )
+        assert_wellformed(result, n_rows=2)
+        # Speedups relative to no gathering must be >= ~1.
+        assert all(v >= 0.9 for row in result.rows for v in row[1:])
+
+    def test_fig12_small(self):
+        result = fig12_memory_accesses(n_points=3_000, n_fus=16)
+        assert_wellformed(result, n_rows=3)
+        # At 3k points the linear architecture's O(N^2) traffic has not
+        # yet overtaken Simple k-d, so only QuickNN's position is stable.
+        words = {row[0]: row[1] for row in result.rows}
+        assert words["QuickNN"] == min(words.values())
+
+    def test_fig13_small(self):
+        result = fig13_bandwidth_utilization(
+            frame_sizes=(3_000,), fu_counts=(8, 16)
+        )
+        assert_wellformed(result, n_rows=1)
+        assert all(0.0 < v <= 1.0 for v in result.rows[0][1:])
+
+
+class TestParallelExperiment:
+    def test_fig9_small(self):
+        result = fig9_traversal(
+            n_points=1_200, bucket_capacity=16, worker_counts=(1, 2, 4)
+        )
+        assert_wellformed(result, n_rows=3)
+        for row in result.rows:
+            assert row[1] == pytest.approx(1.0)
+            assert row[3] > row[1]
+
+
+class TestIncrementalExperiment:
+    def test_fig10_small(self):
+        result = fig10_incremental(n_frames=4, n_points=3_000, bucket_capacity=128)
+        assert_wellformed(result, n_rows=3)
+        assert result.shape_checks["incremental max bounded by 2x capacity"]
+
+
+class TestPerfExperiments:
+    def test_table4_small(self):
+        result = table4_linear_fps(frame_sizes=(2_000, 4_000), fu_counts=(32, 64, 128))
+        assert_wellformed(result, n_rows=3)
+
+    def test_table5_small(self):
+        result = table5_quicknn_fps(frame_sizes=(3_000,), fu_counts=(16, 64))
+        assert_wellformed(result, n_rows=2)
+
+    def test_fig14_small(self):
+        result = fig14_k_sweep(k_values=(1, 8), fu_counts=(16, 64), n_points=3_000)
+        assert_wellformed(result, n_rows=2)
+
+    def test_fig15_small(self):
+        result = fig15_latency(frame_sizes=(2_000, 4_000), fu_counts=(16, 64))
+        assert_wellformed(result, n_rows=2)
+
+    def test_fig16_small(self):
+        result = fig16_perf_scaling(fu_counts=(16, 32, 64, 128), n_points=3_000)
+        assert_wellformed(result, n_rows=4)
+
+
+class TestPlatformExperiments:
+    def test_tables23(self):
+        result = tables23_resources()
+        assert_wellformed(result, n_rows=8)
+        assert result.all_checks_pass
+
+    def test_fig17_small(self):
+        result = fig17_platforms(frame_sizes=(2_000, 5_000))
+        assert_wellformed(result, n_rows=2)
+
+    def test_table6_small(self):
+        result = table6_speedup(n_points=5_000)
+        assert_wellformed(result, n_rows=4)
+
+    def test_sec71_runs(self):
+        result = sec71_prior_accelerators()
+        assert_wellformed(result, n_rows=2)

@@ -1,0 +1,82 @@
+"""Reduced-scale runs of the extension experiments."""
+
+from repro.harness.exp_extensions import (
+    ext_ablation,
+    ext_hbm,
+    ext_incremental_scaling,
+)
+
+
+class TestAblation:
+    def test_small(self):
+        result = ext_ablation(n_points=3_000, n_fus=16)
+        assert len(result.rows) == 5
+        slowdowns = [row[2] for row in result.rows]
+        assert slowdowns[0] == 1.0
+        assert all(s >= 0.95 for s in slowdowns)
+        assert result.shape_checks["losing read gather hurts most"]
+
+
+class TestIncrementalScaling:
+    def test_small(self):
+        result = ext_incremental_scaling(frame_sizes=(3_000, 8_000), n_fus=32)
+        assert len(result.rows) == 2
+        assert result.shape_checks["incremental cheaper than rebuild at every size"]
+
+
+class TestHbm:
+    def test_small(self):
+        result = ext_hbm(frame_sizes=(4_000,), n_fus=32)
+        assert len(result.rows) == 1
+        assert result.shape_checks["HBM speeds up every size"]
+
+
+class TestCrosscheck:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_crosscheck
+
+        result = ext_crosscheck(n_points=4_000, n_fus=16)
+        assert len(result.rows) == 2
+        assert result.shape_checks["FPS consistent across scenes (within ~30%)"]
+
+
+class TestExactSearch:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_exact_search
+
+        result = ext_exact_search(n_points=3_000, n_fus=16)
+        assert len(result.rows) == 3
+        assert result.shape_checks["backtracking search is truly exact"]
+
+
+class TestSensitivity:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_sensitivity
+
+        result = ext_sensitivity(n_points=4_000, n_fus=32)
+        assert len(result.rows) == 7
+        ratios = [row[1] for row in result.rows]
+        assert max(ratios) / min(ratios) < 2.0
+
+
+class TestBanks:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_banks
+
+        result = ext_banks(
+            n_points=1_500, bank_counts=(2, 4), worker_counts=(1, 2, 4)
+        )
+        assert len(result.rows) == 2
+        # Single worker is always the 1.0 baseline.
+        assert all(row[1] == 1.0 for row in result.rows)
+
+
+class TestPareto:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_pareto
+
+        result = ext_pareto(
+            n_points=3_000, n_fus=16, bucket_sizes=(64, 256)
+        )
+        assert len(result.rows) == 2
+        assert result.shape_checks["accuracy rises with bucket size"]

@@ -1,0 +1,64 @@
+"""Unit tests for markdown report rendering and the report CLI."""
+
+import pytest
+
+from repro.harness import report_document, result_to_markdown
+from repro.harness.result import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        exp_id="figX",
+        title="Demo experiment",
+        headers=["size", "fps"],
+        rows=[[1000, 42.5], [2000, 21.2]],
+        shape_checks={"passes": True, "fails": False},
+        paper_says="something quantitative",
+        notes="a caveat",
+    )
+
+
+class TestResultToMarkdown:
+    def test_structure(self, result):
+        md = result_to_markdown(result)
+        assert md.startswith("## figX — Demo experiment")
+        assert "| size | fps |" in md
+        assert "| 1,000 | 42.5 |" in md
+        assert "- [x] passes" in md
+        assert "- [ ] fails" in md
+        assert "> a caveat" in md
+        assert "*Paper:* something quantitative" in md
+
+    def test_table_well_formed(self, result):
+        md = result_to_markdown(result)
+        table_lines = [l for l in md.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in table_lines}
+        assert widths == {3}  # header, separator, rows all 2 columns
+
+
+class TestReportDocument:
+    def test_summary_counts(self, result):
+        doc = report_document([result, result], title="Test report")
+        assert doc.startswith("# Test report")
+        assert "2 experiments, 2/4 shape checks passing." in doc
+        assert doc.count("## figX") == 2
+
+    def test_index_table(self, result):
+        doc = report_document([result])
+        assert "| figX | Demo experiment | 1/2 |" in doc
+
+
+class TestReportCli:
+    def test_report_subcommand_writes_file(self, tmp_path, monkeypatch, result):
+        import repro.harness.runner as runner
+
+        # Avoid running the full (slow) evaluation: stub the registry.
+        monkeypatch.setattr(runner, "experiment_ids", lambda: ["figX"])
+        monkeypatch.setattr(runner, "run_experiment", lambda exp_id: result)
+        out = tmp_path / "report.md"
+        code = runner.main(["report", str(out)])
+        assert out.exists()
+        text = out.read_text()
+        assert "figX" in text
+        assert code == 1  # one failing check in the stub result

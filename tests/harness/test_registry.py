@@ -1,0 +1,48 @@
+"""Unit tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, experiment_ids, run_experiment
+from repro.harness.runner import main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "table1", "fig3", "fig8", "fig9", "fig10", "tables23", "table4",
+            "table5", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "table6", "sec71",
+            "ext-ablation", "ext-incremental", "ext-hbm", "ext-crosscheck",
+            "ext-exact", "ext-sensitivity", "ext-banks", "ext-pareto",
+        }
+        assert set(experiment_ids()) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            run_experiment("fig99")
+
+    def test_run_experiment_forwards_kwargs(self):
+        result = run_experiment("tables23", n_fus=64)
+        assert result.exp_id == "tables23"
+        assert result.rows
+
+    def test_every_entry_callable(self):
+        for func in EXPERIMENTS.values():
+            assert callable(func)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table5" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "tables23"]) == 0
+        out = capsys.readouterr().out
+        assert "tables23" in out
+        assert "[ok]" in out
+
+    def test_run_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])

@@ -1,0 +1,57 @@
+"""Unit tests for experiment result rendering."""
+
+from repro.harness.result import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[0].index("value") == lines[2].index("1") - 4
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.12345], [1234.5], [12.345]])
+        assert "0.123" in text
+        assert "1,234" in text or "1,235" in text
+        assert "12.3" in text
+
+    def test_bool_formatting(self):
+        text = render_table(["v"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestExperimentResult:
+    def make(self, checks):
+        return ExperimentResult(
+            exp_id="figX",
+            title="Demo",
+            headers=["a"],
+            rows=[[1]],
+            shape_checks=checks,
+            paper_says="something",
+        )
+
+    def test_all_checks_pass(self):
+        assert self.make({"one": True, "two": True}).all_checks_pass
+        assert not self.make({"one": True, "two": False}).all_checks_pass
+
+    def test_failed_checks_listed(self):
+        result = self.make({"good": True, "bad": False})
+        assert result.failed_checks() == ["bad"]
+
+    def test_to_text_contains_everything(self):
+        text = self.make({"check": True}).to_text()
+        assert "figX" in text
+        assert "Demo" in text
+        assert "paper:" in text
+        assert "[ok] check" in text
+
+    def test_to_text_marks_failures(self):
+        text = self.make({"check": False}).to_text()
+        assert "[FAIL] check" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the ICP registration loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import perturbed_pair
+from repro.geometry import RigidTransform
+from repro.icp import IcpConfig, icp_register
+
+
+@pytest.mark.parametrize("backend", ["approx", "exact", "bruteforce"])
+class TestBackends:
+    def test_recovers_transform(self, rng, backend):
+        ref, qry, true = perturbed_pair(1_000, rng=rng, noise_std=0.0)
+        result = icp_register(ref, qry, IcpConfig(knn=backend))
+        assert result.converged
+        angle_err = abs(result.transform.yaw() - true.yaw())
+        trans_err = np.linalg.norm(result.transform.translation - true.translation)
+        assert angle_err < 1e-3
+        assert trans_err < 1e-2
+
+
+class TestBehaviour:
+    def test_noise_tolerated(self, rng):
+        ref, qry, true = perturbed_pair(1_500, rng=rng, noise_std=0.02)
+        result = icp_register(ref, qry, IcpConfig(knn="approx"))
+        trans_err = np.linalg.norm(result.transform.translation - true.translation)
+        assert trans_err < 0.05
+
+    def test_rms_decreases(self, rng):
+        ref, qry, _ = perturbed_pair(800, rng=rng, noise_std=0.0)
+        result = icp_register(ref, qry)
+        rms = result.per_iteration_rms
+        assert rms[-1] <= rms[0]
+
+    def test_identity_converges_immediately(self, rng):
+        ref, _, _ = perturbed_pair(500, rng=rng)
+        result = icp_register(ref, ref, IcpConfig(knn="bruteforce", trim_fraction=0.0))
+        assert result.converged
+        assert result.iterations <= 2
+        # Bounded by the brute-force distance kernel's cancellation noise.
+        assert result.rms_error < 1e-5
+
+    def test_iteration_cap_respected(self, rng):
+        # A transform too large for ICP's convergence basin.
+        big = RigidTransform.from_yaw(2.5, translation=(80.0, 0.0, 0.0))
+        ref, qry, _ = perturbed_pair(300, rng=rng, transform=big)
+        config = IcpConfig(max_iterations=5)
+        result = icp_register(ref, qry, config)
+        assert result.iterations <= 5
+
+    def test_approximate_backend_close_to_exact(self, rng):
+        """The paper's premise: approximate kNN barely hurts ICP."""
+        ref, qry, _ = perturbed_pair(1_500, rng=rng, noise_std=0.01)
+        exact = icp_register(ref, qry, IcpConfig(knn="bruteforce"))
+        approx = icp_register(ref, qry, IcpConfig(knn="approx"))
+        t_gap = np.linalg.norm(
+            exact.transform.translation - approx.transform.translation
+        )
+        assert t_gap < 0.05
+
+
+class TestValidation:
+    def test_rejects_tiny_clouds(self):
+        with pytest.raises(ValueError):
+            icp_register(np.zeros((2, 3)), np.zeros((5, 3)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IcpConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            IcpConfig(trim_fraction=1.0)
+
+    def test_unknown_backend(self, rng):
+        ref, qry, _ = perturbed_pair(100, rng=rng)
+        with pytest.raises(ValueError, match="knn"):
+            icp_register(ref, qry, IcpConfig(knn="warp-drive"))  # type: ignore[arg-type]

@@ -1,0 +1,66 @@
+"""Unit tests for rigid-transform estimation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RigidTransform
+from repro.icp import estimate_rigid_transform
+
+
+class TestExactRecovery:
+    def test_recovers_known_transform(self, rng):
+        true = RigidTransform.from_euler(0.1, -0.2, 0.5, translation=(1, 2, 3))
+        src = rng.normal(size=(50, 3))
+        est = estimate_rigid_transform(src, true.apply(src))
+        assert est.is_close(true, atol=1e-9)
+
+    def test_identity_for_same_points(self, rng):
+        pts = rng.normal(size=(20, 3))
+        est = estimate_rigid_transform(pts, pts)
+        assert est.is_close(RigidTransform.identity(), atol=1e-9)
+
+    def test_pure_translation(self, rng):
+        pts = rng.normal(size=(10, 3))
+        est = estimate_rigid_transform(pts, pts + [1.0, -2.0, 0.5])
+        assert np.allclose(est.translation, [1.0, -2.0, 0.5])
+        assert np.allclose(est.rotation, np.eye(3))
+
+    def test_never_returns_reflection(self, rng):
+        # Near-planar data tempts the SVD into a reflection; the
+        # determinant correction must prevent it.
+        src = rng.normal(size=(30, 3))
+        src[:, 2] *= 1e-9
+        tgt = rng.normal(size=(30, 3))
+        tgt[:, 2] *= 1e-9
+        est = estimate_rigid_transform(src, tgt)
+        assert np.linalg.det(est.rotation) == pytest.approx(1.0)
+
+
+class TestWeights:
+    def test_weights_downweight_outliers(self, rng):
+        true = RigidTransform.from_yaw(0.3, translation=(2, 0, 0))
+        src = rng.normal(size=(40, 3))
+        tgt = true.apply(src)
+        tgt[0] += 100.0  # gross outlier
+        weights = np.ones(40)
+        weights[0] = 0.0
+        est = estimate_rigid_transform(src, tgt, weights)
+        assert est.is_close(true, atol=1e-9)
+
+    def test_rejects_bad_weights(self, rng):
+        pts = rng.normal(size=(5, 3))
+        with pytest.raises(ValueError):
+            estimate_rigid_transform(pts, pts, np.ones(4))
+        with pytest.raises(ValueError):
+            estimate_rigid_transform(pts, pts, -np.ones(5))
+
+
+class TestValidation:
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            estimate_rigid_transform(rng.normal(size=(5, 3)), rng.normal(size=(6, 3)))
+
+    def test_rejects_too_few_points(self, rng):
+        pts = rng.normal(size=(2, 3))
+        with pytest.raises(ValueError):
+            estimate_rigid_transform(pts, pts)

@@ -1,0 +1,49 @@
+"""Unit tests for frame-to-frame trajectory tracking."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DriveConfig, generate_drive
+from repro.icp import FrameTracker, IcpConfig
+
+
+@pytest.fixture(scope="module")
+def drive_frames():
+    config = DriveConfig(
+        n_frames=4, target_points=4_000, ego_speed=3.0, ego_yaw_rate=0.1
+    )
+    return list(generate_drive(config, seed=2)), config
+
+
+class TestFrameTracker:
+    def test_first_frame_is_identity(self, drive_frames):
+        frames, _ = drive_frames
+        tracker = FrameTracker(IcpConfig(knn="approx", trim_fraction=0.3))
+        pose = tracker.update(frames[0].sensor_cloud())
+        assert np.allclose(pose.translation, 0.0)
+        assert tracker.state.n_frames == 1
+
+    def test_trajectory_tracks_ego_motion(self, drive_frames):
+        frames, config = drive_frames
+        tracker = FrameTracker(IcpConfig(knn="approx", trim_fraction=0.3))
+        state = tracker.track(f.sensor_cloud() for f in frames)
+        assert state.n_frames == len(frames)
+
+        estimated = state.positions()
+        truth = np.array([f.ego_pose.translation for f in frames])
+        # Accumulated drift stays small over a short drive.
+        final_error = np.linalg.norm(estimated[-1] - truth[-1])
+        assert final_error < 0.3
+
+    def test_headings_track_yaw(self, drive_frames):
+        frames, config = drive_frames
+        tracker = FrameTracker(IcpConfig(knn="approx", trim_fraction=0.3))
+        state = tracker.track(f.sensor_cloud() for f in frames)
+        true_final_yaw = frames[-1].ego_pose.yaw()
+        assert state.headings()[-1] == pytest.approx(true_final_yaw, abs=0.02)
+
+    def test_registrations_recorded(self, drive_frames):
+        frames, _ = drive_frames
+        tracker = FrameTracker(IcpConfig(knn="approx", trim_fraction=0.3))
+        tracker.track(f.sensor_cloud() for f in frames[:3])
+        assert len(tracker.state.registrations) == 2

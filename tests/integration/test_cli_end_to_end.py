@@ -1,0 +1,42 @@
+"""End-to-end CLI tests: the installed entry point's full surface."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import main
+
+
+class TestCliSurface:
+    def test_list_is_complete_and_ordered(self, capsys):
+        assert main(["list"]) == 0
+        ids = capsys.readouterr().out.split()
+        # Paper artifacts first, in paper order; extensions after.
+        assert ids[:5] == ["table1", "fig3", "fig8", "fig9", "fig10"]
+        assert all(x.startswith("ext-") for x in ids[16:])
+
+    def test_run_with_json_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(["run", "tables23", "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload[0]["exp_id"] == "tables23"
+        assert all(payload[0]["shape_checks"].values())
+        stdout = capsys.readouterr().out
+        assert "tables23" in stdout and "[ok]" in stdout
+
+    def test_exit_code_reflects_failures(self, monkeypatch):
+        import repro.harness.runner as runner
+        from repro.harness.result import ExperimentResult
+
+        failing = ExperimentResult(
+            exp_id="x", title="t", headers=["a"], rows=[[1]],
+            shape_checks={"doomed": False},
+        )
+        monkeypatch.setattr(runner, "experiment_ids", lambda: ["x"])
+        monkeypatch.setattr(runner, "run_experiment", lambda exp_id: failing)
+        assert runner.main(["all"]) == 1
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,82 @@
+"""Cross-module integration tests: the full pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.accuracy import knn_recall
+from repro.arch import LinearArch, LinearArchConfig, QuickNN, QuickNNConfig
+from repro.baselines import knn_bruteforce
+from repro.datasets import DriveConfig, generate_drive
+from repro.icp import IcpConfig, icp_register
+from repro.kdtree import KdTreeConfig, build_tree, check_tree, knn_approx, update_tree
+
+
+class TestPublicApi:
+    def test_top_level_exports_work(self):
+        ref, qry = repro.lidar_frame_pair(1_000, seed=1)
+        tree, _ = repro.build_tree(ref)
+        result = repro.knn_approx(tree, qry, k=4)
+        assert result.indices.shape == (1_000, 4)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestSuccessiveFramePipeline:
+    """The paper's benchmark workload, run through the whole stack."""
+
+    def test_accelerator_results_equal_software(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        config = KdTreeConfig(bucket_capacity=64)
+        accel = QuickNN(QuickNNConfig(n_fus=16, tree=config))
+        hw_result, report = accel.run(ref, qry, 8)
+
+        tree, _ = build_tree(ref, config)
+        sw_result = knn_approx(tree, qry, 8)
+        assert np.array_equal(hw_result.indices, sw_result.indices)
+        assert report.fps > 0
+
+    def test_quicknn_faster_and_lighter_than_linear(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        n = len(ref)
+        quick = QuickNN(QuickNNConfig(n_fus=16)).run(ref, qry, 8)[1]
+        linear = LinearArch(LinearArchConfig(n_fus=16)).simulate(n, n, 8)
+        assert quick.total_cycles < linear.total_cycles
+        assert quick.memory_words < linear.memory_words
+
+    def test_accuracy_holds_through_accelerator(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        _, _ = small_frame_pair
+        accel = QuickNN(QuickNNConfig(n_fus=16))
+        hw_result, _ = accel.run(ref, qry, 8)
+        exact = knn_bruteforce(ref, qry, 8)
+        assert knn_recall(hw_result, exact, 8) > 0.5
+
+
+class TestDriveWithIncrementalUpdate:
+    def test_tree_maintained_across_frames(self):
+        config = KdTreeConfig(bucket_capacity=128)
+        frames = list(generate_drive(
+            DriveConfig(n_frames=4, target_points=3_000), seed=2
+        ))
+        tree, _ = build_tree(frames[0].cloud, config)
+        for frame in frames[1:]:
+            tree, _ = update_tree(tree, frame.cloud, config)
+            check_tree(tree)
+            result = knn_approx(tree, frame.cloud.xyz[:100], k=1)
+            assert np.allclose(result.distances[:, 0], 0.0)
+
+
+class TestIcpOnLidarFrames:
+    def test_ego_motion_estimated_from_drive(self):
+        frames = list(generate_drive(
+            DriveConfig(n_frames=2, target_points=4_000, ego_speed=5.0), seed=3
+        ))
+        # Register consecutive sensor-frame clouds; the recovered motion
+        # should match the ego step (0.5 m forward).
+        src = frames[1].sensor_cloud()
+        tgt = frames[0].sensor_cloud()
+        result = icp_register(src, tgt, IcpConfig(knn="approx", trim_fraction=0.3))
+        dx = result.transform.translation[0]
+        assert dx == pytest.approx(0.5, abs=0.25)

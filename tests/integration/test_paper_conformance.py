@@ -1,0 +1,65 @@
+"""Paper-conformance summary at reduced scale.
+
+The benchmark suite asserts the paper's findings at the full 30k
+operating point; this module asserts a compact subset at 10k so the
+headline claims are also guarded by the fast test suite.
+"""
+
+import pytest
+
+from repro.arch import LinearArch, LinearArchConfig, QuickNN, QuickNNConfig
+
+
+@pytest.fixture(scope="module")
+def frames_10k():
+    from repro.datasets import lidar_frame_pair
+
+    return lidar_frame_pair(10_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def quick64(frames_10k):
+    ref, qry = frames_10k
+    _, report = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+    return report
+
+
+class TestHeadlineClaims:
+    def test_order_of_magnitude_over_linear(self, quick64):
+        """Abstract: large speedup over the same-sized exact design."""
+        linear = LinearArch(LinearArchConfig(n_fus=64)).simulate(10_000, 10_000, 8)
+        assert linear.total_cycles / quick64.total_cycles >= 8.0
+
+    def test_memory_traffic_reduction(self, quick64):
+        """Figure 12's regime: an order of magnitude less traffic."""
+        linear = LinearArch(LinearArchConfig(n_fus=64)).simulate(10_000, 10_000, 8)
+        assert linear.memory_words / quick64.memory_words >= 10.0
+
+    def test_real_time_capable(self, quick64):
+        """Section 6: modern LiDARs need >=10 FPS; QuickNN clears it."""
+        assert quick64.fps >= 10.0
+
+    def test_bandwidth_utilization_band(self, quick64):
+        """Figure 13: utilization in the high-but-not-saturated band."""
+        assert 0.5 <= quick64.bandwidth_utilization <= 0.95
+
+    def test_fu_scaling_with_diminishing_returns(self, frames_10k):
+        """Table 5's shape: monotone FPS, sublinear at the top end."""
+        ref, qry = frames_10k
+        fps = {}
+        for fus in (16, 64, 128):
+            _, report = QuickNN(QuickNNConfig(n_fus=fus)).run(ref, qry, 8)
+            fps[fus] = report.fps
+        assert fps[16] < fps[64] < fps[128]
+        assert fps[128] / fps[16] < 8.0  # far from linear: shared memory binds
+
+    def test_accuracy_at_operating_point(self, frames_10k):
+        """Figure 3's regime: B_N=256 approximate search is usably
+        accurate at x=2 rank tolerance."""
+        from repro.analysis.accuracy import knn_recall
+        from repro.baselines import knn_bruteforce
+
+        ref, qry = frames_10k
+        result, _ = QuickNN(QuickNNConfig(n_fus=64)).run(ref, qry, 8)
+        exact = knn_bruteforce(ref, qry, 10)
+        assert knn_recall(result, exact, 8, x=2) >= 0.6

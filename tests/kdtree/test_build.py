@@ -1,0 +1,115 @@
+"""Unit tests for tree construction and point placement."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, build_tree, check_tree, place_points
+from repro.kdtree.node import NO_NODE
+
+
+class TestBuild:
+    def test_small_cloud_single_leaf(self, rng):
+        cloud = uniform_cloud(50, rng=rng)
+        tree, trace = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        assert tree.n_nodes == 1
+        assert tree.nodes[0].is_leaf
+        assert trace.sort_sizes == []
+
+    def test_balanced_node_count(self, rng):
+        # Depth-d full tree has 2^(d+1) - 1 nodes.
+        cloud = uniform_cloud(4096, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        assert tree.depth() == 4
+        assert tree.n_nodes == 2**5 - 1
+        assert tree.n_leaves == 16
+
+    def test_all_points_placed(self, rng):
+        cloud = uniform_cloud(3000, rng=rng)
+        tree, _ = build_tree(cloud)
+        assert int(tree.bucket_sizes().sum()) == 3000
+        check_tree(tree)
+
+    def test_place_false_leaves_buckets_empty(self, rng):
+        cloud = uniform_cloud(3000, rng=rng)
+        tree, _ = build_tree(cloud, place=False)
+        assert int(tree.bucket_sizes().sum()) == 0
+        check_tree(tree, require_all_points=False)
+
+    def test_trace_records_sorts(self, rng):
+        cloud = uniform_cloud(4096, rng=rng)
+        tree, trace = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        n_internal = tree.n_nodes - tree.n_leaves
+        assert len(trace.sort_sizes) == n_internal
+        assert trace.total_sorted_elements == sum(trace.sort_sizes)
+        assert trace.placement_traversals == 4096
+
+    def test_deterministic_given_rng(self, rng):
+        cloud = uniform_cloud(2000, rng=rng)
+        t1, _ = build_tree(cloud, rng=np.random.default_rng(3))
+        t2, _ = build_tree(cloud, rng=np.random.default_rng(3))
+        assert [n.threshold for n in t1.nodes] == [n.threshold for n in t2.nodes]
+
+    def test_dims_cycle_by_depth(self, rng):
+        cloud = uniform_cloud(4096, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        for node in tree.nodes:
+            if not node.is_leaf:
+                assert node.dim == node.depth % 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_tree(np.empty((0, 3)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((5, 2)))
+
+    def test_duplicate_points_all_placed(self):
+        points = np.tile([[1.0, 2.0, 3.0]], (500, 1))
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=64))
+        assert int(tree.bucket_sizes().sum()) == 500
+        check_tree(tree)
+
+
+class TestDescend:
+    def test_descend_batch_matches_scalar(self, rng):
+        cloud = uniform_cloud(2000, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+        queries = uniform_cloud(100, rng=rng).xyz
+        batch = tree.descend_batch(queries)
+        for i in range(100):
+            assert tree.descend(queries[i]).index == batch[i]
+
+    def test_descend_path_ends_at_leaf(self, small_tree):
+        point = small_tree.points[0]
+        path = small_tree.descend_path(point)
+        assert path[0] == small_tree.ROOT
+        assert small_tree.nodes[path[-1]].is_leaf
+        assert len(path) == small_tree.nodes[path[-1]].depth + 1
+
+    def test_threshold_point_goes_left(self, rng):
+        cloud = uniform_cloud(1024, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        root = tree.nodes[tree.ROOT]
+        probe = np.array([root.threshold, 0.0, 0.0])
+        path = tree.descend_path(probe)
+        assert path[1] == root.left
+
+
+class TestReplacement:
+    def test_place_points_is_idempotent(self, rng):
+        cloud = uniform_cloud(1500, rng=rng)
+        tree, _ = build_tree(cloud)
+        before = [b.copy() for b in tree.buckets]
+        place_points(tree)
+        for a, b in zip(before, tree.buckets):
+            assert np.array_equal(a, b)
+
+    def test_parent_pointers(self, small_tree):
+        for node in small_tree.nodes:
+            if node.index == small_tree.ROOT:
+                assert node.parent == NO_NODE
+            else:
+                parent = small_tree.nodes[node.parent]
+                assert node.index in (parent.left, parent.right)

@@ -1,0 +1,66 @@
+"""Unit tests for KdTreeConfig."""
+
+import pytest
+
+from repro.kdtree import KdTreeConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = KdTreeConfig()
+        assert cfg.bucket_capacity == 256
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            KdTreeConfig(bucket_capacity=0)
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError):
+            KdTreeConfig(sample_size=0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            KdTreeConfig(split_dims=(0, 3))
+        with pytest.raises(ValueError):
+            KdTreeConfig(split_dims=())
+
+
+class TestTargetDepth:
+    def test_matches_paper_formula(self):
+        # d = log2(N / B_N): 30k points, 256/bucket -> ~128 leaves -> depth 7.
+        assert KdTreeConfig(bucket_capacity=256).target_depth(30_000) == 7
+
+    def test_small_input_is_depth_zero(self):
+        assert KdTreeConfig(bucket_capacity=256).target_depth(100) == 0
+
+    def test_max_depth_caps(self):
+        cfg = KdTreeConfig(bucket_capacity=4, max_depth=3)
+        assert cfg.target_depth(10_000) == 3
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            KdTreeConfig().target_depth(0)
+
+
+class TestSampling:
+    def test_sample_capped_at_n(self):
+        cfg = KdTreeConfig(sample_size=5000)
+        assert cfg.effective_sample_size(100) == 100
+
+    def test_default_scales_with_leaves(self):
+        cfg = KdTreeConfig(bucket_capacity=256)
+        assert cfg.effective_sample_size(30_000) == 16 * 128
+
+    def test_explicit_sample_size(self):
+        cfg = KdTreeConfig(sample_size=333)
+        assert cfg.effective_sample_size(30_000) == 333
+
+
+class TestDimCycle:
+    def test_cycles_x_y_z(self):
+        cfg = KdTreeConfig()
+        assert [cfg.dim_at_depth(d) for d in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_custom_cycle(self):
+        cfg = KdTreeConfig(split_dims=(2, 0))
+        assert [cfg.dim_at_depth(d) for d in range(4)] == [2, 0, 2, 0]

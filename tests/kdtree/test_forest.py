@@ -1,0 +1,108 @@
+"""Unit tests for the randomized k-d tree forest."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import knn_recall
+from repro.baselines import knn_bruteforce
+from repro.datasets.synthetic import gaussian_clusters, uniform_cloud
+from repro.kdtree import KdForest, KdForestConfig, check_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(23)
+    ref = gaussian_clusters(2_000, rng=rng)
+    queries = gaussian_clusters(150, rng=rng).xyz
+    return ref, queries
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KdForestConfig(n_trees=0)
+        with pytest.raises(ValueError):
+            KdForestConfig(top_variance_dims=0)
+        with pytest.raises(ValueError):
+            KdForestConfig(bucket_capacity=0)
+
+
+class TestBuild:
+    def test_trees_are_valid_and_distinct(self, setup):
+        ref, _ = setup
+        forest = KdForest(ref, KdForestConfig(n_trees=4, bucket_capacity=64))
+        assert len(forest.trees) == 4
+        for tree in forest.trees:
+            check_tree(tree)
+        # Randomized splits: at least two trees differ structurally.
+        signatures = {
+            tuple((n.dim, round(n.threshold, 6)) for n in t.nodes if not n.is_leaf)
+            for t in forest.trees
+        }
+        assert len(signatures) > 1
+
+    def test_single_tree_forest(self, setup):
+        ref, queries = setup
+        forest = KdForest(ref, KdForestConfig(n_trees=1))
+        result = forest.query(queries, 3, max_leaves=1)
+        assert result.indices.shape == (len(queries), 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            KdForest(np.empty((0, 3)))
+
+
+class TestQuery:
+    def test_recall_grows_with_budget(self, setup):
+        ref, queries = setup
+        exact = knn_bruteforce(ref, queries, 5)
+        forest = KdForest(
+            ref, KdForestConfig(n_trees=4, bucket_capacity=64),
+            rng=np.random.default_rng(1),
+        )
+
+        def recall(budget):
+            return knn_recall(forest.query(queries, 5, max_leaves=budget), exact, 5)
+
+        r2, r4, r8 = recall(2), recall(4), recall(8)
+        assert r2 <= r4 <= r8
+        assert r8 > 0.9
+
+    def test_single_tree_wins_in_3d(self, setup):
+        """In 3D, one tree with the whole leaf budget beats a forest —
+        randomized forests pay off in high dimensions, which is exactly
+        why the paper's hardware uses a single tree."""
+        ref, queries = setup
+        exact = knn_bruteforce(ref, queries, 5)
+
+        def recall(n_trees):
+            forest = KdForest(
+                ref, KdForestConfig(n_trees=n_trees, bucket_capacity=64),
+                rng=np.random.default_rng(1),
+            )
+            return knn_recall(forest.query(queries, 5, max_leaves=4), exact, 5)
+
+        assert recall(1) >= recall(4) - 0.02
+
+    def test_large_budget_nearly_exact(self, setup):
+        ref, queries = setup
+        exact = knn_bruteforce(ref, queries, 5)
+        forest = KdForest(ref, KdForestConfig(n_trees=2, bucket_capacity=64))
+        result = forest.query(queries, 5, max_leaves=64)
+        assert knn_recall(result, exact, 5) > 0.95
+
+    def test_no_duplicate_results_across_trees(self, setup):
+        ref, queries = setup
+        forest = KdForest(ref, KdForestConfig(n_trees=4))
+        result = forest.query(queries, 8, max_leaves=8)
+        for row in result.indices:
+            real = row[row >= 0]
+            assert len(set(real.tolist())) == real.size
+
+    def test_validation(self, setup):
+        ref, queries = setup
+        forest = KdForest(ref)
+        with pytest.raises(ValueError):
+            forest.query(queries, 0)
+        with pytest.raises(ValueError):
+            forest.query(queries, 1, max_leaves=0)

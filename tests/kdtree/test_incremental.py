@@ -1,0 +1,106 @@
+"""Unit tests for static reuse and incremental tree update."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import (
+    KdTreeConfig,
+    build_tree,
+    check_tree,
+    knn_exact,
+    reuse_tree,
+    update_tree,
+)
+
+
+@pytest.fixture
+def base(rng):
+    cloud = uniform_cloud(4000, rng=rng)
+    tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+    return tree, cloud, rng
+
+
+class TestReuse:
+    def test_same_structure_new_points(self, base):
+        tree, cloud, rng = base
+        shifted = cloud.translated(np.array([0.5, 0.0, 0.0]))
+        reused = reuse_tree(tree, shifted)
+        assert reused.n_nodes == tree.n_nodes
+        assert [n.threshold for n in reused.nodes] == [n.threshold for n in tree.nodes]
+        assert int(reused.bucket_sizes().sum()) == len(shifted)
+        check_tree(reused)
+
+    def test_original_untouched(self, base):
+        tree, cloud, rng = base
+        before = [b.copy() for b in tree.buckets]
+        reuse_tree(tree, cloud.translated(np.array([5.0, 0.0, 0.0])))
+        for a, b in zip(before, tree.buckets):
+            assert np.array_equal(a, b)
+
+    def test_shift_unbalances(self, base):
+        tree, cloud, rng = base
+        shifted = cloud.translated(np.array([20.0, 0.0, 0.0]))
+        reused = reuse_tree(tree, shifted)
+        before, after = tree.bucket_sizes(), reused.bucket_sizes()
+        spread = lambda s: s.max() / max(s.min(), 1)
+        assert spread(after) > spread(before)
+
+
+class TestUpdate:
+    def test_same_distribution_few_changes(self, base):
+        tree, cloud, rng = base
+        similar = uniform_cloud(4000, rng=rng)
+        updated, trace = update_tree(tree, similar, KdTreeConfig(bucket_capacity=64))
+        check_tree(updated)
+        assert trace.n_merges + trace.n_splits <= tree.n_leaves // 2
+
+    def test_bounds_enforced_after_shift(self, base):
+        tree, cloud, rng = base
+        config = KdTreeConfig(bucket_capacity=64)
+        shifted = cloud.translated(np.array([30.0, 0.0, 0.0]))
+        updated, trace = update_tree(tree, shifted, config)
+        check_tree(updated)
+        sizes = updated.bucket_sizes()
+        assert sizes.max() <= 2 * 64
+        assert trace.n_merges + trace.n_splits > 0
+
+    def test_update_preserves_searchability(self, base):
+        tree, cloud, rng = base
+        moved = cloud.translated(np.array([3.0, 1.0, 0.0]))
+        updated, _ = update_tree(tree, moved, KdTreeConfig(bucket_capacity=64))
+        queries = moved.xyz[:50]
+        result = knn_exact(updated, queries, k=1)
+        assert (result.distances[:, 0] == 0.0).all()
+
+    def test_custom_bounds(self, base):
+        tree, cloud, rng = base
+        grown = uniform_cloud(8000, rng=rng)
+        updated, _ = update_tree(
+            tree, grown, KdTreeConfig(bucket_capacity=64),
+            lower_bound=16, upper_bound=96,
+        )
+        check_tree(updated)
+        assert updated.bucket_sizes().max() <= 96
+
+    def test_rejects_bad_bounds(self, base):
+        tree, cloud, rng = base
+        with pytest.raises(ValueError):
+            update_tree(tree, cloud, lower_bound=100, upper_bound=50)
+
+    def test_trace_sorts_smaller_than_full_build(self, base):
+        """The paper's point: incremental sorting touches far fewer points."""
+        tree, cloud, rng = base
+        shifted = cloud.translated(np.array([5.0, 0.0, 0.0]))
+        _, trace = update_tree(tree, shifted, KdTreeConfig(bucket_capacity=64))
+        _, full_trace = build_tree(
+            shifted, KdTreeConfig(bucket_capacity=64, sample_size=len(shifted))
+        )
+        assert trace.total_sorted_elements < full_trace.total_sorted_elements
+
+    def test_duplicate_heavy_input_terminates(self, rng):
+        points = np.tile([[1.0, 1.0, 1.0]], (1000, 1))
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=32))
+        updated, _ = update_tree(tree, points, KdTreeConfig(bucket_capacity=32))
+        check_tree(updated)
+        assert int(updated.bucket_sizes().sum()) == 1000

@@ -1,0 +1,107 @@
+"""Property-based tests of the k-d tree invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kdtree import (
+    KdTreeConfig,
+    build_tree,
+    check_tree,
+    knn_approx,
+    knn_exact,
+    update_tree,
+)
+
+finite_coord = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+def clouds(min_points=4, max_points=200):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_points, max_points), st.just(3)),
+        elements=finite_coord,
+    )
+
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStructuralInvariants:
+    @common
+    @given(points=clouds(), bucket=st.integers(1, 64))
+    def test_any_cloud_builds_valid_tree(self, points, bucket):
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=bucket))
+        check_tree(tree)
+
+    @common
+    @given(points=clouds())
+    def test_every_point_reaches_its_own_bucket(self, points):
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=16))
+        leaf_ids = tree.descend_batch(points)
+        for i, leaf in enumerate(leaf_ids):
+            bucket = tree.buckets[tree.nodes[int(leaf)].bucket_id]
+            assert i in bucket
+
+    @common
+    @given(points=clouds(min_points=8), bucket=st.integers(2, 32))
+    def test_update_preserves_invariants(self, points, bucket):
+        config = KdTreeConfig(bucket_capacity=bucket)
+        tree, _ = build_tree(points, config)
+        # Shift the frame, as a moving scene would.
+        moved = points + np.array([1.5, -0.5, 0.25])
+        updated, _ = update_tree(tree, moved, config)
+        check_tree(updated)
+        assert int(updated.bucket_sizes().sum()) == points.shape[0]
+
+
+class TestSearchInvariants:
+    @common
+    @given(points=clouds(min_points=10), k=st.integers(1, 8))
+    def test_exact_matches_bruteforce_distances(self, points, k):
+        from repro.baselines import knn_bruteforce
+
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=8))
+        queries = points[:5]
+        exact = knn_exact(tree, queries, k)
+        brute = knn_bruteforce(points, queries, k)
+        # atol covers the |q|^2 - 2 q.r + |r|^2 cancellation error in the
+        # chunked brute force at coordinate magnitudes up to 1e3.
+        assert np.allclose(exact.distances, brute.distances, atol=1e-4)
+
+    @common
+    @given(points=clouds(min_points=10), k=st.integers(1, 6))
+    def test_approx_never_beats_exact(self, points, k):
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=8))
+        queries = points[::3][:10]
+        approx = knn_approx(tree, queries, k)
+        exact = knn_exact(tree, queries, k)
+        finite = ~np.isinf(approx.distances)
+        assert (approx.distances[finite] >= exact.distances[finite] - 1e-9).all()
+
+    @common
+    @given(points=clouds(min_points=6))
+    def test_self_query_distance_zero(self, points):
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=8))
+        result = knn_approx(tree, points[:10], k=1)
+        assert np.allclose(result.distances[:, 0], 0.0)
+
+    @common
+    @given(points=clouds(min_points=10), k=st.integers(1, 5))
+    def test_result_rows_sorted_and_unique(self, points, k):
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=8))
+        result = knn_exact(tree, points[:8], k)
+        for row_d, row_i in zip(result.distances, result.indices):
+            finite = ~np.isinf(row_d)
+            assert (np.diff(row_d[finite]) >= -1e-12).all()
+            real = row_i[row_i >= 0]
+            assert len(set(real.tolist())) == real.size

@@ -1,0 +1,98 @@
+"""Unit tests for the approximate-search miss diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import knn_bruteforce
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import (
+    KdTreeConfig,
+    boundary_distances,
+    build_tree,
+    diagnose_misses,
+    knn_approx,
+    leaf_regions,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(31)
+    ref = uniform_cloud(3_000, rng=rng)
+    queries = uniform_cloud(400, rng=rng).xyz
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=64))
+    approx = knn_approx(tree, queries, 5)
+    exact = knn_bruteforce(ref, queries, 5)
+    return tree, ref, queries, approx, exact
+
+
+class TestLeafRegions:
+    def test_one_region_per_leaf(self, setup):
+        tree, *_ = setup
+        regions = leaf_regions(tree)
+        assert len(regions) == tree.n_leaves
+
+    def test_regions_contain_their_buckets(self, setup):
+        tree, *_ = setup
+        regions = leaf_regions(tree)
+        for leaf_index, region in regions.items():
+            members = tree.buckets[tree.nodes[leaf_index].bucket_id]
+            if members.size:
+                assert region.contains(tree.points[members]).all()
+
+    def test_every_query_lands_in_its_region(self, setup):
+        tree, _, queries, *_ = setup
+        regions = leaf_regions(tree)
+        leaves = tree.descend_batch(queries)
+        for i, leaf in enumerate(leaves):
+            assert regions[int(leaf)].contains(queries[i])[0]
+
+
+class TestBoundaryDistances:
+    def test_nonnegative_and_finite_mostly(self, setup):
+        tree, _, queries, *_ = setup
+        distances = boundary_distances(tree, queries)
+        assert (distances >= 0).all()
+        assert np.isfinite(distances).all()
+
+    def test_point_on_root_threshold_distance_zero(self, setup):
+        tree, *_ = setup
+        root = tree.nodes[tree.ROOT]
+        probe = np.array([[0.0, 0.0, 5.0]])
+        probe[0, root.dim] = root.threshold
+        assert boundary_distances(tree, probe)[0] == pytest.approx(0.0)
+
+
+class TestDiagnosis:
+    def test_misses_concentrate_near_boundaries(self, setup):
+        tree, _, queries, approx, exact = setup
+        diagnosis = diagnose_misses(tree, queries, approx, exact)
+        assert 0.5 < diagnosis.recall < 1.0
+        assert diagnosis.miss_rate_near_boundary > diagnosis.miss_rate_far_from_boundary
+
+    def test_recall_matches_metric(self, setup):
+        from repro.analysis.accuracy import knn_recall
+
+        tree, _, queries, approx, exact = setup
+        diagnosis = diagnose_misses(tree, queries, approx, exact)
+        assert diagnosis.recall == pytest.approx(knn_recall(approx, exact, 5), abs=1e-9)
+
+    def test_bigger_buckets_fewer_boundary_limited(self, setup):
+        tree_small, ref, queries, _, exact = setup
+        tree_big, _ = build_tree(ref, KdTreeConfig(bucket_capacity=512))
+        approx_small = knn_approx(tree_small, queries, 5)
+        approx_big = knn_approx(tree_big, queries, 5)
+        d_small = diagnose_misses(tree_small, queries, approx_small, exact)
+        d_big = diagnose_misses(tree_big, queries, approx_big, exact)
+        assert d_big.boundary_limited_fraction < d_small.boundary_limited_fraction
+        assert d_big.recall >= d_small.recall
+
+    def test_summary_text(self, setup):
+        tree, _, queries, approx, exact = setup
+        text = diagnose_misses(tree, queries, approx, exact).summary()
+        assert "recall" in text and "boundary" in text
+
+    def test_validation(self, setup):
+        tree, _, queries, approx, exact = setup
+        with pytest.raises(ValueError):
+            diagnose_misses(tree, queries[:10], approx, exact)

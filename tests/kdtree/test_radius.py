@@ -1,0 +1,57 @@
+"""Unit tests for exact radius search."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, build_tree, radius_search
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(17)
+    cloud = uniform_cloud(1_500, rng=rng)
+    tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=32))
+    return tree, cloud
+
+
+class TestRadiusSearch:
+    def test_matches_scipy(self, setup):
+        tree, cloud = setup
+        query = np.array([0.0, 0.0, 5.0])
+        idx, dst = radius_search(tree, query, 10.0)
+        expected = sorted(cKDTree(cloud.xyz).query_ball_point(query, 10.0))
+        assert sorted(idx.tolist()) == expected
+
+    def test_distances_sorted_and_within_radius(self, setup):
+        tree, _ = setup
+        idx, dst = radius_search(tree, np.array([5.0, -3.0, 2.0]), 8.0)
+        assert (np.diff(dst) >= 0).all()
+        assert (dst <= 8.0).all()
+        assert idx.size == dst.size
+
+    def test_zero_radius_finds_exact_point(self, setup):
+        tree, cloud = setup
+        idx, dst = radius_search(tree, cloud.xyz[42], 0.0)
+        assert 42 in idx
+        assert (dst == 0.0).all()
+
+    def test_empty_result(self, setup):
+        tree, _ = setup
+        idx, dst = radius_search(tree, np.array([1e6, 1e6, 1e6]), 1.0)
+        assert idx.size == 0 and dst.size == 0
+
+    def test_radius_monotone(self, setup):
+        tree, _ = setup
+        q = np.array([0.0, 0.0, 5.0])
+        small, _ = radius_search(tree, q, 5.0)
+        large, _ = radius_search(tree, q, 15.0)
+        assert set(small.tolist()) <= set(large.tolist())
+
+    def test_validation(self, setup):
+        tree, _ = setup
+        with pytest.raises(ValueError):
+            radius_search(tree, np.zeros(3), -1.0)
+        with pytest.raises(ValueError):
+            radius_search(tree, np.zeros((2, 3)), 1.0)

@@ -1,0 +1,76 @@
+"""Unit tests for k-d tree serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import (
+    KdTreeConfig,
+    build_tree,
+    check_tree,
+    knn_approx,
+    load_tree,
+    save_tree,
+    tree_from_arrays,
+    tree_to_arrays,
+)
+
+
+@pytest.fixture
+def tree(rng):
+    cloud = uniform_cloud(1_000, rng=rng)
+    tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+    return tree
+
+
+class TestArrays:
+    def test_roundtrip_preserves_structure(self, tree):
+        clone = tree_from_arrays(tree_to_arrays(tree))
+        check_tree(clone)
+        assert clone.n_nodes == tree.n_nodes
+        assert clone.n_leaves == tree.n_leaves
+        for a, b in zip(tree.nodes, clone.nodes):
+            assert (a.dim, a.left, a.right, a.bucket_id) == (
+                b.dim, b.left, b.right, b.bucket_id
+            )
+            assert a.threshold == b.threshold or (
+                np.isnan(a.threshold) and np.isnan(b.threshold)
+            )
+
+    def test_roundtrip_preserves_search(self, tree, rng):
+        clone = tree_from_arrays(tree_to_arrays(tree))
+        queries = uniform_cloud(50, rng=rng).xyz
+        original = knn_approx(tree, queries, 5)
+        restored = knn_approx(clone, queries, 5)
+        assert np.array_equal(original.indices, restored.indices)
+
+    def test_version_check(self, tree):
+        arrays = tree_to_arrays(tree)
+        arrays["version"] = np.array([99], dtype=np.int64)
+        with pytest.raises(ValueError, match="version"):
+            tree_from_arrays(arrays)
+
+    def test_empty_bucket_roundtrip(self, rng):
+        # Degenerate data produces empty buckets; they must survive.
+        points = np.tile([[0.0, 0.0, 0.0]], (100, 1))
+        degenerate, _ = build_tree(points, KdTreeConfig(bucket_capacity=16))
+        clone = tree_from_arrays(tree_to_arrays(degenerate))
+        assert int(clone.bucket_sizes().sum()) == 100
+
+
+class TestFileIo:
+    def test_save_load_stream(self, tree):
+        buffer = io.BytesIO()
+        save_tree(tree, buffer)
+        buffer.seek(0)
+        clone = load_tree(buffer)
+        check_tree(clone)
+        assert clone.n_points == tree.n_points
+
+    def test_save_load_path(self, tree, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        clone = load_tree(path)
+        assert clone.n_nodes == tree.n_nodes

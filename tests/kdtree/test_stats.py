@@ -1,0 +1,43 @@
+"""Unit tests for tree statistics."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, build_tree, node_access_probability, tree_stats
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, rng):
+        cloud = uniform_cloud(2048, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=128))
+        stats = tree_stats(tree)
+        assert stats.n_points == 2048
+        assert stats.n_leaves == tree.n_leaves
+        assert stats.bucket_min <= stats.bucket_mean <= stats.bucket_max
+        assert stats.bucket_mean == pytest.approx(2048 / stats.n_leaves)
+
+    def test_imbalance_of_balanced_tree(self, rng):
+        cloud = uniform_cloud(4096, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
+        stats = tree_stats(tree)
+        assert 1.0 <= stats.imbalance < 3.0
+
+    def test_empty_bucket_count(self, rng):
+        cloud = uniform_cloud(1000, rng=rng)
+        tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+        assert tree_stats(tree).empty_buckets == int((tree.bucket_sizes() == 0).sum())
+
+
+class TestAccessProbability:
+    def test_halves_per_level(self):
+        assert node_access_probability(0) == 1.0
+        assert node_access_probability(3) == pytest.approx(0.125)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            node_access_probability(-1)
+
+    def test_level_sums_to_one(self):
+        # 2^i nodes at level i, each hit with probability 2^-i.
+        for depth in range(5):
+            assert 2**depth * node_access_probability(depth) == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the tree invariant checker (it must catch corruption)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, TreeInvariantError, build_tree, check_tree
+
+
+@pytest.fixture
+def tree(rng):
+    cloud = uniform_cloud(1000, rng=rng)
+    tree, _ = build_tree(cloud, KdTreeConfig(bucket_capacity=64))
+    return tree
+
+
+class TestAcceptsValid:
+    def test_valid_tree_passes(self, tree):
+        check_tree(tree)
+
+    def test_unplaced_tree_with_flag(self, rng):
+        cloud = uniform_cloud(500, rng=rng)
+        unplaced, _ = build_tree(cloud, place=False)
+        check_tree(unplaced, require_all_points=False)
+        with pytest.raises(TreeInvariantError, match="points"):
+            check_tree(unplaced)
+
+
+class TestCatchesCorruption:
+    def test_bad_index(self, tree):
+        tree.nodes[3].index = 99
+        with pytest.raises(TreeInvariantError, match="index"):
+            check_tree(tree)
+
+    def test_bad_parent_pointer(self, tree):
+        victim = next(n for n in tree.nodes if n.parent != -1)
+        victim.parent = victim.index  # self-parent
+        with pytest.raises(TreeInvariantError, match="parent"):
+            check_tree(tree)
+
+    def test_leaf_with_children(self, tree):
+        leaf = next(n for n in tree.nodes if n.is_leaf)
+        leaf.left = 0
+        with pytest.raises(TreeInvariantError, match="children"):
+            check_tree(tree)
+
+    def test_internal_with_bad_dim(self, tree):
+        internal = next(n for n in tree.nodes if not n.is_leaf)
+        internal.dim = 5
+        with pytest.raises(TreeInvariantError, match="dim"):
+            check_tree(tree)
+
+    def test_internal_with_nan_threshold(self, tree):
+        internal = next(n for n in tree.nodes if not n.is_leaf)
+        internal.threshold = float("nan")
+        with pytest.raises(TreeInvariantError, match="threshold"):
+            check_tree(tree)
+
+    def test_duplicate_bucket_ownership(self, tree):
+        leaves = [n for n in tree.nodes if n.is_leaf]
+        leaves[1].bucket_id = leaves[0].bucket_id
+        with pytest.raises(TreeInvariantError, match="bucket"):
+            check_tree(tree)
+
+    def test_point_in_two_buckets(self, tree):
+        donor = next(b for b in tree.buckets if b.size > 0)
+        receiver_id = next(
+            i for i, b in enumerate(tree.buckets) if b is not donor
+        )
+        tree.buckets[receiver_id] = np.append(tree.buckets[receiver_id], donor[0])
+        with pytest.raises(TreeInvariantError, match="two buckets"):
+            check_tree(tree)
+
+    def test_point_outside_region(self, tree):
+        # Swap the contents of two non-empty buckets: points end up in
+        # leaves whose regions do not contain them.
+        full = [i for i, b in enumerate(tree.buckets) if b.size > 0]
+        a, b = full[0], full[-1]
+        tree.buckets[a], tree.buckets[b] = tree.buckets[b], tree.buckets[a]
+        with pytest.raises(TreeInvariantError, match="outside"):
+            check_tree(tree)
+
+    def test_out_of_range_point_index(self, tree):
+        bucket_id = next(i for i, b in enumerate(tree.buckets) if b.size > 0)
+        tree.buckets[bucket_id] = tree.buckets[bucket_id].copy()
+        tree.buckets[bucket_id][0] = tree.n_points + 5
+        with pytest.raises(TreeInvariantError, match="out-of-range"):
+            check_tree(tree)

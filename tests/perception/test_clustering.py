@@ -1,0 +1,86 @@
+"""Unit tests for Euclidean clustering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PointCloud
+from repro.perception import euclidean_clusters
+
+
+def blob(center, n, std, rng):
+    return np.asarray(center) + rng.normal(0, std, size=(n, 3))
+
+
+class TestClustering:
+    def test_separates_two_blobs(self, rng):
+        cloud = PointCloud(np.vstack([
+            blob([0, 0, 1], 80, 0.2, rng),
+            blob([10, 0, 1], 60, 0.2, rng),
+        ]))
+        clusters = euclidean_clusters(cloud, tolerance=0.7, min_points=10)
+        assert len(clusters) == 2
+        sizes = sorted(c.n_points for c in clusters)
+        assert sizes == [60, 80]
+
+    def test_merges_connected_chain(self, rng):
+        # A chain of overlapping blobs should form ONE cluster.
+        centers = [[i * 0.5, 0, 1] for i in range(10)]
+        cloud = PointCloud(np.vstack([blob(c, 20, 0.1, rng) for c in centers]))
+        clusters = euclidean_clusters(cloud, tolerance=0.7, min_points=10)
+        assert len(clusters) == 1
+        assert clusters[0].n_points == 200
+
+    def test_min_points_filters_noise(self, rng):
+        cloud = PointCloud(np.vstack([
+            blob([0, 0, 1], 50, 0.2, rng),
+            np.array([[100.0, 100.0, 1.0]]),  # lone return
+        ]))
+        clusters = euclidean_clusters(cloud, tolerance=0.7, min_points=5)
+        assert len(clusters) == 1
+
+    def test_max_points_filters_walls(self, rng):
+        cloud = PointCloud(np.vstack([
+            blob([0, 0, 1], 500, 0.3, rng),   # "wall"
+            blob([30, 0, 1], 40, 0.2, rng),   # "car"
+        ]))
+        clusters = euclidean_clusters(
+            cloud, tolerance=0.7, min_points=10, max_points=100
+        )
+        assert len(clusters) == 1
+        assert clusters[0].n_points == 40
+
+    def test_cluster_geometry(self, rng):
+        pts = blob([5, -3, 1.5], 100, 0.3, rng)
+        clusters = euclidean_clusters(PointCloud(pts), tolerance=0.7)
+        cluster = clusters[0]
+        assert np.allclose(cluster.centroid, pts.mean(axis=0))
+        assert cluster.bounds.contains(pts).all()
+        length, width = cluster.footprint
+        assert length >= width > 0
+
+    def test_indices_partition_points(self, rng):
+        cloud = PointCloud(np.vstack([
+            blob([0, 0, 1], 50, 0.2, rng),
+            blob([20, 0, 1], 50, 0.2, rng),
+        ]))
+        clusters = euclidean_clusters(cloud, tolerance=0.7, min_points=5)
+        all_indices = np.concatenate([c.indices for c in clusters])
+        assert np.unique(all_indices).size == all_indices.size
+
+    def test_sorted_by_size(self, rng):
+        cloud = PointCloud(np.vstack([
+            blob([0, 0, 1], 30, 0.2, rng),
+            blob([15, 0, 1], 90, 0.2, rng),
+        ]))
+        clusters = euclidean_clusters(cloud, tolerance=0.7, min_points=5)
+        assert clusters[0].n_points >= clusters[-1].n_points
+
+    def test_empty_cloud(self):
+        assert euclidean_clusters(PointCloud.empty()) == []
+
+    def test_validation(self, rng):
+        cloud = PointCloud(blob([0, 0, 0], 10, 0.1, rng))
+        with pytest.raises(ValueError):
+            euclidean_clusters(cloud, tolerance=0.0)
+        with pytest.raises(ValueError):
+            euclidean_clusters(cloud, min_points=0)

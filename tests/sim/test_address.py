@@ -1,0 +1,56 @@
+"""Unit tests for the DRAM address allocator."""
+
+import pytest
+
+from repro.sim import AddressAllocator, Region
+
+
+class TestRegion:
+    def test_addr_bounds(self):
+        region = Region(name="r", base=64, size=128)
+        assert region.addr(0) == 64
+        assert region.addr(127) == 191
+        assert region.end == 192
+
+    def test_addr_out_of_bounds(self):
+        region = Region(name="r", base=0, size=8)
+        with pytest.raises(ValueError):
+            region.addr(8)
+        with pytest.raises(ValueError):
+            region.addr(-1)
+
+    def test_zero_size_region_offset_zero(self):
+        region = Region(name="r", base=0, size=0)
+        assert region.addr(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Region(name="r", base=-1, size=4)
+
+
+class TestAllocator:
+    def test_regions_disjoint_and_aligned(self):
+        alloc = AddressAllocator(alignment=64)
+        a = alloc.allocate("a", 100)
+        b = alloc.allocate("b", 50)
+        assert a.base % 64 == 0 and b.base % 64 == 0
+        assert b.base >= a.end
+
+    def test_duplicate_name_rejected(self):
+        alloc = AddressAllocator()
+        alloc.allocate("x", 10)
+        with pytest.raises(ValueError, match="already"):
+            alloc.allocate("x", 10)
+
+    def test_used_bytes_grows(self):
+        alloc = AddressAllocator()
+        alloc.allocate("a", 1000)
+        assert alloc.used_bytes >= 1000
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            AddressAllocator(alignment=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate("a", -1)

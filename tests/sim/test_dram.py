@@ -1,0 +1,129 @@
+"""Unit tests for the DDR4 timing model."""
+
+import pytest
+
+from repro.sim import DramModel, DramTimingParams
+
+
+@pytest.fixture
+def dram():
+    return DramModel()
+
+
+class TestParams:
+    def test_defaults(self):
+        p = DramTimingParams()
+        assert p.transfer_cycles(8) == 1
+        assert p.transfer_cycles(9) == 2
+        assert p.transfer_cycles(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramTimingParams(bytes_per_cycle=0)
+        with pytest.raises(ValueError):
+            DramTimingParams(n_banks=0)
+        with pytest.raises(ValueError):
+            DramTimingParams(row_miss_cycles=-1)
+
+
+class TestAccessCosts:
+    def test_first_access_pays_row_miss(self, dram):
+        cycles = dram.access("s", 0, 8, write=False)
+        assert cycles == 1 + dram.params.row_miss_cycles
+
+    def test_contiguous_stream_pays_once_per_row(self, dram):
+        row = dram.params.row_bytes
+        total = sum(dram.access("s", addr, 64, write=False) for addr in range(0, row, 64))
+        # One miss for the whole row, the rest pure transfer.
+        assert total == row // 8 + dram.params.row_miss_cycles
+
+    def test_random_accesses_each_pay_miss(self, dram):
+        row = dram.params.row_bytes
+        a = dram.access("s", 0, 8, write=False)
+        b = dram.access("s", 37 * row, 8, write=False)  # same bank (37 % 16 != 0... different row)
+        assert a == b == 1 + dram.params.row_miss_cycles
+
+    def test_row_hit_for_noncontiguous_same_row(self, dram):
+        dram.access("s", 0, 8, write=False)
+        cycles = dram.access("s", 128, 8, write=False)  # same row, gap
+        assert cycles == 1 + dram.params.row_hit_cycles
+
+    def test_turnaround_penalty(self, dram):
+        dram.access("s", 0, 8, write=False)
+        w = dram.access("s", 8, 8, write=True)
+        assert w >= dram.params.turnaround_cycles
+
+    def test_large_access_spans_rows(self, dram):
+        nbytes = 3 * dram.params.row_bytes
+        cycles = dram.access("s", 0, nbytes, write=False)
+        assert cycles == nbytes // 8 + 3 * dram.params.row_miss_cycles
+
+    def test_rejects_bad_args(self, dram):
+        with pytest.raises(ValueError):
+            dram.access("s", -1, 8, write=False)
+        with pytest.raises(ValueError):
+            dram.access("s", 0, 0, write=False)
+
+
+class TestScattered:
+    def test_bulk_matches_unit_cost(self):
+        a = DramModel()
+        bulk = a.access_scattered("s", 100, 12, write=False)
+        per = a.params.transfer_cycles(12) + a.params.row_miss_cycles
+        assert bulk == 100 * per
+
+    def test_hit_fraction_discounts(self):
+        dram = DramModel()
+        all_miss = dram.access_scattered("a", 100, 8, write=False, hit_fraction=0.0)
+        some_hit = dram.access_scattered("b", 100, 8, write=False, hit_fraction=0.5)
+        assert some_hit < all_miss
+
+    def test_turnaround_each(self):
+        dram = DramModel()
+        plain = dram.access_scattered("a", 10, 8, write=True)
+        churn = dram.access_scattered("b", 10, 8, write=True, turnaround_each=True)
+        assert churn == plain + 10 * dram.params.turnaround_cycles
+
+    def test_zero_count_free(self):
+        dram = DramModel()
+        assert dram.access_scattered("s", 0, 8, write=False) == 0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            DramModel().access_scattered("s", 1, 8, write=False, hit_fraction=1.5)
+
+
+class TestStats:
+    def test_per_stream_accounting(self, dram):
+        dram.access("Rd1", 0, 64, write=False)
+        dram.access("Wr1", 1 << 20, 32, write=True)
+        assert dram.stats.stream("Rd1").bytes == 64
+        assert dram.stats.stream("Wr1").bytes == 32
+        assert dram.stats.bytes == 96
+        assert dram.stats.accesses == 2
+
+    def test_words_rounding(self, dram):
+        dram.access("s", 0, 12, write=False)
+        assert dram.stats.stream("s").words == 2
+
+    def test_utilization_bounds(self, dram):
+        for addr in range(0, 1 << 16, 4096):
+            dram.access("s", addr, 4096, write=False)
+        util = dram.stats.bandwidth_utilization()
+        assert 0.9 < util <= 1.0
+        wall = dram.stats.bandwidth_utilization(total_cycles=10 * dram.stats.busy_cycles)
+        expected = dram.stats.data_cycles / (10 * dram.stats.busy_cycles)
+        assert wall == pytest.approx(expected)
+
+    def test_sequential_beats_random_utilization(self):
+        seq = DramModel()
+        for addr in range(0, 1 << 15, 4096):
+            seq.access("s", addr, 4096, write=False)
+        rnd = DramModel()
+        rnd.access_scattered("s", 1 << 12, 8, write=False)
+        assert seq.stats.bandwidth_utilization() > rnd.stats.bandwidth_utilization()
+
+    def test_reset_stats(self, dram):
+        dram.access("s", 0, 8, write=False)
+        dram.reset_stats()
+        assert dram.stats.accesses == 0

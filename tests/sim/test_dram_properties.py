@@ -1,0 +1,80 @@
+"""Property-based tests of DRAM model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DramModel, DramTimingParams
+
+common = settings(max_examples=50, deadline=None)
+
+
+class TestConservation:
+    @common
+    @given(
+        accesses=st.lists(
+            st.tuples(
+                st.integers(0, 1 << 24),       # address
+                st.integers(1, 4096),          # size
+                st.booleans(),                 # write
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_stats_conserve_bytes_and_cycles(self, accesses):
+        dram = DramModel()
+        total_cycles = 0
+        total_bytes = 0
+        for addr, nbytes, write in accesses:
+            total_cycles += dram.access("s", addr, nbytes, write=write)
+            total_bytes += nbytes
+        assert dram.stats.bytes == total_bytes
+        assert dram.stats.busy_cycles == total_cycles
+        assert dram.stats.accesses == len(accesses)
+
+    @common
+    @given(
+        addr=st.integers(0, 1 << 24),
+        nbytes=st.integers(1, 1 << 16),
+    )
+    def test_cost_at_least_transfer_time(self, addr, nbytes):
+        dram = DramModel()
+        cycles = dram.access("s", addr, nbytes, write=False)
+        assert cycles >= dram.params.transfer_cycles(nbytes)
+
+    @common
+    @given(nbytes=st.integers(1, 1 << 14), addr=st.integers(0, 1 << 20))
+    def test_one_big_access_never_slower_than_split(self, nbytes, addr):
+        whole = DramModel()
+        big = whole.access("s", addr, nbytes, write=False)
+        split = DramModel()
+        half = nbytes // 2
+        parts = 0
+        if half:
+            parts += split.access("s", addr, half, write=False)
+        parts += split.access("s", addr + half, nbytes - half, write=False)
+        assert big <= parts
+
+    @common
+    @given(
+        count=st.integers(0, 500),
+        nbytes=st.integers(1, 64),
+        hit=st.floats(0.0, 1.0),
+    )
+    def test_scattered_monotone_in_hit_fraction(self, count, nbytes, hit):
+        miss_model = DramModel()
+        hit_model = DramModel()
+        all_miss = miss_model.access_scattered("s", count, nbytes, write=False, hit_fraction=0.0)
+        mixed = hit_model.access_scattered("s", count, nbytes, write=False, hit_fraction=hit)
+        assert mixed <= all_miss
+
+    @common
+    @given(
+        bpc=st.integers(1, 64),
+        nbytes=st.integers(1, 10_000),
+    )
+    def test_transfer_cycles_ceiling(self, bpc, nbytes):
+        params = DramTimingParams(bytes_per_cycle=bpc, row_bytes=max(8192, bpc))
+        cycles = params.transfer_cycles(nbytes)
+        assert (cycles - 1) * bpc < nbytes <= cycles * bpc

@@ -1,0 +1,51 @@
+"""Unit tests for DRAM transaction tracing."""
+
+from repro.sim import DramModel
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        dram = DramModel()
+        dram.access("s", 0, 8, write=False)
+        assert dram.trace is None
+
+    def test_records_in_order(self):
+        dram = DramModel(trace=True)
+        dram.access("Rd1", 0, 64, write=False)
+        dram.access("Wr1", 4096, 32, write=True)
+        assert [(e.stream, e.addr, e.write) for e in dram.trace] == [
+            ("Rd1", 0, False),
+            ("Wr1", 4096, True),
+        ]
+
+    def test_cycles_match_return_value(self):
+        dram = DramModel(trace=True)
+        cycles = dram.access("s", 128, 256, write=False)
+        assert dram.trace[-1].cycles == cycles
+        assert dram.trace[-1].nbytes == 256
+
+    def test_scattered_summarized(self):
+        dram = DramModel(trace=True)
+        dram.access_scattered("Wr1", 10, 12, write=True)
+        entry = dram.trace[-1]
+        assert entry.addr == -1
+        assert entry.nbytes == 120
+
+    def test_trace_covers_all_bytes(self):
+        dram = DramModel(trace=True)
+        dram.access("a", 0, 100, write=False)
+        dram.access_scattered("b", 5, 8, write=True)
+        assert sum(e.nbytes for e in dram.trace) == dram.stats.bytes
+
+    def test_quicknn_trace_starts_with_rd1_after_sampling(self):
+        """Integration: the accelerator issues streams in pipeline order."""
+        from repro.arch.quicknn import QuickNN, QuickNNConfig
+        from repro.datasets import lidar_frame_pair
+        from repro.sim import DramTimingParams
+
+        # Patch a traced model in by running the phases manually is
+        # overkill; instead we just verify stream ordering appears in
+        # the stats the accelerator produces.
+        ref, qry = lidar_frame_pair(2_000, seed=7)
+        _, report = QuickNN(QuickNNConfig(n_fus=8)).run(ref, qry, 2)
+        assert list(report.dram.streams) == ["RdSample", "Rd1", "Wr1", "Rd3", "Wr2"]

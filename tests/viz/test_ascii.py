@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.geometry import PointCloud
+from repro.viz import bev_view, sparkline
+
+
+class TestBevView:
+    def test_dimensions(self, rng):
+        cloud = uniform_cloud(500, rng=rng)
+        text = bev_view(cloud, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_cloud_blank(self):
+        text = bev_view(PointCloud.empty(), width=10, height=4)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_point_cluster_appears_at_expected_cell(self):
+        pts = np.tile([[5.0, 0.0, 1.0]], (50, 1))
+        text = bev_view(PointCloud(pts), width=21, height=11, extent=10.0)
+        lines = text.splitlines()
+        # x=+5 of extent 10 -> 3/4 across; y=0 -> middle row.
+        row = lines[5]
+        assert row[15] != " "
+        assert lines[0].strip() == ""
+
+    def test_denser_cells_darker(self, rng):
+        dense = np.tile([[0.0, 0.0, 1.0]], (500, 1))
+        sparse = np.array([[8.0, 8.0, 1.0]])
+        text = bev_view(
+            PointCloud(np.vstack([dense, sparse])), width=21, height=21,
+            extent=10.0,
+        )
+        chars = text.replace("\n", "")
+        ramp = " .:-=+*#%@"
+        dense_level = max(ramp.index(c) for c in chars)
+        assert dense_level == len(ramp) - 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bev_view(uniform_cloud(10, rng=rng), width=1, height=5)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        line = sparkline([5], lo=0, hi=10)
+        assert line in ("▄", "▅")  # mid-scale, either rounding of 3.5
