@@ -1,0 +1,71 @@
+"""Micro-benchmark of the batched query engine vs. the per-query loop.
+
+The engine's reason to exist is wall-clock: identical answers to the
+loop paths, much faster.  This file measures both sides on the paper's
+workload shape (10k queries against a 30k-point frame), records the
+ratio in ``extra_info``, and smoke-asserts the engine is not slower —
+the hard >=5x claim lives in the PR notes, not in CI, so noisy shared
+runners cannot flake the suite.
+"""
+
+import time
+
+import numpy as np
+
+from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_approx_loop, knn_exact
+from repro.kdtree.search import knn_exact_instrumented
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = np.inf
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_engine_vs_loop_approx(benchmark, frames_30k):
+    ref, qry = frames_30k
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    queries = qry.xyz[:10_000]
+    k = 8
+
+    fast = knn_approx(tree, queries, k)
+    slow = knn_approx_loop(tree, queries, k)
+    assert np.array_equal(fast.indices, slow.indices)
+    assert np.array_equal(fast.distances, slow.distances)
+
+    loop_s = _best_of(lambda: knn_approx_loop(tree, queries, k), rounds=2)
+    benchmark(lambda: knn_approx(tree, queries, k))
+    engine_s = _best_of(lambda: knn_approx(tree, queries, k), rounds=3)
+    speedup = loop_s / engine_s
+    benchmark.extra_info["loop_ms"] = round(loop_s * 1e3, 2)
+    benchmark.extra_info["engine_ms"] = round(engine_s * 1e3, 2)
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    print(f"\napprox engine: loop {loop_s * 1e3:.1f} ms, "
+          f"engine {engine_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 1.0
+
+
+def test_engine_vs_loop_exact(benchmark, frames_30k):
+    ref, qry = frames_30k
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
+    queries = qry.xyz[:3_000]
+    k = 8
+
+    fast = knn_exact(tree, queries, k)
+    slow, _ = knn_exact_instrumented(tree, queries, k)
+    assert np.array_equal(fast.indices, slow.indices)
+    assert np.array_equal(fast.distances, slow.distances)
+
+    loop_s = _best_of(lambda: knn_exact_instrumented(tree, queries, k), rounds=1)
+    benchmark(lambda: knn_exact(tree, queries, k))
+    engine_s = _best_of(lambda: knn_exact(tree, queries, k), rounds=2)
+    speedup = loop_s / engine_s
+    benchmark.extra_info["loop_ms"] = round(loop_s * 1e3, 2)
+    benchmark.extra_info["engine_ms"] = round(engine_s * 1e3, 2)
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    print(f"\nexact engine: loop {loop_s * 1e3:.1f} ms, "
+          f"engine {engine_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 1.0

@@ -12,7 +12,7 @@ import pytest
 
 from repro.baselines import knn_bruteforce
 from repro.datasets import lidar_frame_pair
-from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_bbf, update_tree
+from repro.kdtree import BbfConfig, KdTreeConfig, build_tree, knn_approx, knn_bbf, update_tree
 
 
 @pytest.fixture(scope="module")
@@ -41,7 +41,7 @@ def test_knn_approx_10k(benchmark, workload):
 def test_knn_bbf_1k(benchmark, workload):
     _, qry, tree = workload
     benchmark.pedantic(
-        lambda: knn_bbf(tree, qry.xyz[:1_000], 8, max_leaves=2),
+        lambda: knn_bbf(tree, qry.xyz[:1_000], 8, BbfConfig(max_leaves=2)),
         rounds=3, iterations=1,
     )
 

@@ -48,7 +48,10 @@ from repro.datasets import (
 )
 from repro.geometry import Aabb, PointCloud, RigidTransform
 from repro.icp import IcpConfig, IcpResult, icp_register
+from repro.index import NeighborIndex, available_indexes, make_index
 from repro.kdtree import (
+    BbfConfig,
+    FlatKdTree,
     KdTree,
     KdTreeConfig,
     QueryResult,
@@ -65,10 +68,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aabb",
+    "BbfConfig",
     "CPU_MODEL",
     "DramModel",
     "DramTimingParams",
     "DriveConfig",
+    "FlatKdTree",
     "FrameReport",
     "GPU_MODEL",
     "IcpConfig",
@@ -79,6 +84,7 @@ __all__ = [
     "LinearArch",
     "LinearArchConfig",
     "LshIndex",
+    "NeighborIndex",
     "PointCloud",
     "QueryResult",
     "QuickNN",
@@ -86,6 +92,7 @@ __all__ = [
     "RigidTransform",
     "SimpleKdArch",
     "SimpleKdConfig",
+    "available_indexes",
     "build_tree",
     "generate_drive",
     "icp_register",
@@ -95,6 +102,7 @@ __all__ = [
     "knn_recall",
     "lidar_frame",
     "lidar_frame_pair",
+    "make_index",
     "reuse_tree",
     "top1_containment",
     "tree_stats",

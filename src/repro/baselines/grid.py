@@ -39,8 +39,14 @@ class GridConfig:
 class GridIndex:
     """An exact expanding-ring kNN index over a voxel hash."""
 
+    name = "grid"
+
     def __init__(self, reference: PointCloud | np.ndarray, config: GridConfig | None = None):
         self.config = config or GridConfig()
+        self.build(reference)
+
+    def build(self, reference: PointCloud | np.ndarray) -> "GridIndex":
+        """(Re)hash a reference cloud into the grid; returns self."""
         self.points = (
             reference.xyz if isinstance(reference, PointCloud)
             else np.asarray(reference, dtype=np.float64)
@@ -54,6 +60,17 @@ class GridIndex:
         for i, key in enumerate(map(tuple, cells)):
             table[key].append(i)
         self._cells = {key: np.asarray(v, dtype=np.int64) for key, v in table.items()}
+        return self
+
+    def stats(self) -> dict:
+        n_cells, mean_occ, max_occ = self.occupancy_stats()
+        return {
+            "n_reference": int(self.points.shape[0]),
+            "cell_size": self.config.cell_size,
+            "n_cells": n_cells,
+            "mean_cell_occupancy": mean_occ,
+            "max_cell_occupancy": max_occ,
+        }
 
     # ------------------------------------------------------------------
     def query(self, queries: PointCloud | np.ndarray, k: int) -> QueryResult:

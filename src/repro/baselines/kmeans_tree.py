@@ -49,6 +49,8 @@ class _Node:
 class KMeansTree:
     """A k-means tree index over a fixed reference set."""
 
+    name = "kmeans"
+
     def __init__(
         self,
         reference: PointCloud | np.ndarray,
@@ -68,6 +70,21 @@ class KMeansTree:
             raise ValueError("reference set is empty")
         self.n_lloyd_updates = 0  # build-cost counter (distance evaluations)
         self._root = self._build(np.arange(self.points.shape[0], dtype=np.int64))
+
+    def build(self, reference: PointCloud | np.ndarray) -> "KMeansTree":
+        """Re-cluster a new reference cloud; returns self."""
+        self.__init__(reference, self.config)
+        return self
+
+    def stats(self) -> dict:
+        sizes = self.leaf_sizes()
+        return {
+            "n_reference": int(self.points.shape[0]),
+            "branching": self.config.branching,
+            "n_leaves": int(sizes.size),
+            "mean_leaf_size": float(sizes.mean()) if sizes.size else 0.0,
+            "n_lloyd_updates": int(self.n_lloyd_updates),
+        }
 
     # ------------------------------------------------------------------
     def _build(self, members: np.ndarray) -> _Node:

@@ -50,6 +50,8 @@ class LshConfig:
 class LshIndex:
     """An LSH index over a fixed reference set."""
 
+    name = "lsh"
+
     def __init__(
         self,
         reference: PointCloud | np.ndarray,
@@ -81,6 +83,20 @@ class LshIndex:
             self._tables.append(
                 {key: np.asarray(v, dtype=np.int64) for key, v in table.items()}
             )
+
+    def build(self, reference: PointCloud | np.ndarray) -> "LshIndex":
+        """Rebuild the hash tables over a new reference cloud; returns self."""
+        self.__init__(reference, self.config)
+        return self
+
+    def stats(self) -> dict:
+        return {
+            "n_reference": int(self.points.shape[0]),
+            "n_tables": self.config.n_tables,
+            "n_projections": self.config.n_projections,
+            "bucket_width": self.config.bucket_width,
+            "mean_bucket_size": self.mean_bucket_size(),
+        }
 
     def _hash(self, pts: np.ndarray, table: int) -> np.ndarray:
         cfg = self.config

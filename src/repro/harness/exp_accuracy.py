@@ -8,7 +8,7 @@ from repro.analysis.accuracy import knn_recall, top1_containment
 from repro.baselines import GridIndex, KMeansTree, LshIndex, knn_bruteforce
 from repro.datasets import lidar_frame_pair
 from repro.harness.result import ExperimentResult
-from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_bbf
+from repro.kdtree import BbfConfig, KdTreeConfig, build_tree, knn_approx, knn_bbf
 from repro.kdtree.search import QueryResult
 
 
@@ -35,7 +35,7 @@ def table1_methods(n_points: int = 30_000, k: int = 8, *, seed: int = 0) -> Expe
     kd1_time = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    kd_bbf = knn_bbf(tree, qry, k, max_leaves=2)
+    kd_bbf = knn_bbf(tree, qry, k, BbfConfig(max_leaves=2))
     bbf_time = time.perf_counter() - t0
 
     t0 = time.perf_counter()

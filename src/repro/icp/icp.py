@@ -10,35 +10,38 @@ the incremental transform becomes negligible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal
 
 import numpy as np
 
-from repro.baselines.linear import knn_bruteforce
 from repro.geometry import PointCloud, RigidTransform
 from repro.icp.kabsch import estimate_rigid_transform
-from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_exact
-from repro.kdtree.search import QueryResult
+from repro.index import NeighborIndex, make_index
+from repro.kdtree import KdTreeConfig
 
-KnnBackend = Callable[[np.ndarray, np.ndarray, int], QueryResult]
+#: Registered backend names that take the k-d tree config.
+_TREE_CONFIGURED = {"approx", "exact", "bbf", "kd-approx", "kd-exact", "kd-bbf"}
 
 
 @dataclass(frozen=True)
 class IcpConfig:
     """ICP loop parameters.
 
-    ``knn`` picks the correspondence backend: ``"approx"`` (the paper's
-    accelerated mode), ``"exact"`` (backtracking k-d tree), or
-    ``"bruteforce"``.  ``trim_fraction`` discards that fraction of the
-    worst-residual correspondences each iteration (robustness against
-    non-overlapping geometry).
+    ``knn`` picks the correspondence backend: any name registered with
+    :mod:`repro.index` (``"approx"`` — the paper's accelerated mode —
+    ``"exact"``, ``"bruteforce"``, ``"grid"``, ``"forest"``, ...) or a
+    prebuilt :class:`~repro.index.NeighborIndex`, which is rebound to
+    the target cloud with ``build``.  ``tree`` configures the k-d tree
+    for the tree-based names and is ignored by the others.
+    ``trim_fraction`` discards that fraction of the worst-residual
+    correspondences each iteration (robustness against non-overlapping
+    geometry).
     """
 
     max_iterations: int = 30
     translation_tolerance: float = 1e-4
     rotation_tolerance: float = 1e-5
     trim_fraction: float = 0.2
-    knn: Literal["approx", "exact", "bruteforce"] = "approx"
+    knn: str | NeighborIndex = "approx"
     tree: KdTreeConfig = KdTreeConfig(bucket_capacity=128)
 
     def __post_init__(self):
@@ -87,7 +90,7 @@ def icp_register(
     iterations = 0
 
     for iterations in range(1, config.max_iterations + 1):
-        result = backend(moved, 1)
+        result = backend.query(moved, 1)
         matched = result.indices[:, 0]
         valid = matched >= 0
         residuals = result.distances[valid, 0]
@@ -118,13 +121,10 @@ def icp_register(
     )
 
 
-def _make_backend(target: np.ndarray, config: IcpConfig) -> Callable[[np.ndarray, int], QueryResult]:
+def _make_backend(target: np.ndarray, config: IcpConfig) -> NeighborIndex:
     """Bind the chosen kNN method to the fixed target cloud."""
-    if config.knn == "bruteforce":
-        return lambda queries, k: knn_bruteforce(target, queries, k)
-    tree, _ = build_tree(target, config.tree)
-    if config.knn == "exact":
-        return lambda queries, k: knn_exact(tree, queries, k)
-    if config.knn == "approx":
-        return lambda queries, k: knn_approx(tree, queries, k)
-    raise ValueError(f"unknown knn backend {config.knn!r}")
+    if isinstance(config.knn, str):
+        if config.knn in _TREE_CONFIGURED:
+            return make_index(config.knn, target, tree=config.tree)
+        return make_index(config.knn, target)
+    return config.knn.build(target)

@@ -1,0 +1,37 @@
+"""Unified nearest-neighbor index API.
+
+One protocol (:class:`NeighborIndex`), one factory
+(:func:`make_index`), every backend in the repo behind it::
+
+    from repro.index import make_index
+
+    index = make_index("kd-approx", reference_cloud)
+    result = index.query(query_cloud, k=8)
+
+See :mod:`repro.index.protocol` for the interface contract and
+:mod:`repro.index.adapters` for the registered backends.
+"""
+
+from repro.index.adapters import (
+    BruteForceIndex,
+    KdApproxIndex,
+    KdBbfIndex,
+    KdExactIndex,
+)
+from repro.index.protocol import (
+    NeighborIndex,
+    available_indexes,
+    make_index,
+    register_index,
+)
+
+__all__ = [
+    "BruteForceIndex",
+    "KdApproxIndex",
+    "KdBbfIndex",
+    "KdExactIndex",
+    "NeighborIndex",
+    "available_indexes",
+    "make_index",
+    "register_index",
+]

@@ -1,0 +1,171 @@
+"""Backend adapters: every kNN method in the repo as a NeighborIndex.
+
+Thin objects — each one owns its built structure and delegates
+``query`` to the existing search code, so the free functions and these
+adapters can never drift apart.  Importing this module populates the
+registry (done automatically by ``repro.index``).
+
+Registered names (aliases in parentheses):
+
+========================  ===================================================
+``kd-approx`` (approx)    single-bucket k-d tree search on the batched engine
+``kd-exact`` (exact)      backtracking exact search, batched engine
+``kd-bbf`` (bbf)          best-bin-first with a leaf budget (FLANN checks)
+``bruteforce`` (linear)   chunked exhaustive search (ground truth)
+``forest``                randomized k-d tree forest, joint BBF
+``grid``                  voxel hash with expanding-ring exact search
+``lsh``                   random-projection LSH
+``kmeans``                hierarchical k-means tree
+========================  ===================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.grid import GridIndex
+from repro.baselines.kmeans_tree import KMeansTree
+from repro.baselines.linear import knn_bruteforce
+from repro.baselines.lsh import LshIndex
+from repro.geometry import PointCloud
+from repro.index.protocol import NeighborIndex, register_index
+from repro.kdtree.config import KdTreeConfig
+from repro.kdtree.forest import KdForest
+from repro.kdtree.search import BbfConfig, QueryResult, knn_approx, knn_bbf, knn_exact
+from repro.kdtree.build import build_tree
+
+
+def _as_reference(reference: PointCloud | np.ndarray) -> np.ndarray:
+    xyz = (
+        reference.xyz
+        if isinstance(reference, PointCloud)
+        else np.asarray(reference, dtype=np.float64)
+    )
+    if xyz.ndim != 2 or xyz.shape[1] != 3:
+        raise ValueError("reference must have shape (N, 3)")
+    return xyz
+
+
+class _KdTreeIndex:
+    """Shared plumbing of the three k-d tree backends."""
+
+    name = "kd-tree"
+
+    def __init__(self, reference, tree: KdTreeConfig | None = None):
+        self.tree_config = tree or KdTreeConfig()
+        self.build(reference)
+
+    def build(self, reference) -> "NeighborIndex":
+        xyz = _as_reference(reference)
+        self._tree, self._trace = build_tree(xyz, self.tree_config)
+        return self
+
+    def stats(self) -> dict:
+        flat = self._tree.flat()
+        out = flat.stats()
+        out["n_reference"] = out["n_points"]
+        out["bucket_capacity"] = self.tree_config.bucket_capacity
+        return out
+
+
+class KdApproxIndex(_KdTreeIndex):
+    """Single-bucket approximate search (the mode QuickNN accelerates)."""
+
+    name = "kd-approx"
+
+    def query(self, queries, k: int) -> QueryResult:
+        return knn_approx(self._tree, queries, k)
+
+
+class KdExactIndex(_KdTreeIndex):
+    """Backtracking exact search over the same tree."""
+
+    name = "kd-exact"
+
+    def query(self, queries, k: int) -> QueryResult:
+        return knn_exact(self._tree, queries, k)
+
+
+class KdBbfIndex(_KdTreeIndex):
+    """Best-bin-first search with a bounded leaf budget."""
+
+    name = "kd-bbf"
+
+    def __init__(self, reference, tree: KdTreeConfig | None = None,
+                 config: BbfConfig | None = None):
+        self.bbf_config = config or BbfConfig()
+        super().__init__(reference, tree=tree)
+
+    def query(self, queries, k: int) -> QueryResult:
+        return knn_bbf(self._tree, queries, k, self.bbf_config)
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["max_leaves"] = self.bbf_config.max_leaves
+        return out
+
+
+class BruteForceIndex:
+    """Exhaustive search — exact by construction, the accuracy oracle."""
+
+    name = "bruteforce"
+
+    def __init__(self, reference, chunk_size: int = 1024):
+        self.chunk_size = chunk_size
+        self.build(reference)
+
+    def build(self, reference) -> "NeighborIndex":
+        self._reference = _as_reference(reference)
+        return self
+
+    def query(self, queries, k: int) -> QueryResult:
+        return knn_bruteforce(self._reference, queries, k, chunk_size=self.chunk_size)
+
+    def stats(self) -> dict:
+        return {
+            "n_reference": int(self._reference.shape[0]),
+            "chunk_size": self.chunk_size,
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry population
+# ----------------------------------------------------------------------
+@register_index("kd-approx", "approx")
+def _kd_approx(reference, **cfg) -> NeighborIndex:
+    return KdApproxIndex(reference, **cfg)
+
+
+@register_index("kd-exact", "exact")
+def _kd_exact(reference, **cfg) -> NeighborIndex:
+    return KdExactIndex(reference, **cfg)
+
+
+@register_index("kd-bbf", "bbf")
+def _kd_bbf(reference, **cfg) -> NeighborIndex:
+    return KdBbfIndex(reference, **cfg)
+
+
+@register_index("bruteforce", "linear")
+def _bruteforce(reference, **cfg) -> NeighborIndex:
+    return BruteForceIndex(reference, **cfg)
+
+
+@register_index("forest")
+def _forest(reference, **cfg) -> NeighborIndex:
+    return KdForest(reference, **cfg)
+
+
+@register_index("grid")
+def _grid(reference, **cfg) -> NeighborIndex:
+    return GridIndex(reference, **cfg)
+
+
+@register_index("lsh")
+def _lsh(reference, **cfg) -> NeighborIndex:
+    return LshIndex(reference, **cfg)
+
+
+@register_index("kmeans")
+def _kmeans(reference, **cfg) -> NeighborIndex:
+    return KMeansTree(reference, **cfg)

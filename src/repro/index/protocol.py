@@ -1,0 +1,100 @@
+"""The :class:`NeighborIndex` protocol and the backend registry.
+
+Every nearest-neighbor method in the reproduction — k-d tree searches,
+the randomized forest, the grid / LSH / k-means baselines, brute force —
+answers the same question: *given a reference cloud, return the k
+nearest reference points for a batch of queries*.  This module gives
+that question one shape:
+
+* :class:`NeighborIndex` — the structural protocol all backends
+  satisfy: ``build(reference)``, ``query(queries, k) -> QueryResult``,
+  a ``name`` and a ``stats()`` dict.
+* :func:`register_index` / :func:`make_index` — a string-keyed factory
+  registry, so harnesses, ICP and tests can select a backend by name
+  (``make_index("grid", reference, config=GridConfig(1.0))``) instead
+  of hard-coding imports.
+
+The free search functions (:func:`repro.kdtree.knn_approx` and
+friends) remain available; the adapters in
+:mod:`repro.index.adapters` are thin objects over them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.geometry import PointCloud
+from repro.kdtree.search import QueryResult
+
+
+@runtime_checkable
+class NeighborIndex(Protocol):
+    """Structural interface of every kNN backend.
+
+    ``build`` (re)binds the index to a reference cloud and returns the
+    bound index — so both ``make_index(name, ref)`` and
+    ``prebuilt.build(new_ref)`` hand back something ready to ``query``.
+    ``stats`` reports backend-specific structure diagnostics; every
+    backend includes at least ``n_reference``.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def build(self, reference: PointCloud | np.ndarray) -> "NeighborIndex": ...
+
+    def query(self, queries: PointCloud | np.ndarray, k: int) -> QueryResult: ...
+
+    def stats(self) -> dict: ...
+
+
+IndexFactory = Callable[..., NeighborIndex]
+
+_REGISTRY: dict[str, IndexFactory] = {}
+_CANONICAL: dict[str, str] = {}  # alias -> canonical name
+
+
+def register_index(name: str, *aliases: str) -> Callable[[IndexFactory], IndexFactory]:
+    """Register a backend factory under ``name`` (plus aliases).
+
+    The factory is called as ``factory(reference, **cfg)`` and must
+    return a built :class:`NeighborIndex`.  Use as a decorator::
+
+        @register_index("grid")
+        def _grid(reference, **cfg):
+            return GridIndex(reference, **cfg)
+    """
+
+    def deco(factory: IndexFactory) -> IndexFactory:
+        for key in (name, *aliases):
+            if key in _REGISTRY:
+                raise ValueError(f"knn index name {key!r} already registered")
+            _REGISTRY[key] = factory
+            _CANONICAL[key] = name
+        return factory
+
+    return deco
+
+
+def available_indexes() -> list[str]:
+    """Sorted canonical backend names (aliases excluded)."""
+    return sorted(set(_CANONICAL.values()))
+
+
+def make_index(
+    name: str, reference: PointCloud | np.ndarray, **cfg
+) -> NeighborIndex:
+    """Build a registered backend by name.
+
+    ``cfg`` is passed through to the backend factory (e.g.
+    ``make_index("kd-approx", ref, tree=KdTreeConfig(bucket_capacity=64))``).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown knn index {name!r}; available: {', '.join(available_indexes())}"
+        ) from None
+    return factory(reference, **cfg)

@@ -15,14 +15,17 @@ Quick example::
 
 from repro.kdtree.build import BuildTrace, build_tree, place_points
 from repro.kdtree.config import KdTreeConfig
+from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
 from repro.kdtree.forest import KdForest, KdForestConfig
 from repro.kdtree.incremental import UpdateTrace, reuse_tree, update_tree
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
 from repro.kdtree.query_stats import MissDiagnosis, boundary_distances, diagnose_misses, leaf_regions
 from repro.kdtree.search import (
     PAD_INDEX,
+    BbfConfig,
     QueryResult,
     knn_approx,
+    knn_approx_loop,
     knn_bbf,
     knn_exact,
     radius_search,
@@ -32,7 +35,9 @@ from repro.kdtree.stats import TreeStats, node_access_probability, tree_stats
 from repro.kdtree.validate import TreeInvariantError, check_tree
 
 __all__ = [
+    "BbfConfig",
     "BuildTrace",
+    "FlatKdTree",
     "KdForest",
     "KdForestConfig",
     "KdNode",
@@ -47,8 +52,11 @@ __all__ = [
     "build_tree",
     "check_tree",
     "knn_approx",
+    "knn_approx_batched",
+    "knn_approx_loop",
     "knn_bbf",
     "knn_exact",
+    "knn_exact_batched",
     "MissDiagnosis",
     "boundary_distances",
     "diagnose_misses",

@@ -50,6 +50,8 @@ class KdForestConfig:
 class KdForest:
     """Several randomized k-d trees over one reference set."""
 
+    name = "forest"
+
     def __init__(
         self,
         reference: PointCloud | np.ndarray,
@@ -58,7 +60,11 @@ class KdForest:
         rng: np.random.Generator | None = None,
     ):
         self.config = config or KdForestConfig()
-        rng = rng or np.random.default_rng(0)
+        self._rng = rng or np.random.default_rng(0)
+        self.build(reference)
+
+    def build(self, reference: PointCloud | np.ndarray) -> "KdForest":
+        """Rebuild every randomized tree over a new reference; returns self."""
         self.points = (
             reference.xyz if isinstance(reference, PointCloud)
             else np.asarray(reference, dtype=np.float64)
@@ -68,8 +74,17 @@ class KdForest:
         if self.points.shape[0] == 0:
             raise ValueError("reference set is empty")
         self.trees = [
-            self._build_randomized(rng) for _ in range(self.config.n_trees)
+            self._build_randomized(self._rng) for _ in range(self.config.n_trees)
         ]
+        return self
+
+    def stats(self) -> dict:
+        return {
+            "n_reference": int(self.points.shape[0]),
+            "n_trees": self.config.n_trees,
+            "bucket_capacity": self.config.bucket_capacity,
+            "top_variance_dims": self.config.top_variance_dims,
+        }
 
     # ------------------------------------------------------------------
     def _build_randomized(self, rng: np.random.Generator) -> KdTree:
@@ -176,3 +191,38 @@ class KdForest:
             indices[i, : len(best_idx)] = best_idx
             distances[i, : len(best_dst)] = best_dst
         return QueryResult(indices=indices, distances=distances)
+
+    # ------------------------------------------------------------------
+    def query_batched(self, queries: PointCloud | np.ndarray, k: int) -> QueryResult:
+        """Multi-tree single-bucket search on the batched engine.
+
+        Every tree answers the whole batch with
+        :func:`~repro.kdtree.engine.knn_approx_batched`; the per-tree
+        top-k lists are then merged per query — duplicates (the same
+        point found by several trees) are collapsed by sorting each row
+        by point id and masking repeats — and the best k survive.
+        A vectorized alternative to :meth:`query` when the leaf budget
+        per tree is 1.
+        """
+        from repro.kdtree.engine import knn_approx_batched
+
+        if k < 1:
+            raise ValueError("k must be positive")
+        q = queries.xyz if isinstance(queries, PointCloud) else np.asarray(queries, dtype=np.float64)
+        q = np.atleast_2d(q)
+        per_tree = [knn_approx_batched(t.flat(), q, k) for t in self.trees]
+        idx = np.concatenate([r.indices for r in per_tree], axis=1)
+        dst = np.concatenate([r.distances for r in per_tree], axis=1)
+
+        rows = np.arange(q.shape[0])[:, None]
+        by_id = np.argsort(idx, axis=1, kind="stable")
+        sidx = idx[rows, by_id]
+        sdst = dst[rows, by_id]
+        dup = (sidx[:, 1:] == sidx[:, :-1]) & (sidx[:, 1:] != PAD_INDEX)
+        sdst[:, 1:][dup] = np.inf
+
+        by_dist = np.argsort(sdst, axis=1, kind="stable")[:, :k]
+        out_idx = sidx[rows, by_dist]
+        out_dst = sdst[rows, by_dist]
+        out_idx[np.isinf(out_dst)] = PAD_INDEX
+        return QueryResult(indices=out_idx, distances=out_dst)

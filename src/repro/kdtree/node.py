@@ -79,6 +79,7 @@ class KdTree:
         if self.points.ndim != 2 or self.points.shape[1] != 3:
             raise ValueError("tree points must have shape (N, 3)")
         self._arrays: _NodeArrays | None = None
+        self._flat = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -154,6 +155,19 @@ class KdTree:
     def invalidate_caches(self) -> None:
         """Must be called after structural edits (incremental update)."""
         self._arrays = None
+        self._flat = None
+
+    def flat(self):
+        """The cached :class:`~repro.kdtree.engine.FlatKdTree` view.
+
+        Built on first use and reused by every batched query until
+        :meth:`invalidate_caches` is called.
+        """
+        if self._flat is None:
+            from repro.kdtree.engine import FlatKdTree
+
+            self._flat = FlatKdTree.from_tree(self)
+        return self._flat
 
     def _node_arrays(self) -> "_NodeArrays":
         if self._arrays is None:

@@ -17,6 +17,7 @@ bucket holds fewer than ``k`` points.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,22 @@ from repro.geometry import PointCloud
 from repro.kdtree.node import KdTree
 
 PAD_INDEX = -1
+
+
+@dataclass(frozen=True)
+class BbfConfig:
+    """Best-bin-first search parameters (the FLANN "checks" budget).
+
+    ``max_leaves`` bounds how many buckets one query may scan;
+    ``max_leaves=1`` degenerates to the single-bucket approximate
+    search, larger budgets approach the exact search.
+    """
+
+    max_leaves: int = 4
+
+    def __post_init__(self):
+        if self.max_leaves < 1:
+            raise ValueError("max_leaves must be positive")
 
 
 @dataclass(frozen=True)
@@ -81,12 +98,32 @@ def _top_k(dists: np.ndarray, candidate_idx: np.ndarray, k: int) -> tuple[np.nda
     return idx, dst
 
 
-def knn_approx(tree: KdTree, queries, k: int) -> QueryResult:
+def knn_approx(tree: KdTree, queries, k: int, *, engine: bool = True) -> QueryResult:
     """Approximate kNN: one bucket per query, no backtracking.
 
-    Vectorized by grouping queries that land in the same leaf, which is
-    also exactly the reuse opportunity the read-gather cache exploits in
-    hardware.
+    By default this runs on the batched vectorized engine
+    (:mod:`repro.kdtree.engine`): all queries descend the flat tree
+    level-by-level, then one gather + top-k kernel answers whole
+    buckets at a time.  ``engine=False`` selects the original
+    per-query loop path (kept as the reference implementation); both
+    produce identical results.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    q = _as_query_array(queries)
+    if engine:
+        from repro.kdtree.engine import knn_approx_batched
+
+        return knn_approx_batched(tree.flat(), q, k)
+    return knn_approx_loop(tree, q, k)
+
+
+def knn_approx_loop(tree: KdTree, queries, k: int) -> QueryResult:
+    """The per-query loop path of :func:`knn_approx` (reference/baseline).
+
+    Vectorized by grouping queries that land in the same leaf, but
+    still running one Python top-k per query — the software
+    pointer-chasing behavior the batched engine removes.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -111,22 +148,44 @@ def knn_approx(tree: KdTree, queries, k: int) -> QueryResult:
     return QueryResult(indices=indices, distances=distances)
 
 
-def knn_bbf(tree: KdTree, queries, k: int, *, max_leaves: int = 4) -> QueryResult:
+def knn_bbf(
+    tree: KdTree,
+    queries,
+    k: int,
+    config: BbfConfig | None = None,
+    *,
+    max_leaves: int | None = None,
+) -> QueryResult:
     """Best-bin-first search with a bounded leaf budget (FLANN-style).
 
-    Visits up to ``max_leaves`` buckets per query in order of their
-    region's distance to the query — the standard software middle
+    Visits up to ``config.max_leaves`` buckets per query in order of
+    their region's distance to the query — the standard software middle
     ground between the hardware's single-bucket search
-    (``max_leaves=1`` is equivalent to :func:`knn_approx`) and the fully
-    backtracking exact search.  This is the configuration behind the
-    paper's FLANN CPU baseline (Table 1's 91% "Approx. k-d Tree" row).
+    (``BbfConfig(max_leaves=1)`` is equivalent to :func:`knn_approx`)
+    and the fully backtracking exact search.  This is the configuration
+    behind the paper's FLANN CPU baseline (Table 1's 91% "Approx. k-d
+    Tree" row).
+
+    The bare ``max_leaves`` keyword is a deprecated alias kept for old
+    call sites; pass a :class:`BbfConfig` like the other backends.
     """
     import heapq
 
+    if max_leaves is not None:
+        warnings.warn(
+            "knn_bbf(..., max_leaves=...) is deprecated; "
+            "pass BbfConfig(max_leaves=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if config is not None:
+            raise ValueError("pass either config or the deprecated max_leaves, not both")
+        config = BbfConfig(max_leaves=max_leaves)
+    config = config or BbfConfig()
+    max_leaves = config.max_leaves
+
     if k < 1:
         raise ValueError("k must be positive")
-    if max_leaves < 1:
-        raise ValueError("max_leaves must be positive")
     q = _as_query_array(queries)
     m = q.shape[0]
     indices = np.full((m, k), PAD_INDEX, dtype=np.int64)
@@ -213,8 +272,20 @@ def radius_search(tree: KdTree, query, radius: float) -> tuple[np.ndarray, np.nd
     return indices[order], distances[order]
 
 
-def knn_exact(tree: KdTree, queries, k: int) -> QueryResult:
-    """Exact kNN via backtracking branch-and-bound over the tree."""
+def knn_exact(tree: KdTree, queries, k: int, *, engine: bool = True) -> QueryResult:
+    """Exact kNN via backtracking branch-and-bound over the tree.
+
+    By default runs the batched engine path: every query first gets the
+    vectorized single-bucket answer, and only the minority of queries
+    whose k-th distance exceeds their descent-path plane margin (i.e.
+    whose leaf radius test fails) drop to per-query backtracking.
+    ``engine=False`` forces the original all-loop path.
+    """
+    if engine:
+        from repro.kdtree.engine import knn_exact_batched
+
+        result, _ = knn_exact_batched(tree, _as_query_array(queries), k)
+        return result
     result, _ = knn_exact_instrumented(tree, queries, k)
     return result
 

@@ -6,6 +6,7 @@ import pytest
 from repro.datasets.synthetic import perturbed_pair
 from repro.geometry import RigidTransform
 from repro.icp import IcpConfig, icp_register
+from repro.index import make_index
 
 
 @pytest.mark.parametrize("backend", ["approx", "exact", "bruteforce"])
@@ -17,6 +18,25 @@ class TestBackends:
         angle_err = abs(result.transform.yaw() - true.yaw())
         trans_err = np.linalg.norm(result.transform.translation - true.translation)
         assert angle_err < 1e-3
+        assert trans_err < 1e-2
+
+
+class TestRegistryBackends:
+    def test_non_kdtree_backend_by_name(self, rng):
+        """Any registered index name works — here the voxel grid."""
+        ref, qry, true = perturbed_pair(800, rng=rng, noise_std=0.0)
+        result = icp_register(ref, qry, IcpConfig(knn="grid"))
+        assert result.converged
+        trans_err = np.linalg.norm(result.transform.translation - true.translation)
+        assert trans_err < 1e-2
+
+    def test_prebuilt_index_is_rebound(self, rng):
+        ref, qry, true = perturbed_pair(800, rng=rng, noise_std=0.0)
+        # Built over an unrelated cloud; icp_register must rebind it to qry.
+        prebuilt = make_index("bruteforce", np.zeros((10, 3)) + 50.0)
+        result = icp_register(ref, qry, IcpConfig(knn=prebuilt))
+        assert result.converged
+        trans_err = np.linalg.norm(result.transform.translation - true.translation)
         assert trans_err < 1e-2
 
 

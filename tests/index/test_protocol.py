@@ -1,0 +1,139 @@
+"""Conformance suite: every registered backend honors the NeighborIndex contract.
+
+One parametrized battery over all backends checks the output invariants
+(sorted distances, padding discipline, shapes) and recall floors; the
+rest of the module covers the registry itself (aliases, error messages,
+rebinding prebuilt indexes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import knn_recall
+from repro.baselines import knn_bruteforce
+from repro.index import NeighborIndex, available_indexes, make_index
+from repro.kdtree.search import PAD_INDEX
+
+BACKENDS = [
+    "bruteforce",
+    "kd-approx",
+    "kd-exact",
+    "kd-bbf",
+    "forest",
+    "grid",
+    "kmeans",
+    "lsh",
+]
+
+#: Exact backends must agree with brute force; approximate ones only
+#: need a sane floor on this easy workload.  LSH is known-terrible in
+#: 3D (that is the point of its Table 1 row), so it gets a token floor.
+MIN_RECALL = {
+    "bruteforce": 0.999,
+    "kd-exact": 0.999,
+    "grid": 0.999,
+    "kd-approx": 0.5,
+    "kd-bbf": 0.5,
+    "forest": 0.5,
+    "kmeans": 0.5,
+    "lsh": 0.01,
+}
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend(request, small_frame_pair):
+    ref, _ = small_frame_pair
+    return make_index(request.param, ref)
+
+
+def test_registry_covers_all_conformance_backends():
+    assert set(BACKENDS) == set(available_indexes())
+
+
+def test_satisfies_protocol(backend):
+    assert isinstance(backend, NeighborIndex)
+    assert isinstance(backend.name, str) and backend.name
+
+
+def test_query_shape_and_padding(backend, small_frame_pair):
+    _, qry = small_frame_pair
+    k = 6
+    result = backend.query(qry.xyz[:100], k)
+    assert result.indices.shape == (100, k)
+    assert result.distances.shape == (100, k)
+    assert result.indices.dtype == np.int64
+    # Padding discipline: -1 indices carry inf distances and vice versa.
+    pad = result.indices == PAD_INDEX
+    assert (np.isinf(result.distances) == pad).all()
+    # Real hits index into the reference set.
+    n_ref = backend.stats()["n_reference"]
+    assert (result.indices[~pad] >= 0).all()
+    assert (result.indices[~pad] < n_ref).all()
+
+
+def test_distances_sorted_ascending(backend, small_frame_pair):
+    _, qry = small_frame_pair
+    result = backend.query(qry.xyz[:100], 6)
+    # Rows are non-decreasing; inf - inf inside the padding tail is nan.
+    with np.errstate(invalid="ignore"):
+        steps = np.diff(result.distances, axis=1)
+    assert ((steps >= 0) | np.isnan(steps)).all()
+
+
+def test_k_larger_than_reference(small_frame_pair):
+    ref, qry = small_frame_pair
+    tiny = ref.xyz[:5]
+    for name in BACKENDS:
+        index = make_index(name, tiny)
+        result = index.query(qry.xyz[:10], 8)
+        assert result.indices.shape == (10, 8)
+        assert (result.indices[:, 5:] == PAD_INDEX).all(), name
+        assert np.isinf(result.distances[:, 5:]).all(), name
+
+
+def test_empty_query_batch(backend):
+    result = backend.query(np.empty((0, 3)), 4)
+    assert result.indices.shape == (0, 4)
+    assert result.distances.shape == (0, 4)
+
+
+def test_stats_reports_reference_size(backend, small_frame_pair):
+    ref, _ = small_frame_pair
+    stats = backend.stats()
+    assert isinstance(stats, dict)
+    assert stats["n_reference"] == ref.xyz.shape[0]
+
+
+def test_recall_against_bruteforce(backend, small_frame_pair):
+    ref, qry = small_frame_pair
+    k = 5
+    q = qry.xyz[:300]
+    exact = knn_bruteforce(ref, q, k)
+    recall = knn_recall(backend.query(q, k), exact, k)
+    assert recall >= MIN_RECALL[backend.name], (backend.name, recall)
+
+
+def test_aliases_resolve_to_canonical(small_frame_pair):
+    ref, _ = small_frame_pair
+    assert make_index("approx", ref).name == "kd-approx"
+    assert make_index("exact", ref).name == "kd-exact"
+    assert make_index("bbf", ref).name == "kd-bbf"
+    assert make_index("linear", ref).name == "bruteforce"
+
+
+def test_unknown_name_lists_available(small_frame_pair):
+    ref, _ = small_frame_pair
+    with pytest.raises(ValueError, match="unknown knn index 'flann'"):
+        make_index("flann", ref)
+
+
+def test_build_rebinds_reference(small_frame_pair, backend):
+    ref, qry = small_frame_pair
+    new_ref = ref.xyz[:400]
+    rebound = backend.build(new_ref)
+    result = rebound.query(qry.xyz[:20], 3)
+    valid = result.indices != PAD_INDEX
+    assert (result.indices[valid] < 400).all()
+    assert rebound.stats()["n_reference"] == 400
+    # Restore the module-scoped fixture for later tests.
+    backend.build(ref)

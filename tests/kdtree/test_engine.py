@@ -1,0 +1,121 @@
+"""Tests for the batched vectorized query engine (repro.kdtree.engine).
+
+The engine's contract is strict: not just "close", but element-for-
+element identical results to the per-query loop paths, for both the
+approximate and the exact search.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.datasets import lidar_frame_pair
+from repro.kdtree import (
+    FlatKdTree,
+    KdTreeConfig,
+    build_tree,
+    knn_approx,
+    knn_approx_loop,
+    knn_exact,
+    update_tree,
+)
+from repro.kdtree.engine import knn_approx_batched, knn_exact_batched
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ref, qry = lidar_frame_pair(4_000, seed=3)
+    tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=128))
+    return tree, ref, qry.xyz[:1_000]
+
+
+class TestFlatLayout:
+    def test_descend_matches_tree(self, workload):
+        tree, _, queries = workload
+        assert np.array_equal(tree.flat().descend(queries), tree.descend_batch(queries))
+
+    def test_csr_buckets_match_tree(self, workload):
+        tree, _, _ = workload
+        flat = tree.flat()
+        assert flat.n_buckets == len(tree.buckets)
+        for bucket_id, members in enumerate(tree.buckets):
+            assert np.array_equal(flat.bucket(bucket_id), members)
+
+    def test_cached_and_invalidated(self, workload):
+        tree, _, _ = workload
+        assert tree.flat() is tree.flat()
+        tree.invalidate_caches()
+        assert isinstance(tree.flat(), FlatKdTree)
+
+    def test_stats(self, workload):
+        tree, _, _ = workload
+        stats = tree.flat().stats()
+        assert stats["n_points"] == tree.n_points
+        assert stats["n_leaves"] == tree.n_leaves
+
+    def test_rejects_empty_tree(self, workload):
+        _, ref, _ = workload
+        from repro.kdtree.node import KdTree
+
+        with pytest.raises(ValueError):
+            FlatKdTree.from_tree(KdTree(points=ref.xyz))
+
+
+class TestApproxIdentity:
+    @pytest.mark.parametrize("k", [1, 4, 8, 16])
+    def test_identical_to_loop(self, workload, k):
+        tree, _, queries = workload
+        fast = knn_approx(tree, queries, k)
+        slow = knn_approx_loop(tree, queries, k)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)
+
+    def test_identical_when_k_exceeds_buckets(self, workload):
+        tree, _, queries = workload
+        # k far beyond the bucket capacity: every row ends in padding.
+        fast = knn_approx(tree, queries, 200)
+        slow = knn_approx_loop(tree, queries, 200)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)
+
+    def test_direct_entrypoint(self, workload):
+        tree, _, queries = workload
+        result = knn_approx_batched(tree.flat(), queries, 4)
+        assert np.array_equal(result.indices, knn_approx_loop(tree, queries, 4).indices)
+
+    def test_rejects_bad_k(self, workload):
+        tree, _, queries = workload
+        with pytest.raises(ValueError):
+            knn_approx_batched(tree.flat(), queries, 0)
+
+
+class TestExactIdentity:
+    @pytest.mark.parametrize("k", [1, 5, 8])
+    def test_identical_to_loop(self, workload, k):
+        tree, _, queries = workload
+        fast = knn_exact(tree, queries, k)
+        slow = knn_exact(tree, queries, k, engine=False)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)
+
+    def test_matches_scipy(self, workload):
+        tree, ref, queries = workload
+        result = knn_exact(tree, queries, k=5)
+        d, _ = cKDTree(ref.xyz).query(queries, k=5)
+        assert np.allclose(result.distances, d)
+
+    def test_visit_counts(self, workload):
+        tree, _, queries = workload
+        _, visits = knn_exact_batched(tree, queries, 8)
+        assert (visits >= 1).all()
+        # The radius test must settle at least some queries in one bucket.
+        assert (visits == 1).any()
+
+    def test_after_incremental_update(self, workload):
+        tree, _, queries = workload
+        _, qry2 = lidar_frame_pair(4_000, seed=11)
+        new_tree, _ = update_tree(tree, qry2, KdTreeConfig(bucket_capacity=128))
+        fast = knn_approx(new_tree, queries, 4)
+        slow = knn_approx_loop(new_tree, queries, 4)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)

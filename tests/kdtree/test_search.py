@@ -6,7 +6,7 @@ from scipy.spatial import cKDTree
 
 from repro.baselines import knn_bruteforce
 from repro.datasets.synthetic import uniform_cloud
-from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_bbf, knn_exact
+from repro.kdtree import BbfConfig, KdTreeConfig, build_tree, knn_approx, knn_bbf, knn_exact
 from repro.kdtree.search import PAD_INDEX
 
 
@@ -94,7 +94,7 @@ class TestApprox:
 class TestBbf:
     def test_one_leaf_equals_approx(self, setup):
         tree, _, queries = setup
-        bbf = knn_bbf(tree, queries, k=5, max_leaves=1)
+        bbf = knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=1))
         approx = knn_approx(tree, queries, k=5)
         assert np.array_equal(bbf.indices, approx.indices)
 
@@ -108,17 +108,29 @@ class TestBbf:
                 for i in range(len(queries))
             ])
 
-        r1 = recall(knn_bbf(tree, queries, k=5, max_leaves=1))
-        r4 = recall(knn_bbf(tree, queries, k=5, max_leaves=4))
+        r1 = recall(knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=1)))
+        r4 = recall(knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=4)))
         assert r4 >= r1
 
     def test_unbounded_budget_is_exact(self, setup):
         tree, _, queries = setup
-        bbf = knn_bbf(tree, queries, k=5, max_leaves=tree.n_leaves)
+        bbf = knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=tree.n_leaves))
         exact = knn_exact(tree, queries, k=5)
         assert np.allclose(bbf.distances, exact.distances)
 
     def test_rejects_bad_budget(self, setup):
         tree, _, queries = setup
         with pytest.raises(ValueError):
-            knn_bbf(tree, queries, k=5, max_leaves=0)
+            knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=0))
+
+    def test_deprecated_max_leaves_keyword(self, setup):
+        tree, _, queries = setup
+        with pytest.warns(DeprecationWarning):
+            old = knn_bbf(tree, queries, k=5, max_leaves=2)
+        new = knn_bbf(tree, queries, k=5, config=BbfConfig(max_leaves=2))
+        assert np.array_equal(old.indices, new.indices)
+
+    def test_rejects_config_and_deprecated_keyword(self, setup):
+        tree, _, queries = setup
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            knn_bbf(tree, queries, k=5, config=BbfConfig(), max_leaves=2)
