@@ -27,11 +27,19 @@ computation the same way the accelerator does:
 Candidate *selection* inside a bucket uses the classic
 ``|q|^2 - 2 q.c + |c|^2`` BLAS expansion for speed (in float32, keeping
 ``SELECT_PAD`` extra candidates so rounding at the selection boundary
-cannot change the final set), but the final top-k and its reported
-distances are always decided on float64 distances recomputed with the
-same ``sqrt(((q - c)^2).sum())`` kernel the per-query paths use, so
-results are element-for-element identical to the loop implementations
-(which remain available — and tested against — as ``knn_approx_loop`` /
+cannot change the final set; the per-row-constant ``|q|^2`` term is
+dropped where only the ranking matters).  The expansion is evaluated on
+*centered* coordinates — the cloud centroid is subtracted from both the
+reference points and the queries — because on raw coordinates its
+cancellation error grows with ``|q|^2``: a lidar frame in UTM-style
+coordinates far from the origin would swamp the true inter-point
+distances and select the wrong candidates entirely.  Centering makes
+the error scale with the cloud *extent* instead, which the pad absorbs.
+The final top-k and its reported distances are always decided on
+float64 distances recomputed from the raw coordinates with the same
+``sqrt(((q - c)^2).sum())`` kernel the per-query paths use, so results
+are element-for-element identical to the loop implementations (which
+remain available — and tested against — as ``knn_approx_loop`` /
 ``knn_exact(engine=False)``).
 """
 
@@ -50,13 +58,18 @@ class FlatKdTree:
 
     Node arrays are indexed by node id (``nodes[i].index == i`` in the
     source tree); bucket membership is stored in CSR form
-    (``bucket_offsets`` / ``bucket_members``).  ``point_sq`` caches the
-    squared norm of every reference point for the BLAS distance
-    expansion.
+    (``bucket_offsets`` / ``bucket_members``).  The selection-stage
+    arrays (``points_c`` / ``point_sq_c`` / ``bucket_xyz32`` /
+    ``bucket_sq32``) hold coordinates with ``centroid`` subtracted, so
+    the BLAS distance expansion stays cancellation-safe for clouds far
+    from the origin; ``points`` keeps the raw coordinates the exact
+    re-derivation kernel uses.
     """
 
     points: np.ndarray
-    point_sq: np.ndarray
+    centroid: np.ndarray
+    points_c: np.ndarray
+    point_sq_c: np.ndarray
     dim: np.ndarray
     threshold: np.ndarray
     left: np.ndarray
@@ -109,10 +122,16 @@ class FlatKdTree:
         )
 
         points = tree.points
-        bucket_xyz32 = np.ascontiguousarray(points[members], dtype=np.float32)
+        centroid = (
+            points.mean(axis=0) if points.shape[0] else np.zeros(points.shape[1])
+        )
+        points_c = points - centroid
+        bucket_xyz32 = np.ascontiguousarray(points_c[members], dtype=np.float32)
         return cls(
             points=points,
-            point_sq=(points * points).sum(axis=1),
+            centroid=centroid,
+            points_c=points_c,
+            point_sq_c=(points_c * points_c).sum(axis=1),
             dim=dim,
             threshold=threshold,
             left=left,
@@ -197,11 +216,17 @@ class FlatKdTree:
 # Vectorized bucket kernels
 # ----------------------------------------------------------------------
 def _squared_distances(flat: FlatKdTree, qg: np.ndarray, cand: np.ndarray) -> np.ndarray:
-    """Selection metric: ``|q - c|^2`` via the BLAS expansion, clipped at 0."""
+    """Selection metric: ``|q - c|^2`` via the BLAS expansion, clipped at 0.
+
+    Evaluated on centered coordinates so the expansion's cancellation
+    error scales with the cloud extent, not the distance from the
+    origin.
+    """
+    qc = qg - flat.centroid
     d2 = (
-        (qg * qg).sum(axis=1)[:, None]
-        - 2.0 * qg @ flat.points[cand].T
-        + flat.point_sq[cand][None, :]
+        (qc * qc).sum(axis=1)[:, None]
+        - 2.0 * qc @ flat.points_c[cand].T
+        + flat.point_sq_c[cand][None, :]
     )
     np.maximum(d2, 0.0, out=d2)
     return d2
@@ -239,11 +264,11 @@ def _grouped_topk(
     """Top-k over each query's bucket, one vectorized kernel per group.
 
     Queries are grouped by bucket (argsort), candidates are *selected*
-    per group with a float32 BLAS metric over the CSR-aligned bucket
-    blocks (keeping ``SELECT_PAD`` extras so float32 rounding cannot
-    change the final set), and the reported top-k is decided on exactly
-    recomputed float64 distances.  Returns ``(indices, distances)`` of
-    shape ``(M, k)``.
+    per group with a float32 BLAS metric over the CSR-aligned,
+    centroid-centered bucket blocks (keeping ``SELECT_PAD`` extras so
+    float32 rounding cannot change the final set), and the reported
+    top-k is decided on exactly recomputed float64 distances.  Returns
+    ``(indices, distances)`` of shape ``(M, k)``.
     """
     from repro.kdtree.search import PAD_INDEX
 
@@ -253,8 +278,7 @@ def _grouped_topk(
     if m == 0:
         return indices, distances
 
-    q32 = q.astype(np.float32)
-    qsq32 = (q32 * q32).sum(axis=1)
+    q32 = (q - flat.centroid).astype(np.float32)
     t = k + FlatKdTree.SELECT_PAD
 
     order = np.argsort(bucket_ids, kind="stable")
@@ -262,6 +286,10 @@ def _grouped_topk(
     run_starts = np.flatnonzero(np.r_[True, sorted_b[1:] != sorted_b[:-1]])
     run_stops = np.r_[run_starts[1:], sorted_b.size]
 
+    # Per-group selection fills one (M, t) candidate table; the exact
+    # re-derivation then runs as a single batched kernel over all rows
+    # rather than once per group.
+    sel = np.full((m, t), PAD_INDEX, dtype=np.int64)
     offsets = flat.bucket_offsets
     for start, stop in zip(run_starts, run_stops):
         qids = order[start:stop]
@@ -272,19 +300,19 @@ def _grouped_topk(
             continue
         cand = flat.bucket_members[lo:hi]
         if b > t:
+            # |q|^2 is constant per row, so it cannot change which
+            # candidates rank in the top-t; rank on |c|^2 - 2 q.c only.
             d2 = (
-                qsq32[qids][:, None]
+                flat.bucket_sq32[lo:hi]
                 - 2.0 * (q32[qids] @ flat.bucket_xyz32[lo:hi].T)
-                + flat.bucket_sq32[lo:hi]
             )
             part = np.argpartition(d2, t - 1, axis=1)[:, :t]
-            sel_idx = cand[part]
+            sel[qids] = cand[part]
         else:
-            sel_idx = np.broadcast_to(cand, (qids.size, b))
-        idx, dst = _exact_rows(flat, q[qids], sel_idx)
-        take = min(idx.shape[1], k)
-        indices[qids, :take] = idx[:, :take]
-        distances[qids, :take] = dst[:, :take]
+            sel[qids, :b] = cand
+    idx, dst = _exact_rows(flat, q, sel)
+    indices[:] = idx[:, :k]
+    distances[:] = dst[:, :k]
     return indices, distances
 
 
@@ -358,7 +386,7 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
     Returns ``(result, visits)`` where ``visits`` counts buckets
     scanned per query (1 for every query the radius test settles).
     """
-    from repro.kdtree.search import QueryResult
+    from repro.kdtree.search import PAD_INDEX, QueryResult
 
     if k < 1:
         raise ValueError("k must be positive")
@@ -381,10 +409,28 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
     if vq.size == 0:
         return QueryResult(indices=indices, distances=distances), visits
 
-    # Merge the visited buckets into each query's running top-k, one
-    # vectorized merge per distinct bucket.  Selection runs on the BLAS
-    # metric; the touched rows are re-derived exactly at the end.
-    run_d2 = distances * distances  # inf padding survives squaring
+    # Merge the visited buckets into each query's running candidate
+    # set, one vectorized merge per distinct bucket.  Selection runs on
+    # the centered BLAS metric and, as in the single-bucket pass, keeps
+    # ``SELECT_PAD`` extra candidates so rounding at the selection
+    # boundary (the running set squares previously sqrt'd distances,
+    # new candidates come from the expansion) cannot drop a true
+    # neighbor; the touched rows are re-derived exactly — and cut back
+    # to k — at the end.
+    t = k + FlatKdTree.SELECT_PAD
+    row_of = np.full(q.shape[0], -1, dtype=np.int64)
+    row_of[unsettled] = np.arange(unsettled.size)
+    run_d2 = np.concatenate(
+        [distances[unsettled] ** 2, np.full((unsettled.size, t - k), np.inf)],
+        axis=1,
+    )
+    run_idx = np.concatenate(
+        [
+            indices[unsettled],
+            np.full((unsettled.size, t - k), PAD_INDEX, dtype=np.int64),
+        ],
+        axis=1,
+    )
     order = np.argsort(vb, kind="stable")
     sorted_b = vb[order]
     run_starts = np.flatnonzero(np.r_[True, sorted_b[1:] != sorted_b[:-1]])
@@ -395,23 +441,20 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
         visits[qids] += 1
         if cand.size == 0:
             continue
+        rows = row_of[qids]
         d2 = _squared_distances(flat, q[qids], cand)
-        cat_d2 = np.concatenate([run_d2[qids], d2], axis=1)
+        cat_d2 = np.concatenate([run_d2[rows], d2], axis=1)
         cat_idx = np.concatenate(
-            [indices[qids], np.broadcast_to(cand, (qids.size, cand.size))], axis=1
+            [run_idx[rows], np.broadcast_to(cand, (qids.size, cand.size))], axis=1
         )
-        if cat_d2.shape[1] > k:
-            part = np.argpartition(cat_d2, k - 1, axis=1)[:, :k]
-            run_d2[qids] = np.take_along_axis(cat_d2, part, axis=1)
-            indices[qids] = np.take_along_axis(cat_idx, part, axis=1)
-        else:
-            run_d2[qids] = cat_d2
-            indices[qids] = cat_idx
+        part = np.argpartition(cat_d2, t - 1, axis=1)[:, :t]
+        run_d2[rows] = np.take_along_axis(cat_d2, part, axis=1)
+        run_idx[rows] = np.take_along_axis(cat_idx, part, axis=1)
 
     touched = np.unique(vq)
-    idx, dst = _exact_rows(flat, q[touched], indices[touched])
-    indices[touched] = idx
-    distances[touched] = dst
+    idx, dst = _exact_rows(flat, q[touched], run_idx[row_of[touched]])
+    indices[touched] = idx[:, :k]
+    distances[touched] = dst[:, :k]
     # Rows the radius test missed but backtracking never improved keep
     # their (already exact) single-bucket answer untouched.
     return QueryResult(indices=indices, distances=distances), visits

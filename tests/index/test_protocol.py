@@ -129,11 +129,11 @@ def test_unknown_name_lists_available(small_frame_pair):
 
 def test_build_rebinds_reference(small_frame_pair, backend):
     ref, qry = small_frame_pair
-    new_ref = ref.xyz[:400]
-    rebound = backend.build(new_ref)
+    # Fresh instance: rebinding the module-scoped fixture would leak a
+    # 400-point index into later tests if an assertion failed mid-test.
+    index = make_index(backend.name, ref)
+    rebound = index.build(ref.xyz[:400])
     result = rebound.query(qry.xyz[:20], 3)
     valid = result.indices != PAD_INDEX
     assert (result.indices[valid] < 400).all()
     assert rebound.stats()["n_reference"] == 400
-    # Restore the module-scoped fixture for later tests.
-    backend.build(ref)

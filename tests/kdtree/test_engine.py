@@ -89,6 +89,44 @@ class TestApproxIdentity:
             knn_approx_batched(tree.flat(), queries, 0)
 
 
+class TestOffsetCloudIdentity:
+    """Regression: frames far from the origin (UTM-style coordinates).
+
+    The BLAS selection expansion's cancellation error grows with
+    ``|q|^2`` on raw coordinates, which used to corrupt candidate
+    selection for off-origin clouds; the engine now centers the
+    selection stage on the cloud centroid, so the identity contract
+    must hold at any offset.
+    """
+
+    @pytest.fixture(scope="class", params=[100.0, 1_000.0, 1e5])
+    def offset_workload(self, request):
+        ref, qry = lidar_frame_pair(3_000, seed=7)
+        shift = np.full(3, request.param)
+        tree, _ = build_tree(ref.xyz + shift, KdTreeConfig(bucket_capacity=64))
+        return tree, ref.xyz + shift, qry.xyz[:600] + shift
+
+    def test_approx_identical_to_loop(self, offset_workload):
+        tree, _, queries = offset_workload
+        fast = knn_approx(tree, queries, 8)
+        slow = knn_approx_loop(tree, queries, 8)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)
+
+    def test_exact_identical_to_loop(self, offset_workload):
+        tree, _, queries = offset_workload
+        fast = knn_exact(tree, queries, 5)
+        slow = knn_exact(tree, queries, 5, engine=False)
+        assert np.array_equal(fast.indices, slow.indices)
+        assert np.array_equal(fast.distances, slow.distances)
+
+    def test_exact_matches_scipy(self, offset_workload):
+        tree, ref_xyz, queries = offset_workload
+        result = knn_exact(tree, queries, k=4)
+        d, _ = cKDTree(ref_xyz).query(queries, k=4)
+        assert np.allclose(result.distances, d)
+
+
 class TestExactIdentity:
     @pytest.mark.parametrize("k", [1, 5, 8])
     def test_identical_to_loop(self, workload, k):
