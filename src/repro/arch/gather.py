@@ -21,7 +21,10 @@ notes they "operate in a similar way".
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -48,12 +51,37 @@ class GatherStats:
     fill_histogram: dict[int, int] = field(default_factory=dict)
 
     @property
-    def mean_fill_at_flush(self) -> float:
+    def mean_fill(self) -> float:
+        """Average slot occupancy at flush time."""
         return self.flushed_items / self.flushes if self.flushes else 0.0
+
+    @property
+    def mean_fill_at_flush(self) -> float:
+        """Deprecated: renamed to :attr:`mean_fill`."""
+        warnings.warn(
+            "GatherStats.mean_fill_at_flush is deprecated; use "
+            "GatherStats.mean_fill (or as_dict()['mean_fill'])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.mean_fill
+
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "inserts": self.inserts,
+            "flushes": self.flushes,
+            "forced_flushes": self.forced_flushes,
+            "flushed_items": self.flushed_items,
+            "mean_fill": self.mean_fill,
+        }
 
 
 class GatherCache:
     """A bank of ``n_slots`` temporary buckets of ``slot_capacity`` items."""
+
+    #: Subsystem label used for the registry metrics (``cache.<label>.*``).
+    obs_label = "gather"
 
     def __init__(self, n_slots: int, slot_capacity: int):
         if n_slots < 1:
@@ -64,6 +92,17 @@ class GatherCache:
         self.slot_capacity = slot_capacity
         self._fills: dict[int, int] = {}  # bucket_id -> gathered count
         self.stats = GatherStats()
+        obs = get_registry()
+        if obs.enabled:
+            prefix = f"cache.{self.obs_label}"
+            self._obs_counters = (
+                obs.counter(f"{prefix}.inserts"),
+                obs.counter(f"{prefix}.flushes"),
+                obs.counter(f"{prefix}.forced_flushes"),
+                obs.counter(f"{prefix}.flushed_items"),
+            )
+        else:
+            self._obs_counters = None
 
     # ------------------------------------------------------------------
     @property
@@ -81,6 +120,8 @@ class GatherCache:
         new slot, and/or a natural flush of the now-full slot.
         """
         self.stats.inserts += 1
+        if self._obs_counters is not None:
+            self._obs_counters[0].inc()
         events: list[FlushEvent] = []
         if bucket_id not in self._fills and len(self._fills) >= self.n_slots:
             fullest = max(self._fills, key=lambda b: (self._fills[b], -b))
@@ -97,6 +138,11 @@ class GatherCache:
         if forced:
             self.stats.forced_flushes += 1
         self.stats.fill_histogram[count] = self.stats.fill_histogram.get(count, 0) + 1
+        if self._obs_counters is not None:
+            self._obs_counters[1].inc()
+            self._obs_counters[3].inc(count)
+            if forced:
+                self._obs_counters[2].inc()
         return FlushEvent(bucket_id=bucket_id, count=count, forced=forced)
 
     def drain(self) -> list[FlushEvent]:
@@ -122,6 +168,10 @@ class GatherCache:
 class WriteGatherCache(GatherCache):
     """TBuild-side gather of points by destination bucket (w_b x w_n)."""
 
+    obs_label = "write_gather"
+
 
 class ReadGatherCache(GatherCache):
     """TSearch-side gather of query points by target bucket (r_b x r_n)."""
+
+    obs_label = "read_gather"

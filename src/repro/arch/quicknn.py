@@ -329,7 +329,7 @@ class QuickNN:
             notes={
                 "bucket_reads": float(n_bucket_reads),
                 "write_gather_flushes": float(wg.stats.flushes),
-                "read_gather_mean_fill": rg.stats.mean_fill_at_flush,
+                "read_gather_mean_fill": rg.stats.mean_fill,
                 "tree_cache_bytes": float(cache.cache_bytes()),
                 "tbuild_busy": float(tbuild_busy),
                 "tsearch_busy": float(tsearch_busy),

@@ -56,6 +56,27 @@ class FrameReport:
         """Data cycles over total frame cycles (the paper's Figure 13)."""
         return self.dram.bandwidth_utilization(self.total_cycles)
 
+    def as_dict(self) -> dict:
+        """Flat scalar view, DRAM stats nested under ``dram.*``."""
+        out = {
+            "n_reference": self.n_reference,
+            "n_query": self.n_query,
+            "k": self.k,
+            "total_cycles": self.total_cycles,
+            "fps": self.fps,
+            "latency_ms": self.latency_ms,
+            "bandwidth_utilization": self.bandwidth_utilization,
+        }
+        for phase, cycles in self.phase_cycles.items():
+            out[f"phase_cycles.{phase}"] = cycles
+        for unit, cycles in self.compute_cycles.items():
+            out[f"compute_cycles.{unit}"] = cycles
+        for key, value in self.dram.as_dict().items():
+            out[f"dram.{key}"] = value
+        for key, value in self.notes.items():
+            out[f"notes.{key}"] = value
+        return out
+
     def summary(self) -> str:
         phases = ", ".join(f"{k}={v}" for k, v in self.phase_cycles.items())
         return (

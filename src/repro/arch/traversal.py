@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.arch.tree_cache import BankedTreeCache
 from repro.kdtree.node import KdTree
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,17 @@ class TraversalReport:
     @property
     def visits_per_cycle(self) -> float:
         return self.node_visits / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "n_points": self.n_points,
+            "n_workers": self.n_workers,
+            "cycles": self.cycles,
+            "node_visits": self.node_visits,
+            "stall_cycles": self.stall_cycles,
+            "visits_per_cycle": self.visits_per_cycle,
+        }
 
 
 def simulate_traversal(
@@ -162,6 +174,13 @@ def simulate_traversal(
         rr_offset = (rr_offset + 1) % n_workers
         active = next_point < n_points or (current != -2).any()
 
+    obs = get_registry()
+    if obs.enabled:
+        obs.counter("arch.traversal.runs").inc()
+        obs.counter("arch.traversal.points").inc(n_points)
+        obs.counter("arch.traversal.cycles").inc(cycles)
+        obs.counter("arch.traversal.node_visits").inc(node_visits)
+        obs.counter("arch.traversal.stall_cycles").inc(stall_cycles)
     return TraversalReport(
         n_points=n_points,
         n_workers=n_workers,

@@ -12,22 +12,27 @@ from repro.harness.result import ExperimentResult, _format_cell
 
 
 def result_to_markdown(result: ExperimentResult) -> str:
-    """One experiment as a markdown section with table and check list."""
-    lines = [f"## {result.exp_id} — {result.title}", ""]
-    if result.paper_says:
-        lines.append(f"*Paper:* {result.paper_says}")
+    """One experiment as a markdown section with table and check list.
+
+    Renders from :meth:`ExperimentResult.to_dict` — the same view the
+    CLI's ``--json`` output serializes — so the two can never drift.
+    """
+    data = result.to_dict()
+    lines = [f"## {data['exp_id']} — {data['title']}", ""]
+    if data["paper_says"]:
+        lines.append(f"*Paper:* {data['paper_says']}")
         lines.append("")
-    lines.append("| " + " | ".join(result.headers) + " |")
-    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
-    for row in result.rows:
+    lines.append("| " + " | ".join(data["headers"]) + " |")
+    lines.append("|" + "|".join("---" for _ in data["headers"]) + "|")
+    for row in data["rows"]:
         lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
     lines.append("")
-    for name, ok in result.shape_checks.items():
+    for name, ok in data["shape_checks"].items():
         mark = "x" if ok else " "
         lines.append(f"- [{mark}] {name}")
-    if result.notes:
+    if data["notes"]:
         lines.append("")
-        lines.append(f"> {result.notes}")
+        lines.append(f"> {data['notes']}")
     lines.append("")
     return "\n".join(lines)
 
@@ -36,17 +41,22 @@ def report_document(results: list[ExperimentResult], *, title: str | None = None
     """A complete markdown report over a set of experiment results."""
     n_checks = sum(len(r.shape_checks) for r in results)
     n_pass = sum(sum(r.shape_checks.values()) for r in results)
+    timed = any(r.elapsed_s > 0 for r in results)
     header = [
         f"# {title or 'QuickNN reproduction — regenerated results'}",
         "",
         f"{len(results)} experiments, {n_pass}/{n_checks} shape checks passing.",
         "",
-        "| experiment | title | checks |",
-        "|---|---|---|",
+        "| experiment | title | checks |" + (" elapsed |" if timed else ""),
+        "|---|---|---|" + ("---|" if timed else ""),
     ]
     for r in results:
-        ok = sum(r.shape_checks.values())
-        header.append(f"| {r.exp_id} | {r.title} | {ok}/{len(r.shape_checks)} |")
+        data = r.to_dict()
+        ok = sum(data["shape_checks"].values())
+        line = f"| {data['exp_id']} | {data['title']} | {ok}/{len(data['shape_checks'])} |"
+        if timed:
+            line += f" {data['elapsed_s']:.1f}s |"
+        header.append(line)
     header.append("")
     sections = [result_to_markdown(r) for r in results]
     return "\n".join(header) + "\n" + "\n".join(sections)

@@ -25,6 +25,7 @@ from repro.harness.exp_extensions import (
     ext_crosscheck,
     ext_exact_search,
     ext_hbm,
+    ext_icp_registration,
     ext_incremental_scaling,
     ext_pareto,
     ext_sensitivity,
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-sensitivity": ext_sensitivity,
     "ext-banks": ext_banks,
     "ext-pareto": ext_pareto,
+    "ext-icp": ext_icp_registration,
 }
 
 

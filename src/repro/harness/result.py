@@ -22,6 +22,8 @@ class ExperimentResult:
     shape_checks: dict[str, bool] = field(default_factory=dict)
     paper_says: str = ""
     notes: str = ""
+    #: Wall-clock seconds the regeneration took (filled by the runner).
+    elapsed_s: float = 0.0
 
     @property
     def all_checks_pass(self) -> bool:
@@ -29,6 +31,21 @@ class ExperimentResult:
 
     def failed_checks(self) -> list[str]:
         return [name for name, ok in self.shape_checks.items() if not ok]
+
+    def to_dict(self) -> dict:
+        """JSON-ready view — the single serialization the CLI and the
+        markdown report both build on."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "shape_checks": self.shape_checks,
+            "all_checks_pass": self.all_checks_pass,
+            "paper_says": self.paper_says,
+            "notes": self.notes,
+            "elapsed_s": self.elapsed_s,
+        }
 
     def to_text(self) -> str:
         """Render as an aligned plain-text report."""

@@ -3,8 +3,15 @@
 Usage::
 
     quicknn-experiments list                  # show all experiment ids
-    quicknn-experiments run fig12             # regenerate one table/figure
+    quicknn-experiments run fig12 fig13       # regenerate one or more
     quicknn-experiments all [--json out.json] # regenerate the whole evaluation
+    quicknn-experiments report out.md         # markdown reproducibility report
+
+Every experiment-running subcommand also accepts the observability
+flags (see ``docs/observability.md``)::
+
+    --profile prof.json    # per-experiment wall-clock + subsystem metrics
+    --trace out.trace.json # Chrome trace_event timeline (chrome://tracing)
 """
 
 from __future__ import annotations
@@ -14,8 +21,23 @@ import json
 import sys
 import time
 
+import repro.obs as obs
 from repro.harness.registry import experiment_ids, run_experiment
-from repro.harness.result import ExperimentResult
+from repro.harness.result import ExperimentResult, render_table
+
+
+def _add_output_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--json", metavar="PATH", help="also write the results as JSON")
+    sub.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="write a JSON profile: per-experiment wall-clock + subsystem metrics",
+    )
+    sub.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace_event timeline (load in chrome://tracing)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,32 +47,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
-    run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("exp_id", choices=experiment_ids())
-    run.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "exp_ids",
+        nargs="+",
+        choices=experiment_ids(),
+        metavar="exp_id",
+        help="experiment id(s); see `quicknn-experiments list`",
+    )
+    _add_output_flags(run)
     everything = sub.add_parser("all", help="run every experiment in paper order")
-    everything.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    _add_output_flags(everything)
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
     report.add_argument("out", metavar="PATH", help="markdown file to write")
+    _add_output_flags(report)
     return parser
 
 
 def _as_json(results: list[ExperimentResult]) -> str:
-    payload = [
-        {
-            "exp_id": r.exp_id,
-            "title": r.title,
-            "headers": r.headers,
-            "rows": r.rows,
-            "shape_checks": r.shape_checks,
-            "paper_says": r.paper_says,
-            "notes": r.notes,
-        }
-        for r in results
+    return json.dumps([r.to_dict() for r in results], indent=2, default=str)
+
+
+def _timing_table(results: list[ExperimentResult]) -> str:
+    """Per-experiment elapsed/total summary (printed after multi-runs)."""
+    total = sum(r.elapsed_s for r in results)
+    rows = [
+        [
+            r.exp_id,
+            f"{r.elapsed_s:.1f}",
+            f"{(r.elapsed_s / total if total else 0.0):.1%}",
+            "ok" if r.all_checks_pass else "FAIL",
+        ]
+        for r in sorted(results, key=lambda r: -r.elapsed_s)
     ]
-    return json.dumps(payload, indent=2, default=str)
+    rows.append(["total", f"{total:.1f}", "100.0%", ""])
+    return render_table(["experiment", "elapsed (s)", "share", "checks"], rows)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,29 +94,62 @@ def main(argv: list[str] | None = None) -> int:
             print(exp_id)
         return 0
 
-    ids = [args.exp_id] if args.command == "run" else experiment_ids()
+    ids = args.exp_ids if args.command == "run" else experiment_ids()
+    profiling = bool(args.profile or args.trace)
+    registry = obs.enable(trace=bool(args.trace)) if profiling else obs.get_registry()
+
     results: list[ExperimentResult] = []
     any_failed = False
-    for exp_id in ids:
-        start = time.perf_counter()
-        result = run_experiment(exp_id)
-        elapsed = time.perf_counter() - start
-        results.append(result)
-        print(result.to_text())
-        print(f"({elapsed:.1f}s)\n")
-        if not result.all_checks_pass:
-            any_failed = True
+    try:
+        for position, exp_id in enumerate(ids, 1):
+            print(f"[{position}/{len(ids)}] {exp_id} ...", flush=True)
+            start = time.perf_counter()
+            with registry.phase(f"experiment.{exp_id}"):
+                result = run_experiment(exp_id)
+            result.elapsed_s = time.perf_counter() - start
+            results.append(result)
+            print(result.to_text())
+            print(f"({result.elapsed_s:.1f}s)\n")
+            if not result.all_checks_pass:
+                any_failed = True
 
-    if getattr(args, "json", None):
-        with open(args.json, "w") as handle:
-            handle.write(_as_json(results))
-        print(f"wrote {args.json}")
-    if args.command == "report":
-        from repro.harness.markdown import report_document
+        if len(results) > 1:
+            print(_timing_table(results))
+            print()
 
-        with open(args.out, "w") as handle:
-            handle.write(report_document(results))
-        print(f"wrote {args.out}")
+        if getattr(args, "json", None):
+            with open(args.json, "w") as handle:
+                handle.write(_as_json(results))
+            print(f"wrote {args.json}")
+        if args.command == "report":
+            from repro.harness.markdown import report_document
+
+            with open(args.out, "w") as handle:
+                handle.write(report_document(results))
+            print(f"wrote {args.out}")
+        if args.profile:
+            obs.write_profile(
+                args.profile,
+                registry,
+                command=" ".join(["quicknn-experiments", args.command, *ids]),
+                total_seconds=sum(r.elapsed_s for r in results),
+                experiments=[
+                    {
+                        "exp_id": r.exp_id,
+                        "title": r.title,
+                        "elapsed_s": r.elapsed_s,
+                        "all_checks_pass": r.all_checks_pass,
+                    }
+                    for r in results
+                ],
+            )
+            print(f"wrote {args.profile}")
+        if args.trace:
+            obs.write_chrome_trace(args.trace, registry)
+            print(f"wrote {args.trace}")
+    finally:
+        if profiling:
+            obs.disable()
     return 1 if any_failed else 0
 
 

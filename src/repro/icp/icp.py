@@ -17,6 +17,7 @@ from repro.geometry import PointCloud, RigidTransform
 from repro.icp.kabsch import estimate_rigid_transform
 from repro.index import NeighborIndex, make_index
 from repro.kdtree import KdTreeConfig
+from repro.obs import get_registry
 
 #: Registered backend names that take the k-d tree config.
 _TREE_CONFIGURED = {"approx", "exact", "bbf", "kd-approx", "kd-exact", "kd-bbf"}
@@ -82,6 +83,7 @@ def icp_register(
     if src.shape[0] < 3 or tgt.shape[0] < 3:
         raise ValueError("clouds must contain at least 3 points")
 
+    obs = get_registry()
     backend = _make_backend(tgt, config)
     transform = RigidTransform.identity()
     moved = src.copy()
@@ -89,29 +91,37 @@ def icp_register(
     converged = False
     iterations = 0
 
-    for iterations in range(1, config.max_iterations + 1):
-        result = backend.query(moved, 1)
-        matched = result.indices[:, 0]
-        valid = matched >= 0
-        residuals = result.distances[valid, 0]
-        pairs_src = moved[valid]
-        pairs_tgt = tgt[matched[valid]]
+    with obs.phase("icp.register"):
+        for iterations in range(1, config.max_iterations + 1):
+            result = backend.query(moved, 1)
+            matched = result.indices[:, 0]
+            valid = matched >= 0
+            residuals = result.distances[valid, 0]
+            pairs_src = moved[valid]
+            pairs_tgt = tgt[matched[valid]]
 
-        if config.trim_fraction > 0.0 and residuals.size > 10:
-            keep = residuals <= np.quantile(residuals, 1.0 - config.trim_fraction)
-            pairs_src, pairs_tgt = pairs_src[keep], pairs_tgt[keep]
-            residuals = residuals[keep]
+            if config.trim_fraction > 0.0 and residuals.size > 10:
+                keep = residuals <= np.quantile(residuals, 1.0 - config.trim_fraction)
+                pairs_src, pairs_tgt = pairs_src[keep], pairs_tgt[keep]
+                residuals = residuals[keep]
 
-        rms_history.append(float(np.sqrt(np.mean(residuals**2))))
-        step = estimate_rigid_transform(pairs_src, pairs_tgt)
-        moved = step.apply(moved)
-        transform = step.compose(transform)
+            rms_history.append(float(np.sqrt(np.mean(residuals**2))))
+            if obs.enabled:
+                obs.counter("icp.iterations").inc()
+                obs.counter("icp.correspondences").inc(int(residuals.size))
+                obs.sample("icp.rms", rms_history[-1])
+            step = estimate_rigid_transform(pairs_src, pairs_tgt)
+            moved = step.apply(moved)
+            transform = step.compose(transform)
 
-        angle, dist = step.magnitude()
-        if angle < config.rotation_tolerance and dist < config.translation_tolerance:
-            converged = True
-            break
+            angle, dist = step.magnitude()
+            if angle < config.rotation_tolerance and dist < config.translation_tolerance:
+                converged = True
+                break
 
+    if obs.enabled:
+        obs.counter("icp.registrations").inc()
+        obs.gauge("icp.converged").set(1.0 if converged else 0.0)
     return IcpResult(
         transform=transform,
         iterations=iterations,

@@ -17,6 +17,7 @@ the algorithm.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,8 +41,29 @@ class BuildTrace:
     placement_traversals: int = 0
 
     @property
-    def total_sorted_elements(self) -> int:
+    def sorted_elements(self) -> int:
+        """Total elements handed to the sorter across all splits."""
         return int(sum(self.sort_sizes))
+
+    @property
+    def total_sorted_elements(self) -> int:
+        """Deprecated: renamed to :attr:`sorted_elements`."""
+        warnings.warn(
+            "BuildTrace.total_sorted_elements is deprecated; use "
+            "BuildTrace.sorted_elements (or as_dict()['sorted_elements'])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sorted_elements
+
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "sample_size": self.sample_size,
+            "n_sorts": len(self.sort_sizes),
+            "sorted_elements": self.sorted_elements,
+            "placement_traversals": self.placement_traversals,
+        }
 
 
 def build_tree(

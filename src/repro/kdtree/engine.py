@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.kdtree.node import NO_NODE, KdTree
+from repro.obs import get_registry
 
 
 @dataclass
@@ -285,6 +286,7 @@ def _grouped_topk(
     sorted_b = bucket_ids[order]
     run_starts = np.flatnonzero(np.r_[True, sorted_b[1:] != sorted_b[:-1]])
     run_stops = np.r_[run_starts[1:], sorted_b.size]
+    get_registry().counter("engine.leaf_groups").inc(int(run_starts.size))
 
     # Per-group selection fills one (M, t) candidate table; the exact
     # re-derivation then runs as a single batched kernel over all rows
@@ -322,9 +324,14 @@ def knn_approx_batched(flat: FlatKdTree, queries: np.ndarray, k: int):
 
     if k < 1:
         raise ValueError("k must be positive")
+    obs = get_registry()
     q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    leaf_ids = flat.descend(q)
-    indices, distances = _grouped_topk(flat, q, flat.bucket_id[leaf_ids], k)
+    with obs.timer("engine.approx"):
+        leaf_ids = flat.descend(q)
+        indices, distances = _grouped_topk(flat, q, flat.bucket_id[leaf_ids], k)
+    if obs.enabled:
+        obs.counter("engine.approx.calls").inc()
+        obs.counter("engine.approx.queries").inc(q.shape[0])
     return QueryResult(indices=indices, distances=distances)
 
 
@@ -386,11 +393,25 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
     Returns ``(result, visits)`` where ``visits`` counts buckets
     scanned per query (1 for every query the radius test settles).
     """
-    from repro.kdtree.search import PAD_INDEX, QueryResult
+    from repro.kdtree.search import QueryResult
 
     if k < 1:
         raise ValueError("k must be positive")
+    obs = get_registry()
     q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    with obs.timer("engine.exact"):
+        indices, distances, visits = _exact_batched_impl(tree, q, k, obs)
+    if obs.enabled:
+        obs.counter("engine.exact.calls").inc()
+        obs.counter("engine.exact.queries").inc(q.shape[0])
+    return QueryResult(indices=indices, distances=distances), visits
+
+
+def _exact_batched_impl(
+    tree: KdTree, q: np.ndarray, k: int, obs
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    from repro.kdtree.search import PAD_INDEX
+
     flat = tree.flat()
     leaf_ids, margins = flat.descend_with_margin(q)
     indices, distances = _grouped_topk(flat, q, flat.bucket_id[leaf_ids], k)
@@ -402,12 +423,17 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
     # unless its margin is below the current k-th best).
     kth = distances[:, k - 1]
     unsettled = np.flatnonzero(~(kth <= margins))
+    if obs.enabled:
+        obs.counter("engine.exact.unsettled").inc(int(unsettled.size))
     if unsettled.size == 0:
-        return QueryResult(indices=indices, distances=distances), visits
+        return indices, distances, visits
 
     vq, vb = _collect_backtrack_visits(flat, q, unsettled, leaf_ids, kth)
+    if obs.enabled:
+        obs.counter("engine.exact.bucket_scans").inc(int(vq.size))
+        obs.distribution("engine.exact.frontier").observe(int(vq.size))
     if vq.size == 0:
-        return QueryResult(indices=indices, distances=distances), visits
+        return indices, distances, visits
 
     # Merge the visited buckets into each query's running candidate
     # set, one vectorized merge per distinct bucket.  Selection runs on
@@ -457,4 +483,4 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
     distances[touched] = dst[:, :k]
     # Rows the radius test missed but backtracking never improved keep
     # their (already exact) single-bucket answer untouched.
-    return QueryResult(indices=indices, distances=distances), visits
+    return indices, distances, visits

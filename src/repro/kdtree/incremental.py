@@ -19,6 +19,7 @@ sorted).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,8 +39,30 @@ class UpdateTrace:
     sort_sizes: list[int] = field(default_factory=list)
 
     @property
-    def total_sorted_elements(self) -> int:
+    def sorted_elements(self) -> int:
+        """Total elements sorted while rebuilding subtrees."""
         return int(sum(self.sort_sizes))
+
+    @property
+    def total_sorted_elements(self) -> int:
+        """Deprecated: renamed to :attr:`sorted_elements`."""
+        warnings.warn(
+            "UpdateTrace.total_sorted_elements is deprecated; use "
+            "UpdateTrace.sorted_elements (or as_dict()['sorted_elements'])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sorted_elements
+
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "n_merges": self.n_merges,
+            "n_splits": self.n_splits,
+            "points_rebuilt": self.points_rebuilt,
+            "n_sorts": len(self.sort_sizes),
+            "sorted_elements": self.sorted_elements,
+        }
 
 
 def reuse_tree(tree: KdTree, new_points: PointCloud | np.ndarray) -> KdTree:

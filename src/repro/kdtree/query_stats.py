@@ -38,6 +38,17 @@ class MissDiagnosis:
             f"{self.miss_rate_far_from_boundary:.1%} away from them"
         )
 
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "recall": self.recall,
+            "mean_boundary_distance": self.mean_boundary_distance,
+            "mean_kth_distance": self.mean_kth_distance,
+            "boundary_limited_fraction": self.boundary_limited_fraction,
+            "miss_rate_near_boundary": self.miss_rate_near_boundary,
+            "miss_rate_far_from_boundary": self.miss_rate_far_from_boundary,
+        }
+
 
 def leaf_regions(tree: KdTree) -> dict[int, Aabb]:
     """The half-space region of every leaf node."""

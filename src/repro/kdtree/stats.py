@@ -33,6 +33,21 @@ class TreeStats:
         """max/mean bucket-size ratio; 1.0 is a perfectly even tree."""
         return self.bucket_max / self.bucket_mean if self.bucket_mean > 0 else np.inf
 
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "n_points": self.n_points,
+            "n_nodes": self.n_nodes,
+            "n_leaves": self.n_leaves,
+            "depth": self.depth,
+            "bucket_min": self.bucket_min,
+            "bucket_max": self.bucket_max,
+            "bucket_mean": self.bucket_mean,
+            "bucket_std": self.bucket_std,
+            "empty_buckets": self.empty_buckets,
+            "imbalance": float(self.imbalance),
+        }
+
 
 def tree_stats(tree: KdTree) -> TreeStats:
     """Compute :class:`TreeStats` for a placed tree."""

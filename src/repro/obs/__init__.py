@@ -1,0 +1,57 @@
+"""Unified observability: metrics registry, phase timers, trace export.
+
+Every instrumented layer of the reproduction — the batched query
+engine, the DRAM and gather-cache simulators, the ICP loop, the
+experiment harness — emits into one process-wide registry through this
+package::
+
+    import repro.obs as obs
+
+    registry = obs.enable(trace=True)      # observability on
+    ...                                    # run instrumented work
+    registry.as_dict()                     # {"engine.approx.queries": ..., ...}
+    obs.write_chrome_trace("out.trace.json", registry)
+    obs.disable()                          # back to the zero-cost no-op
+
+Observability is *off* by default: the active registry starts as a
+:class:`NullRegistry` whose operations are shared no-ops, so the
+instrumentation's cost with profiling disabled is a few attribute
+lookups per batch.  See ``docs/observability.md`` for the metric
+naming scheme and the profiling workflow.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    profile_payload,
+    write_chrome_trace,
+    write_profile,
+)
+from repro.obs.registry import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Distribution",
+    "Gauge",
+    "MetricsRegistry",
+    "NullRegistry",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "get_registry",
+    "profile_payload",
+    "set_registry",
+    "use_registry",
+    "write_chrome_trace",
+    "write_profile",
+]

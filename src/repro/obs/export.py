@@ -1,0 +1,59 @@
+"""Exporters: flat dicts, profile JSON, and Chrome ``trace_event`` files.
+
+Two file formats leave the registry:
+
+* **profile JSON** — a plain object with the flat metric dict (and, for
+  the experiment harness, per-experiment wall-clock); human- and
+  ``jq``-friendly.
+* **Chrome trace JSON** — the ``trace_event`` *object format*
+  (``{"traceEvents": [...]}``) that ``chrome://tracing`` and
+  https://ui.perfetto.dev load directly.  Phase spans are complete
+  events (``ph: "X"``) with microsecond ``ts``/``dur``; ``sample``
+  points are counter events (``ph: "C"``).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def chrome_trace(registry) -> dict:
+    """The registry's recorded events as a Chrome trace object.
+
+    Always loadable, even for an empty or no-op registry; a metadata
+    event names the process so the timeline is labelled in the viewer.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "args": {"name": "quicknn-repro"},
+        }
+    ]
+    events.extend(registry.events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, registry) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(registry), handle)
+
+
+def profile_payload(registry, **sections) -> dict:
+    """A profile document: flat metrics plus caller-supplied sections.
+
+    ``sections`` (e.g. ``experiments=[...]``) are placed alongside the
+    ``metrics`` dict so harnesses can attach their own structure.
+    """
+    payload = dict(sections)
+    payload["metrics"] = registry.as_dict()
+    return payload
+
+
+def write_profile(path: str, registry, **sections) -> None:
+    """Serialize :func:`profile_payload` to ``path`` (indented JSON)."""
+    with open(path, "w") as handle:
+        json.dump(profile_payload(registry, **sections), handle, indent=2, default=str)

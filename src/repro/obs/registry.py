@@ -1,0 +1,395 @@
+"""The metrics registry: counters, gauges, distributions, and spans.
+
+One process-wide *active registry* receives everything the
+instrumented layers emit.  It starts life as a :class:`NullRegistry`
+whose every operation is a no-op — instrumentation left in hot paths
+costs a handful of attribute lookups per *batch*, never per element —
+and is swapped for a live :class:`MetricsRegistry` by :func:`enable`
+(the ``quicknn-experiments --profile`` / ``--trace`` flags do exactly
+this).
+
+Metric names are hierarchical dotted paths with a subsystem prefix:
+``dram.bytes``, ``cache.read_gather.flushes``,
+``engine.exact.bucket_scans``, ``icp.rms`` — see
+``docs/observability.md`` for the full naming scheme.  Three metric
+kinds cover the repo's needs:
+
+* **counter** — monotonically accumulated totals (``inc``),
+* **gauge** — last-written value (``set``),
+* **distribution** — streaming summary (count / total / mean / min /
+  max / last) of observed values (``observe``).
+
+Spans come in two flavors.  ``timer(name)`` is a context manager that
+observes the elapsed seconds into the ``<name>.seconds`` distribution.
+``phase(name)`` does the same and *additionally* records a Chrome
+``trace_event`` span (when the registry was created with
+``trace=True``), so nested phases render as a flame chart in
+``chrome://tracing`` / Perfetto.  ``sample(name, value)`` observes a
+distribution and, when tracing, also emits a trace *counter* track —
+used for per-iteration convergence curves.
+
+The registry is deliberately not thread-safe beyond what the GIL
+provides: increments are single bytecode-level operations and the
+repo's hot paths are single-threaded NumPy batches.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Distribution:
+    """Streaming summary of a series of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+    kind = "distribution"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Summary as plain scalars (no observations when empty)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+
+class _Span:
+    """Context manager timing one region; optionally traced."""
+
+    __slots__ = ("_registry", "name", "cat", "_traced", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, *, traced: bool):
+        self._registry = registry
+        self.name = name
+        self.cat = name.split(".", 1)[0]
+        self._traced = traced and registry.trace_enabled
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        reg = self._registry
+        reg.distribution(f"{self.name}.seconds").observe(end - self._start)
+        if self._traced:
+            reg._events.append(
+                {
+                    "name": self.name,
+                    "cat": self.cat,
+                    "ph": "X",
+                    "ts": (self._start - reg._t0) * 1e6,
+                    "dur": (end - self._start) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+        return False
+
+
+class MetricsRegistry:
+    """A live registry: metrics accumulate, spans time, traces record."""
+
+    enabled = True
+
+    def __init__(self, *, trace: bool = False):
+        self.trace_enabled = trace
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._distributions: dict[str, Distribution] = {}
+        self._events: list[dict] = []
+        self._t0 = time.perf_counter()
+
+    # -- metric accessors (get-or-create) ------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def distribution(self, name: str) -> Distribution:
+        metric = self._distributions.get(name)
+        if metric is None:
+            metric = self._distributions[name] = Distribution(name)
+        return metric
+
+    # -- timing --------------------------------------------------------
+    def phase(self, name: str) -> _Span:
+        """Timed span that also records a Chrome-trace slice."""
+        return _Span(self, name, traced=True)
+
+    def timer(self, name: str) -> _Span:
+        """Timed span without a trace slice (cheap, hot-path safe)."""
+        return _Span(self, name, traced=False)
+
+    def sample(self, name: str, value: float) -> None:
+        """Observe ``value`` and, when tracing, plot it as a counter track."""
+        self.distribution(name).observe(value)
+        if self.trace_enabled:
+            self._events.append(
+                {
+                    "name": name,
+                    "cat": name.split(".", 1)[0],
+                    "ph": "C",
+                    "ts": (time.perf_counter() - self._t0) * 1e6,
+                    "pid": 0,
+                    "args": {"value": float(value)},
+                }
+            )
+
+    def ingest(self, mapping: dict, prefix: str = "") -> None:
+        """Record a flat ``as_dict()``-style mapping as gauges.
+
+        Non-numeric values are skipped; keys get ``prefix`` prepended.
+        The bridge from the repo's stats objects into the registry::
+
+            registry.ingest(model.stats.as_dict(), prefix="dram")
+        """
+        if prefix and not prefix.endswith("."):
+            prefix += "."
+        for key, value in mapping.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.gauge(f"{prefix}{key}").set(value)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Structured view: one sub-dict per metric kind."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "distributions": {
+                n: d.as_dict() for n, d in sorted(self._distributions.items())
+            },
+        }
+
+    def as_dict(self) -> dict:
+        """Flat view: dotted names to scalars (distributions expanded)."""
+        out: dict[str, float] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, dist in sorted(self._distributions.items()):
+            for stat, value in dist.as_dict().items():
+                out[f"{name}.{stat}"] = value
+        return out
+
+    @property
+    def events(self) -> list[dict]:
+        """Recorded trace events (spans and counter samples)."""
+        return list(self._events)
+
+    def chrome_trace(self) -> dict:
+        """The trace in Chrome ``trace_event`` JSON object format."""
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def reset(self) -> None:
+        """Drop all metrics and trace events; restart the clock."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._distributions.clear()
+        self._events.clear()
+        self._t0 = time.perf_counter()
+
+
+# ----------------------------------------------------------------------
+# The no-op registry (observability off)
+# ----------------------------------------------------------------------
+class _NullMetric:
+    """Accepts every metric operation and does nothing."""
+
+    __slots__ = ()
+    count = 0
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry:
+    """Observability disabled: every operation is a shared no-op.
+
+    Instrumented code never needs to check whether observability is on
+    — but *may* consult :attr:`enabled` to skip building metric labels
+    or caching counter handles.
+    """
+
+    enabled = False
+    trace_enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def distribution(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def phase(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def timer(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def sample(self, name: str, value: float) -> None:
+        pass
+
+    def ingest(self, mapping: dict, prefix: str = "") -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "distributions": {}}
+
+    def as_dict(self) -> dict:
+        return {}
+
+    @property
+    def events(self) -> list[dict]:
+        return []
+
+    def chrome_trace(self) -> dict:
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def reset(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Active-registry management
+# ----------------------------------------------------------------------
+_NULL_REGISTRY = NullRegistry()
+_active: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The registry instrumented code should emit into right now."""
+    return _active
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry | None,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` (``None`` -> the no-op); returns the previous."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+def enable(*, trace: bool = False) -> MetricsRegistry:
+    """Install and return a fresh live registry.
+
+    Components capture the active registry when *constructed* (the
+    simulator models cache their counter handles), so enable
+    observability before building the objects you want measured.
+    """
+    registry = MetricsRegistry(trace=trace)
+    set_registry(registry)
+    return registry
+
+
+def disable() -> MetricsRegistry | NullRegistry:
+    """Re-install the no-op registry; returns the one that was active."""
+    return set_registry(None)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry):
+    """Scope ``registry`` as the active one (tests, nested profiling)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -26,7 +26,10 @@ sequential-vs-random contrast the paper's results rest on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,17 @@ class StreamStats:
         """Bus-word count (8-byte words), the unit of Figure 12."""
         return -(-self.bytes // 8)
 
+    def as_dict(self) -> dict:
+        """Flat scalar view (the repo-wide stats convention)."""
+        return {
+            "accesses": self.accesses,
+            "bytes": self.bytes,
+            "words": self.words,
+            "data_cycles": self.data_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "total_cycles": self.total_cycles,
+        }
+
 
 @dataclass
 class DramStats:
@@ -140,6 +154,21 @@ class DramStats:
     @property
     def words(self) -> int:
         return sum(s.words for s in self.streams.values())
+
+    def as_dict(self) -> dict:
+        """Flat scalar view, streams nested as ``streams.<name>.<key>``."""
+        out = {
+            "accesses": self.accesses,
+            "bytes": self.bytes,
+            "words": self.words,
+            "data_cycles": self.data_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "busy_cycles": self.busy_cycles,
+        }
+        for name, stream in sorted(self.streams.items()):
+            for key, value in stream.as_dict().items():
+                out[f"streams.{name}.{key}"] = value
+        return out
 
     def bandwidth_utilization(self, total_cycles: int | None = None) -> float:
         """Fraction of cycles spent moving data.
@@ -186,6 +215,20 @@ class DramModel:
         self._open_rows: dict[int, int] = {}
         self._last_was_write: bool | None = None
         self._next_addr: int | None = None  # address right after the last access
+        # When observability is on at construction time, mirror the
+        # aggregate counters into the process registry (dram.*).  The
+        # counter handles are cached so the per-access cost is four
+        # increments; with observability off the hot path is untouched.
+        obs = get_registry()
+        if obs.enabled:
+            self._obs_counters = (
+                obs.counter("dram.accesses"),
+                obs.counter("dram.bytes"),
+                obs.counter("dram.data_cycles"),
+                obs.counter("dram.overhead_cycles"),
+            )
+        else:
+            self._obs_counters = None
 
     # ------------------------------------------------------------------
     def _bank_and_row(self, addr: int) -> tuple[int, int]:
@@ -232,6 +275,8 @@ class DramModel:
         rec.bytes += nbytes
         rec.data_cycles += data
         rec.overhead_cycles += overhead
+        if self._obs_counters is not None:
+            self._emit_obs(1, nbytes, data, overhead)
         if self.trace is not None:
             self.trace.append(TraceEntry(stream, addr, nbytes, write, data + overhead))
         return data + overhead
@@ -279,6 +324,8 @@ class DramModel:
         rec.bytes += count * nbytes_each
         rec.data_cycles += data
         rec.overhead_cycles += overhead
+        if self._obs_counters is not None:
+            self._emit_obs(count, count * nbytes_each, data, overhead)
         # Scattered traffic leaves the banks in an unknown state.
         self._open_rows.clear()
         self._last_was_write = write
@@ -290,10 +337,24 @@ class DramModel:
         return data + overhead
 
     # ------------------------------------------------------------------
+    def _emit_obs(self, accesses: int, nbytes: int, data: int, overhead: int) -> None:
+        c_accesses, c_bytes, c_data, c_overhead = self._obs_counters
+        c_accesses.inc(accesses)
+        c_bytes.inc(nbytes)
+        c_data.inc(data)
+        c_overhead.inc(overhead)
+
     def reset_stats(self) -> None:
         """Clear traffic counters but keep bank state."""
         self.stats = DramStats()
 
     @property
     def busy_cycles(self) -> int:
+        """Deprecated: read ``model.stats.busy_cycles`` instead."""
+        warnings.warn(
+            "DramModel.busy_cycles is deprecated; use "
+            "DramModel.stats.busy_cycles (or stats.as_dict())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.stats.busy_cycles

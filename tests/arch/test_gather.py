@@ -65,7 +65,7 @@ class TestStats:
         cache.process_stream([1, 1, 2])
         assert cache.stats.flushes == 2
         assert cache.stats.flushed_items == 3
-        assert cache.stats.mean_fill_at_flush == pytest.approx(1.5)
+        assert cache.stats.mean_fill == pytest.approx(1.5)
 
     def test_histogram(self):
         cache = GatherCache(n_slots=4, slot_capacity=3)

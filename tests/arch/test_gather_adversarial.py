@@ -26,7 +26,7 @@ class TestPathologicalStreams:
         stream = list(range(8)) * 16  # 8 buckets, 4 slots
         events = cache.process_stream(stream)
         assert len(events) >= len(stream) / 2
-        assert cache.stats.mean_fill_at_flush <= 2.0
+        assert cache.stats.mean_fill <= 2.0
 
     def test_round_robin_within_capacity_is_optimal(self):
         """Interleaving is harmless when the slot count covers the

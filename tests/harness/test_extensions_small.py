@@ -80,3 +80,13 @@ class TestPareto:
         )
         assert len(result.rows) == 2
         assert result.shape_checks["accuracy rises with bucket size"]
+
+
+class TestIcpRegistration:
+    def test_small(self):
+        from repro.harness.exp_extensions import ext_icp_registration
+
+        result = ext_icp_registration(n_points=800)
+        assert len(result.rows) == 3
+        assert result.shape_checks["every backend converges"]
+        assert result.shape_checks["approx recovers the pose"]

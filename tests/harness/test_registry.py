@@ -14,6 +14,7 @@ class TestRegistry:
             "table6", "sec71",
             "ext-ablation", "ext-incremental", "ext-hbm", "ext-crosscheck",
             "ext-exact", "ext-sensitivity", "ext-banks", "ext-pareto",
+            "ext-icp",
         }
         assert set(experiment_ids()) == expected
 

@@ -1,0 +1,123 @@
+"""CLI tests: multi-experiment runs, --json/--profile/--trace outputs.
+
+``run_experiment`` is monkeypatched to a fast stub so these exercise
+the runner's plumbing (argument parsing, progress, summary table,
+output files) rather than the experiments themselves.
+"""
+
+import json
+
+import pytest
+
+import repro.harness.runner as runner
+from repro.harness.result import ExperimentResult
+from repro.obs import NullRegistry, get_registry
+
+
+def _fake_result(exp_id: str) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"stub {exp_id}",
+        headers=["a", "b"],
+        rows=[[1, 2.0]],
+        shape_checks={"looks right": True},
+    )
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    calls: list[str] = []
+
+    def fake_run(exp_id, **kwargs):
+        calls.append(exp_id)
+        return _fake_result(exp_id)
+
+    monkeypatch.setattr(runner, "run_experiment", fake_run)
+    return calls
+
+
+class TestRun:
+    def test_single_experiment(self, stubbed, capsys):
+        assert runner.main(["run", "fig3"]) == 0
+        assert stubbed == ["fig3"]
+        out = capsys.readouterr().out
+        assert "[1/1] fig3" in out
+        assert "stub fig3" in out
+
+    def test_multiple_experiments_print_summary_table(self, stubbed, capsys):
+        assert runner.main(["run", "fig3", "table1"]) == 0
+        assert stubbed == ["fig3", "table1"]
+        out = capsys.readouterr().out
+        assert "[2/2] table1" in out
+        assert "elapsed (s)" in out
+        assert "total" in out
+
+    def test_unknown_id_is_rejected_by_argparse(self, stubbed):
+        with pytest.raises(SystemExit):
+            runner.main(["run", "not-an-experiment"])
+        assert stubbed == []
+
+    def test_failed_checks_set_exit_code(self, monkeypatch, capsys):
+        def failing(exp_id, **kwargs):
+            result = _fake_result(exp_id)
+            result.shape_checks["looks right"] = False
+            return result
+
+        monkeypatch.setattr(runner, "run_experiment", failing)
+        assert runner.main(["run", "fig3"]) == 1
+
+
+class TestOutputs:
+    def test_json_output(self, stubbed, tmp_path):
+        path = tmp_path / "res.json"
+        runner.main(["run", "fig3", "--json", str(path)])
+        (entry,) = json.loads(path.read_text())
+        assert entry["exp_id"] == "fig3"
+        assert entry["all_checks_pass"] is True
+        assert entry["elapsed_s"] > 0
+
+    def test_profile_output(self, stubbed, tmp_path):
+        path = tmp_path / "prof.json"
+        runner.main(["run", "fig3", "table1", "--profile", str(path)])
+        doc = json.loads(path.read_text())
+        assert [e["exp_id"] for e in doc["experiments"]] == ["fig3", "table1"]
+        assert doc["total_seconds"] > 0
+        assert doc["metrics"]["experiment.fig3.seconds.count"] == 1
+
+    def test_trace_output_is_valid_chrome_trace(self, stubbed, tmp_path):
+        path = tmp_path / "out.trace.json"
+        runner.main(["run", "fig3", "--trace", str(path)])
+        doc = json.loads(path.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "experiment.fig3" in names
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "ts"} <= set(event) or event["ph"] == "M"
+
+    def test_registry_restored_after_profiled_run(self, stubbed, tmp_path):
+        runner.main(["run", "fig3", "--profile", str(tmp_path / "p.json")])
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_report_honors_json(self, stubbed, monkeypatch, tmp_path):
+        monkeypatch.setattr(runner, "experiment_ids", lambda: ["fig3", "table1"])
+        md = tmp_path / "report.md"
+        js = tmp_path / "report.json"
+        assert runner.main(["report", str(md), "--json", str(js)]) == 0
+        assert "## fig3" in md.read_text()
+        assert [e["exp_id"] for e in json.loads(js.read_text())] == ["fig3", "table1"]
+
+
+class TestAll:
+    def test_all_runs_every_registered_id(self, stubbed, monkeypatch, capsys):
+        monkeypatch.setattr(runner, "experiment_ids", lambda: ["fig3", "table1"])
+        assert runner.main(["all"]) == 0
+        assert stubbed == ["fig3", "table1"]
+        out = capsys.readouterr().out
+        assert "elapsed (s)" in out
+
+
+class TestList:
+    def test_list_prints_ids(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig3" in out
+        assert "ext-icp" in out

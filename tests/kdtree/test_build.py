@@ -41,7 +41,7 @@ class TestBuild:
         tree, trace = build_tree(cloud, KdTreeConfig(bucket_capacity=256))
         n_internal = tree.n_nodes - tree.n_leaves
         assert len(trace.sort_sizes) == n_internal
-        assert trace.total_sorted_elements == sum(trace.sort_sizes)
+        assert trace.sorted_elements == sum(trace.sort_sizes)
         assert trace.placement_traversals == 4096
 
     def test_deterministic_given_rng(self, rng):

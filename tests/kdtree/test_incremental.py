@@ -96,7 +96,7 @@ class TestUpdate:
         _, full_trace = build_tree(
             shifted, KdTreeConfig(bucket_capacity=64, sample_size=len(shifted))
         )
-        assert trace.total_sorted_elements < full_trace.total_sorted_elements
+        assert trace.sorted_elements < full_trace.sorted_elements
 
     def test_duplicate_heavy_input_terminates(self, rng):
         points = np.tile([[1.0, 1.0, 1.0]], (1000, 1))

@@ -1,0 +1,67 @@
+"""Exporter tests: Chrome trace validity and profile payload shape."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace,
+    profile_payload,
+    write_chrome_trace,
+    write_profile,
+)
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, tmp_path):
+        reg = MetricsRegistry(trace=True)
+        with reg.phase("engine.query"):
+            reg.sample("engine.frontier", 12.0)
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(path, reg)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_events_carry_required_keys(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.phase("engine.query"):
+            pass
+        doc = chrome_trace(reg)
+        phases = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (event,) = phases
+        assert event["name"] == "engine.query"
+        assert event["cat"] == "engine"
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+        assert {"pid", "tid"} <= set(event)
+
+    def test_metadata_event_names_the_process(self):
+        doc = chrome_trace(MetricsRegistry(trace=True))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+
+    def test_trace_disabled_registry_exports_no_spans(self):
+        reg = MetricsRegistry()  # trace defaults off
+        with reg.phase("p"):
+            pass
+        doc = chrome_trace(reg)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestProfilePayload:
+    def test_sections_plus_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.calls").inc(3)
+        payload = profile_payload(reg, command="run fig3", total_seconds=1.5)
+        assert payload["command"] == "run fig3"
+        assert payload["total_seconds"] == 1.5
+        assert payload["metrics"]["engine.calls"] == 3
+
+    def test_write_profile_is_valid_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.distribution("d").observe(2.0)
+        path = tmp_path / "prof.json"
+        write_profile(path, reg, experiments=[{"exp_id": "fig3"}])
+        doc = json.loads(path.read_text())
+        assert doc["experiments"] == [{"exp_id": "fig3"}]
+        assert doc["metrics"]["d.count"] == 1

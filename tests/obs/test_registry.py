@@ -1,0 +1,212 @@
+"""Unit tests for the metrics registry: instrument semantics, phase
+timing, the no-op default, and the activation protocol."""
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("engine.calls")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_float_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bytes")
+        c.inc(0.5)
+        c.inc(0.25)
+        assert c.value == pytest.approx(0.75)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3.0)
+        g.set(7.0)
+        assert g.value == 7.0
+
+
+class TestDistribution:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        d = reg.distribution("latency")
+        for v in (1.0, 2.0, 3.0):
+            d.observe(v)
+        stats = d.as_dict()
+        assert stats["count"] == 3
+        assert stats["total"] == pytest.approx(6.0)
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["last"] == 3.0
+
+    def test_empty_distribution_reports_only_count(self):
+        reg = MetricsRegistry()
+        assert reg.distribution("nothing").as_dict() == {"count": 0}
+
+
+class TestPhaseTiming:
+    def test_phase_observes_seconds_distribution(self):
+        reg = MetricsRegistry()
+        with reg.phase("build"):
+            pass
+        stats = reg.distribution("build.seconds").as_dict()
+        assert stats["count"] == 1
+        assert stats["total"] >= 0.0
+
+    def test_nested_phases_record_independently(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.phase("outer"):
+            with reg.phase("inner"):
+                pass
+            with reg.phase("inner"):
+                pass
+        assert reg.distribution("outer.seconds").as_dict()["count"] == 1
+        assert reg.distribution("inner.seconds").as_dict()["count"] == 2
+        # The outer span encloses both inner spans in the timeline.
+        events = {e["name"]: e for e in reg.events}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_timer_does_not_emit_trace_events(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.timer("quiet"):
+            pass
+        assert reg.distribution("quiet.seconds").as_dict()["count"] == 1
+        assert reg.events == []
+
+    def test_phase_records_even_when_body_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.phase("doomed"):
+                raise RuntimeError("boom")
+        assert reg.distribution("doomed.seconds").as_dict()["count"] == 1
+
+
+class TestSample:
+    def test_sample_feeds_distribution(self):
+        reg = MetricsRegistry()
+        reg.sample("rms", 0.5)
+        reg.sample("rms", 0.25)
+        assert reg.distribution("rms").as_dict()["count"] == 2
+
+    def test_sample_emits_counter_event_when_tracing(self):
+        reg = MetricsRegistry(trace=True)
+        reg.sample("rms", 0.5)
+        (event,) = reg.events
+        assert event["ph"] == "C"
+        assert event["args"] == {"value": 0.5}
+
+
+class TestIngest:
+    def test_mapping_becomes_gauges(self):
+        reg = MetricsRegistry()
+        reg.ingest({"accesses": 10, "bytes": 640.0}, prefix="dram")
+        assert reg.gauge("dram.accesses").value == 10.0
+        assert reg.gauge("dram.bytes").value == 640.0
+
+    def test_non_numeric_values_are_skipped(self):
+        reg = MetricsRegistry()
+        reg.ingest({"name": "ddr4", "ok": True, "cycles": 5})
+        flat = reg.as_dict()
+        assert "cycles" in flat
+        assert "name" not in flat and "ok" not in flat
+
+
+class TestViews:
+    def test_as_dict_is_flat_and_expands_distributions(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.distribution("c").observe(4.0)
+        flat = reg.as_dict()
+        assert flat["a"] == 2
+        assert flat["b"] == 1.5
+        assert flat["c.count"] == 1
+        assert flat["c.mean"] == 4.0
+
+    def test_snapshot_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "distributions"}
+        assert snap["counters"] == {"a": 1}
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry(trace=True)
+        reg.counter("a").inc()
+        with reg.phase("p"):
+            pass
+        reg.reset()
+        assert reg.as_dict() == {}
+        assert reg.events == []
+
+
+class TestNullRegistry:
+    def test_every_operation_is_a_silent_noop(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        reg.counter("x").inc(5)
+        reg.gauge("y").set(1.0)
+        reg.distribution("z").observe(2.0)
+        with reg.phase("p"):
+            with reg.timer("t"):
+                reg.sample("s", 3.0)
+        reg.ingest({"a": 1})
+        assert reg.as_dict() == {}
+        assert reg.events == []
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "distributions": {}}
+
+
+class TestActivation:
+    def test_default_is_disabled(self):
+        assert isinstance(get_registry(), NullRegistry)
+        assert not get_registry().enabled
+
+    def test_enable_then_disable_roundtrip(self):
+        reg = enable()
+        try:
+            assert get_registry() is reg
+            assert reg.enabled
+        finally:
+            disable()
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+
+    def test_use_registry_restores_on_exit(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as reg:
+            assert reg is mine
+            assert get_registry() is mine
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_module_facade_exports_match(self):
+        for name in ("enable", "disable", "get_registry", "MetricsRegistry"):
+            assert hasattr(obs, name)
