@@ -55,6 +55,7 @@ from repro.kdtree import (
     KdTree,
     KdTreeConfig,
     QueryResult,
+    build_flat,
     build_tree,
     knn_approx,
     knn_exact,
@@ -93,6 +94,7 @@ __all__ = [
     "SimpleKdArch",
     "SimpleKdConfig",
     "available_indexes",
+    "build_flat",
     "build_tree",
     "generate_drive",
     "icp_register",

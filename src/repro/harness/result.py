@@ -47,6 +47,24 @@ class ExperimentResult:
             "elapsed_s": self.elapsed_s,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed).
+
+        Used to gather results back from ``--workers`` subprocesses,
+        which ship the JSON-ready view across the process boundary.
+        """
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            shape_checks=dict(payload["shape_checks"]),
+            paper_says=payload.get("paper_says", ""),
+            notes=payload.get("notes", ""),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
     def to_text(self) -> str:
         """Render as an aligned plain-text report."""
         lines = [f"== {self.exp_id}: {self.title} =="]

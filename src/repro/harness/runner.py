@@ -5,6 +5,7 @@ Usage::
     quicknn-experiments list                  # show all experiment ids
     quicknn-experiments run fig12 fig13       # regenerate one or more
     quicknn-experiments all [--json out.json] # regenerate the whole evaluation
+    quicknn-experiments all --workers 4       # fan out across processes
     quicknn-experiments report out.md         # markdown reproducibility report
 
 Every experiment-running subcommand also accepts the observability
@@ -12,6 +13,12 @@ flags (see ``docs/observability.md``)::
 
     --profile prof.json    # per-experiment wall-clock + subsystem metrics
     --trace out.trace.json # Chrome trace_event timeline (chrome://tracing)
+
+``run`` and ``all`` additionally take ``--workers N`` to run the
+experiments in N processes; results are gathered back through
+:meth:`ExperimentResult.to_dict` and reported in submission order.
+Profiling flags need a single process (metrics registries are
+per-process) and reject ``--workers > 1``.
 """
 
 from __future__ import annotations
@@ -24,6 +31,16 @@ import time
 import repro.obs as obs
 from repro.harness.registry import experiment_ids, run_experiment
 from repro.harness.result import ExperimentResult, render_table
+
+
+def _add_workers_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N parallel processes (default: 1)",
+    )
 
 
 def _add_output_flags(sub: argparse.ArgumentParser) -> None:
@@ -56,8 +73,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id(s); see `quicknn-experiments list`",
     )
     _add_output_flags(run)
+    _add_workers_flag(run)
     everything = sub.add_parser("all", help="run every experiment in paper order")
     _add_output_flags(everything)
+    _add_workers_flag(everything)
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -86,6 +105,53 @@ def _timing_table(results: list[ExperimentResult]) -> str:
     return render_table(["experiment", "elapsed (s)", "share", "checks"], rows)
 
 
+def _run_one_worker(exp_id: str) -> dict:
+    """Run one experiment in a worker process.
+
+    Returns the :meth:`ExperimentResult.to_dict` view — plain data that
+    crosses the process boundary without pickling the result class.
+    """
+    start = time.perf_counter()
+    result = run_experiment(exp_id)
+    result.elapsed_s = time.perf_counter() - start
+    return result.to_dict()
+
+
+def _run_parallel(ids: list[str], workers: int) -> list[ExperimentResult]:
+    """Fan ``ids`` out over a process pool; results in submission order.
+
+    Uses the ``fork`` start method where available so in-process state
+    (registered experiments, monkeypatched hooks in tests) carries into
+    the workers.  Progress lines are printed in completion order with a
+    coherent ``[done/total]`` counter.
+    """
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # platforms without fork
+        ctx = mp.get_context()
+    total = len(ids)
+    gathered: list[ExperimentResult | None] = [None] * total
+    with ProcessPoolExecutor(max_workers=min(workers, total), mp_context=ctx) as pool:
+        futures = {
+            pool.submit(_run_one_worker, exp_id): position
+            for position, exp_id in enumerate(ids)
+        }
+        done = 0
+        for future in as_completed(futures):
+            position = futures[future]
+            payload = future.result()
+            done += 1
+            print(
+                f"[{done}/{total}] {ids[position]} ({payload['elapsed_s']:.1f}s)",
+                flush=True,
+            )
+            gathered[position] = ExperimentResult.from_dict(payload)
+    return [r for r in gathered if r is not None]
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -96,22 +162,41 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = args.exp_ids if args.command == "run" else experiment_ids()
     profiling = bool(args.profile or args.trace)
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    if workers > 1 and profiling:
+        print(
+            "--profile/--trace need a single process (metrics registries are "
+            "per-process); drop --workers or set it to 1",
+            file=sys.stderr,
+        )
+        return 2
     registry = obs.enable(trace=bool(args.trace)) if profiling else obs.get_registry()
 
     results: list[ExperimentResult] = []
     any_failed = False
     try:
-        for position, exp_id in enumerate(ids, 1):
-            print(f"[{position}/{len(ids)}] {exp_id} ...", flush=True)
-            start = time.perf_counter()
-            with registry.phase(f"experiment.{exp_id}"):
-                result = run_experiment(exp_id)
-            result.elapsed_s = time.perf_counter() - start
-            results.append(result)
-            print(result.to_text())
-            print(f"({result.elapsed_s:.1f}s)\n")
-            if not result.all_checks_pass:
-                any_failed = True
+        if workers > 1:
+            results = _run_parallel(list(ids), workers)
+            for result in results:
+                print(result.to_text())
+                print(f"({result.elapsed_s:.1f}s)\n")
+                if not result.all_checks_pass:
+                    any_failed = True
+        else:
+            for position, exp_id in enumerate(ids, 1):
+                print(f"[{position}/{len(ids)}] {exp_id} ...", flush=True)
+                start = time.perf_counter()
+                with registry.phase(f"experiment.{exp_id}"):
+                    result = run_experiment(exp_id)
+                result.elapsed_s = time.perf_counter() - start
+                results.append(result)
+                print(result.to_text())
+                print(f"({result.elapsed_s:.1f}s)\n")
+                if not result.all_checks_pass:
+                    any_failed = True
 
         if len(results) > 1:
             print(_timing_table(results))

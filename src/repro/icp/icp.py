@@ -32,7 +32,10 @@ class IcpConfig:
     ``"exact"``, ``"bruteforce"``, ``"grid"``, ``"forest"``, ...) or a
     prebuilt :class:`~repro.index.NeighborIndex`, which is rebound to
     the target cloud with ``build``.  ``tree`` configures the k-d tree
-    for the tree-based names and is ignored by the others.
+    for the tree-based names and is ignored by the others; its
+    ``builder`` field selects the construction pipeline for every
+    per-frame rebuild inside the loop (vectorized by default — see
+    :class:`~repro.kdtree.KdTreeConfig`).
     ``trim_fraction`` discards that fraction of the worst-residual
     correspondences each iteration (robustness against non-overlapping
     geometry).

@@ -65,6 +65,7 @@ class _KdTreeIndex:
         out = flat.stats()
         out["n_reference"] = out["n_points"]
         out["bucket_capacity"] = self.tree_config.bucket_capacity
+        out["builder"] = self.tree_config.builder
         return out
 
 

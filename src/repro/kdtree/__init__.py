@@ -16,6 +16,7 @@ Quick example::
 from repro.kdtree.build import BuildTrace, build_tree, place_points
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
+from repro.kdtree.flat_build import build_flat, build_tree_vectorized
 from repro.kdtree.forest import KdForest, KdForestConfig
 from repro.kdtree.incremental import UpdateTrace, reuse_tree, update_tree
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
@@ -49,7 +50,9 @@ __all__ = [
     "TreeInvariantError",
     "TreeStats",
     "UpdateTrace",
+    "build_flat",
     "build_tree",
+    "build_tree_vectorized",
     "check_tree",
     "knn_approx",
     "knn_approx_batched",

@@ -13,6 +13,12 @@ Construction also records a :class:`BuildTrace` — the sizes of every
 sort and the number of placement traversals — which the architecture
 models consume to charge sorter and traversal cycles without re-running
 the algorithm.
+
+Two interchangeable builders implement the algorithm, selected by
+``KdTreeConfig.builder``: the per-node recursive reference path in this
+module (``"legacy"``) and the level-synchronous vectorized pipeline in
+:mod:`repro.kdtree.flat_build` (``"vectorized"``, the default).  They
+are bit-identical in tree shape, bucket contents, and trace totals.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import numpy as np
 from repro.geometry import PointCloud
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
+from repro.obs import get_registry
 
 
 @dataclass
@@ -66,6 +73,20 @@ class BuildTrace:
         }
 
 
+def record_build_metrics(trace: BuildTrace, *, n_points: int, builder: str) -> None:
+    """Register one build's trace in :mod:`repro.obs` (``build.*``)."""
+    obs = get_registry()
+    if not obs.enabled:
+        return
+    obs.counter("build.calls").inc()
+    obs.counter(f"build.calls.{builder}").inc()
+    obs.counter("build.points").inc(n_points)
+    obs.counter("build.sorted_elements").inc(trace.sorted_elements)
+    obs.counter("build.placement_traversals").inc(trace.placement_traversals)
+    obs.distribution("build.sample_size").observe(trace.sample_size)
+    obs.distribution("build.n_sorts").observe(len(trace.sort_sizes))
+
+
 def build_tree(
     points: PointCloud | np.ndarray,
     config: KdTreeConfig | None = None,
@@ -81,6 +102,9 @@ def build_tree(
         The reference frame.
     config:
         Construction parameters; defaults to :class:`KdTreeConfig()`.
+        ``config.builder`` selects the construction strategy — the
+        vectorized level-synchronous pipeline by default, or the
+        recursive reference path with ``builder="legacy"``.
     rng:
         Source of randomness for the construction sample.  ``None``
         uses a fixed seed, making the build deterministic.
@@ -95,6 +119,13 @@ def build_tree(
         The finished tree and the operation-count trace.
     """
     config = config or KdTreeConfig()
+    if config.builder == "vectorized":
+        from repro.kdtree.flat_build import build_tree_vectorized
+
+        with get_registry().timer("build.vectorized"):
+            tree, trace = build_tree_vectorized(points, config, rng=rng, place=place)
+        record_build_metrics(trace, n_points=tree.n_points, builder="vectorized")
+        return tree, trace
     rng = rng or np.random.default_rng(0)
     xyz = points.xyz if isinstance(points, PointCloud) else np.asarray(points, dtype=np.float64)
     if xyz.ndim != 2 or xyz.shape[1] != 3:
@@ -104,18 +135,20 @@ def build_tree(
         raise ValueError("cannot build a k-d tree over zero points")
 
     trace = BuildTrace()
-    sample_n = config.effective_sample_size(n)
+    sample_n = int(config.effective_sample_size(n))
     trace.sample_size = sample_n
-    sample_idx = rng.choice(n, size=sample_n, replace=False) if sample_n < n else np.arange(n)
-    sample = xyz[sample_idx]
+    with get_registry().timer("build.legacy"):
+        sample_idx = rng.choice(n, size=sample_n, replace=False) if sample_n < n else np.arange(n)
+        sample = xyz[sample_idx]
 
-    tree = KdTree(points=xyz)
-    target_depth = config.target_depth(n)
-    _construct(tree, sample, depth=0, parent=NO_NODE, config=config,
-               target_depth=target_depth, trace=trace)
+        tree = KdTree(points=xyz)
+        target_depth = config.target_depth(n)
+        _construct(tree, sample, depth=0, parent=NO_NODE, config=config,
+                   target_depth=target_depth, trace=trace)
 
-    if place:
-        place_points(tree, trace=trace)
+        if place:
+            place_points(tree, trace=trace)
+    record_build_metrics(trace, n_points=n, builder="legacy")
     return tree, trace
 
 
@@ -145,7 +178,9 @@ def _construct(
 
     dim = config.dim_at_depth(depth)
     order = np.argsort(sample[:, dim], kind="stable")
-    trace.sort_sizes.append(sample.shape[0])
+    # Plain int at append time: numpy scalars leak into as_dict() and
+    # break json.dumps downstream.
+    trace.sort_sizes.append(int(sample.shape[0]))
     sorted_sample = sample[order]
     median = sample.shape[0] // 2
     threshold = float(sorted_sample[median - 1, dim])

@@ -36,6 +36,13 @@ class KdTreeConfig:
     split_dims:
         Cycle of dimensions used at successive levels, as in the paper's
         Figure 2 (x, then y, then z, then x again ...).
+    builder:
+        Construction strategy, mirroring the query engine's ``engine=``
+        knob.  ``"vectorized"`` (the default) runs the level-synchronous
+        direct-to-flat pipeline in :mod:`repro.kdtree.flat_build`;
+        ``"legacy"`` keeps the per-node recursive reference builder.
+        Both produce bit-identical trees, buckets, and
+        :class:`~repro.kdtree.build.BuildTrace` totals.
     """
 
     bucket_capacity: int = 256
@@ -43,8 +50,13 @@ class KdTreeConfig:
     min_samples_per_leaf: int = 2
     max_depth: int | None = None
     split_dims: tuple[int, ...] = (0, 1, 2)
+    builder: str = "vectorized"
 
     def __post_init__(self):
+        if self.builder not in ("vectorized", "legacy"):
+            raise ValueError(
+                f"unknown builder {self.builder!r}; expected 'vectorized' or 'legacy'"
+            )
         if self.bucket_capacity < 1:
             raise ValueError("bucket_capacity must be positive")
         if self.sample_size is not None and self.sample_size < 1:

@@ -45,15 +45,12 @@ remain available — and tested against — as ``knn_approx_loop`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.kdtree.node import NO_NODE, KdTree
 from repro.obs import get_registry
 
 
-@dataclass
 class FlatKdTree:
     """Structure-of-arrays layout of a bucketed k-d tree.
 
@@ -64,23 +61,11 @@ class FlatKdTree:
     ``bucket_sq32``) hold coordinates with ``centroid`` subtracted, so
     the BLAS distance expansion stays cancellation-safe for clouds far
     from the origin; ``points`` keeps the raw coordinates the exact
-    re-derivation kernel uses.
+    re-derivation kernel uses.  They are derived lazily on first query
+    — construction (``from_tree`` / ``from_arrays``) is purely
+    structural, so the build pipeline never pays for query-stage
+    artifacts it may not use.
     """
-
-    points: np.ndarray
-    centroid: np.ndarray
-    points_c: np.ndarray
-    point_sq_c: np.ndarray
-    dim: np.ndarray
-    threshold: np.ndarray
-    left: np.ndarray
-    right: np.ndarray
-    is_leaf: np.ndarray
-    bucket_id: np.ndarray
-    bucket_offsets: np.ndarray
-    bucket_members: np.ndarray
-    bucket_xyz32: np.ndarray
-    bucket_sq32: np.ndarray
 
     ROOT = 0
 
@@ -88,6 +73,106 @@ class FlatKdTree:
     #: top-k is decided on exact float64 distances, so the pad only has
     #: to absorb float32 rounding at the selection boundary.
     SELECT_PAD = 4
+
+    def __init__(
+        self,
+        *,
+        points: np.ndarray,
+        dim: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        is_leaf: np.ndarray,
+        bucket_id: np.ndarray,
+        bucket_offsets: np.ndarray,
+        bucket_members: np.ndarray,
+    ):
+        self.points = points
+        self.dim = dim
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.is_leaf = is_leaf
+        self.bucket_id = bucket_id
+        self.bucket_offsets = bucket_offsets
+        self.bucket_members = bucket_members
+        self._centroid: np.ndarray | None = None
+        self._points_c: np.ndarray | None = None
+        self._point_sq_c: np.ndarray | None = None
+        self._bucket_xyz32: np.ndarray | None = None
+        self._bucket_sq32: np.ndarray | None = None
+        self._levels: "_LevelPlan | None | bool" = False  # False = not built yet
+
+    # -- lazy selection-stage arrays -----------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        if self._centroid is None:
+            self._centroid = (
+                self.points.mean(axis=0)
+                if self.points.shape[0]
+                else np.zeros(self.points.shape[1])
+            )
+        return self._centroid
+
+    @property
+    def points_c(self) -> np.ndarray:
+        if self._points_c is None:
+            self._points_c = self.points - self.centroid
+        return self._points_c
+
+    @property
+    def point_sq_c(self) -> np.ndarray:
+        if self._point_sq_c is None:
+            pc = self.points_c
+            self._point_sq_c = (pc * pc).sum(axis=1)
+        return self._point_sq_c
+
+    @property
+    def bucket_xyz32(self) -> np.ndarray:
+        if self._bucket_xyz32 is None:
+            self._bucket_xyz32 = np.ascontiguousarray(
+                self.points_c[self.bucket_members], dtype=np.float32
+            )
+        return self._bucket_xyz32
+
+    @property
+    def bucket_sq32(self) -> np.ndarray:
+        if self._bucket_sq32 is None:
+            b32 = self.bucket_xyz32
+            self._bucket_sq32 = (b32 * b32).sum(axis=1)
+        return self._bucket_sq32
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        points: np.ndarray,
+        dim: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        is_leaf: np.ndarray,
+        bucket_id: np.ndarray,
+        bucket_offsets: np.ndarray,
+        bucket_members: np.ndarray,
+    ) -> "FlatKdTree":
+        """Assemble directly from prebuilt structural arrays.
+
+        The entry point of the vectorized builder
+        (:func:`repro.kdtree.flat_build.build_flat`), which never
+        materializes :class:`~repro.kdtree.node.KdNode` objects.
+        """
+        return cls(
+            points=points,
+            dim=dim,
+            threshold=threshold,
+            left=left,
+            right=right,
+            is_leaf=is_leaf,
+            bucket_id=bucket_id,
+            bucket_offsets=bucket_offsets,
+            bucket_members=bucket_members,
+        )
 
     @classmethod
     def from_tree(cls, tree: KdTree) -> "FlatKdTree":
@@ -121,18 +206,8 @@ class FlatKdTree:
             if n_buckets and offsets[-1] > 0
             else np.empty(0, dtype=np.int64)
         )
-
-        points = tree.points
-        centroid = (
-            points.mean(axis=0) if points.shape[0] else np.zeros(points.shape[1])
-        )
-        points_c = points - centroid
-        bucket_xyz32 = np.ascontiguousarray(points_c[members], dtype=np.float32)
         return cls(
-            points=points,
-            centroid=centroid,
-            points_c=points_c,
-            point_sq_c=(points_c * points_c).sum(axis=1),
+            points=tree.points,
             dim=dim,
             threshold=threshold,
             left=left,
@@ -141,8 +216,6 @@ class FlatKdTree:
             bucket_id=bucket_id,
             bucket_offsets=offsets,
             bucket_members=members,
-            bucket_xyz32=bucket_xyz32,
-            bucket_sq32=(bucket_xyz32 * bucket_xyz32).sum(axis=1),
         )
 
     # ------------------------------------------------------------------
@@ -211,6 +284,103 @@ class FlatKdTree:
             current[active] = np.where(go_left, self.left[idx], self.right[idx])
             active = ~self.is_leaf[current]
         return current, margin
+
+    # -- level-synchronous fast descent --------------------------------
+    def level_plan(self) -> "_LevelPlan | None":
+        """Per-level threshold tables for the slot-arithmetic descent.
+
+        Built (and cached) on first use.  Returns ``None`` when the
+        tree does not qualify — split dimensions must be uniform per
+        level (true for every tree the cycling-dims builders produce)
+        and the virtual complete-tree tables must stay small.
+        """
+        if self._levels is False:
+            self._levels = _LevelPlan.from_flat(self)
+        return self._levels
+
+    def descend_fast(self, queries: np.ndarray) -> np.ndarray:
+        """Leaf node id per query via per-level threshold tables.
+
+        One threshold gather + compare + slot update per tree level —
+        no per-point node-array gathers — which makes whole-frame
+        placement and incremental re-bucketing several times faster
+        than the generic :meth:`descend`.  Falls back to
+        :meth:`descend` for trees without a :meth:`level_plan`.
+        """
+        plan = self.level_plan()
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if plan is None:
+            return self.descend(q)
+        return plan.descend(q)
+
+
+class _LevelPlan:
+    """Threshold tables of the virtual complete tree, one per level.
+
+    Slot ``s`` at level ``l`` is the position a node would occupy in a
+    complete binary tree; a leaf above the bottom level parks its
+    points by always sending them left (``+inf`` threshold), so the
+    final slot identifies the leaf via ``leaf_node_of_slot``.
+    """
+
+    #: Refuse to build tables beyond this many bottom-level slots.
+    MAX_SLOTS = 1 << 22
+
+    __slots__ = ("dims", "tables", "leaf_node_of_slot", "depth")
+
+    def __init__(self, dims, tables, leaf_node_of_slot, depth):
+        self.dims = dims
+        self.tables = tables
+        self.leaf_node_of_slot = leaf_node_of_slot
+        self.depth = depth
+
+    @classmethod
+    def from_flat(cls, flat: "FlatKdTree") -> "_LevelPlan | None":
+        n = flat.dim.shape[0]
+        depth_of = np.zeros(n, dtype=np.int64)
+        slot_of = np.zeros(n, dtype=np.int64)
+        internal = ~flat.is_leaf
+        idx = np.flatnonzero(internal)
+        # Every builder in the repo numbers children after their parent,
+        # which lets one ascending sweep resolve depths and slots.
+        left, right = flat.left, flat.right
+        if idx.size and (np.any(left[idx] <= idx) or np.any(right[idx] <= idx)):
+            return None
+        for i in idx:
+            d1 = depth_of[i] + 1
+            s2 = 2 * slot_of[i]
+            depth_of[left[i]] = d1
+            depth_of[right[i]] = d1
+            slot_of[left[i]] = s2
+            slot_of[right[i]] = s2 + 1
+
+        depth = int(depth_of[flat.is_leaf].max()) if flat.is_leaf.any() else 0
+        if depth >= 63 or (1 << depth) > cls.MAX_SLOTS:
+            return None
+
+        dims: list[int] = []
+        tables: list[np.ndarray] = []
+        for level in range(depth):
+            at = internal & (depth_of == level)
+            level_dims = np.unique(flat.dim[at])
+            if level_dims.size > 1:
+                return None          # mixed dims: generic descent only
+            dims.append(int(level_dims[0]) if level_dims.size else 0)
+            table = np.full(1 << level, np.inf)
+            table[slot_of[at]] = flat.threshold[at]
+            tables.append(table)
+
+        leaf_node_of_slot = np.zeros(1 << depth, dtype=np.int64)
+        leaves = np.flatnonzero(flat.is_leaf)
+        bottom = slot_of[leaves] << (depth - depth_of[leaves])
+        leaf_node_of_slot[bottom] = leaves
+        return cls(dims, tables, leaf_node_of_slot, depth)
+
+    def descend(self, q: np.ndarray) -> np.ndarray:
+        cur = np.zeros(q.shape[0], dtype=np.int64)
+        for dim, table in zip(self.dims, self.tables):
+            cur = cur + cur + (q[:, dim] > table[cur])
+        return self.leaf_node_of_slot[cur]
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.geometry import PointCloud
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
 from repro.kdtree.search import PAD_INDEX, QueryResult, _insert_bounded
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -32,11 +33,20 @@ class KdForestConfig:
     ``top_variance_dims`` is FLANN's randomization knob: each split
     picks uniformly among that many highest-variance dimensions (in 3D,
     2 is the sweet spot — pure random over 3 axes degrades balance).
+
+    ``builder`` mirrors ``KdTreeConfig.builder``: ``"legacy"`` (the
+    default) is the per-node recursive build; ``"vectorized"`` runs a
+    level-synchronous build that sorts every level with radix passes
+    over presorted per-dimension ranks.  The two draw random split
+    dimensions in a different order, so trees differ between builders
+    (each is deterministic for a given rng); bucket *membership* logic
+    is identical.
     """
 
     n_trees: int = 4
     bucket_capacity: int = 64
     top_variance_dims: int = 2
+    builder: str = "legacy"
 
     def __post_init__(self):
         if self.n_trees < 1:
@@ -45,6 +55,10 @@ class KdForestConfig:
             raise ValueError("bucket_capacity must be positive")
         if not (1 <= self.top_variance_dims <= 3):
             raise ValueError("top_variance_dims must be in [1, 3]")
+        if self.builder not in ("vectorized", "legacy"):
+            raise ValueError(
+                f"unknown builder {self.builder!r}; expected 'vectorized' or 'legacy'"
+            )
 
 
 class KdForest:
@@ -73,9 +87,18 @@ class KdForest:
             raise ValueError("reference must have shape (N, 3)")
         if self.points.shape[0] == 0:
             raise ValueError("reference set is empty")
-        self.trees = [
-            self._build_randomized(self._rng) for _ in range(self.config.n_trees)
-        ]
+        with get_registry().timer(f"build.forest.{self.config.builder}"):
+            if self.config.builder == "vectorized":
+                ranks = self._dimension_ranks()
+                self.trees = [
+                    self._build_randomized_vectorized(self._rng, ranks)
+                    for _ in range(self.config.n_trees)
+                ]
+            else:
+                self.trees = [
+                    self._build_randomized(self._rng)
+                    for _ in range(self.config.n_trees)
+                ]
         return self
 
     def stats(self) -> dict:
@@ -84,6 +107,7 @@ class KdForest:
             "n_trees": self.config.n_trees,
             "bucket_capacity": self.config.bucket_capacity,
             "top_variance_dims": self.config.top_variance_dims,
+            "builder": self.config.builder,
         }
 
     # ------------------------------------------------------------------
@@ -128,6 +152,168 @@ class KdForest:
             return index
 
         construct(all_points, 0, NO_NODE)
+        tree.invalidate_caches()
+        return tree
+
+    # ------------------------------------------------------------------
+    def _dimension_ranks(self) -> np.ndarray:
+        """Per-dimension ranks of every point, shared by all trees.
+
+        Sorting a level by a point's precomputed integer rank is
+        equivalent to a stable sort by its coordinate, but runs as a
+        radix pass (int16 whenever N fits) instead of a float64
+        comparison sort — the main cost of the level loop.
+        """
+        n = self.points.shape[0]
+        dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
+        ranks = np.empty((3, n), dtype=dtype)
+        for d in range(3):
+            order = np.argsort(self.points[:, d], kind="stable")
+            ranks[d, order] = np.arange(n, dtype=dtype)
+        return ranks
+
+    def _build_randomized_vectorized(
+        self, rng: np.random.Generator, ranks: np.ndarray
+    ) -> KdTree:
+        """Level-synchronous randomized build (one sort pass per level).
+
+        Produces the same kind of tree as :meth:`_build_randomized`
+        (random split dim among the ``top_variance_dims``
+        highest-variance axes, median threshold, ``<=`` goes left,
+        degenerate splits become leaves) but processes all nodes of a
+        level at once.  Split dimensions are drawn in level order rather
+        than depth-first, so for a given rng the trees differ from the
+        legacy builder's — both are deterministic.  Bucket members come
+        out sorted by the last split coordinate instead of by point id;
+        search never depends on bucket order.
+        """
+        cfg = KdTreeConfig(bucket_capacity=self.config.bucket_capacity)
+        tree = KdTree(points=self.points)
+        n = self.points.shape[0]
+        target_depth = cfg.target_depth(n)
+        cap = self.config.bucket_capacity
+        top_k = self.config.top_variance_dims
+
+        # Active segments: contiguous runs of `perm`, one per un-emitted
+        # node, with P/R the point columns / rank columns physically
+        # permuted to match.
+        perm = np.arange(n, dtype=np.int64)
+        pts = np.ascontiguousarray(self.points.T)
+        rnk = np.ascontiguousarray(ranks)
+        sizes = np.array([n], dtype=np.int64)
+        parents = np.array([NO_NODE], dtype=np.int64)
+        right_child = np.array([False])
+        depth = 0
+
+        def emit(parent: int, is_right: bool, members: np.ndarray | None,
+                 dim: int = NO_NODE, threshold: float = 0.0) -> int:
+            index = len(tree.nodes)
+            if members is not None:
+                bucket_id = len(tree.buckets)
+                tree.buckets.append(members)
+                tree.nodes.append(KdNode(index=index, parent=parent,
+                                         depth=depth, bucket_id=bucket_id))
+            else:
+                tree.nodes.append(KdNode(index=index, parent=parent, depth=depth,
+                                         dim=dim, threshold=threshold))
+            if parent != NO_NODE:
+                if is_right:
+                    tree.nodes[parent].right = index
+                else:
+                    tree.nodes[parent].left = index
+            return index
+
+        while sizes.size:
+            nseg = sizes.size
+            starts = np.zeros(nseg + 1, dtype=np.int64)
+            np.cumsum(sizes, out=starts[1:])
+            leaf = (sizes <= cap) | (depth >= target_depth)
+            for j in np.flatnonzero(leaf):
+                emit(int(parents[j]), bool(right_child[j]),
+                     perm[starts[j]:starts[j + 1]].copy())
+            if leaf.all():
+                break
+
+            keep = ~leaf
+            keep_rep = np.repeat(keep, sizes)
+            perm = perm[keep_rep]
+            pts = pts[:, keep_rep]
+            rnk = rnk[:, keep_rep]
+            sizes = sizes[keep]
+            parents = parents[keep]
+            right_child = right_child[keep]
+            nseg = sizes.size
+            starts = np.zeros(nseg + 1, dtype=np.int64)
+            np.cumsum(sizes, out=starts[1:])
+            n_active = int(starts[-1])
+
+            # Split dimension: random among the top-variance axes, with
+            # variances computed per segment via reduceat on the
+            # centered coordinates (robust to off-origin frames).
+            variances = np.empty((nseg, 3))
+            inv = 1.0 / sizes
+            for d in range(3):
+                row = pts[d]
+                mean = np.add.reduceat(row, starts[:-1]) * inv
+                centered = row - np.repeat(mean, sizes)
+                variances[:, d] = (
+                    np.add.reduceat(centered * centered, starts[:-1]) * inv
+                )
+            candidates = np.argsort(variances, axis=1, kind="stable")[:, ::-1][:, :top_k]
+            draws = rng.integers(0, top_k, size=nseg)
+            dims = candidates[np.arange(nseg), draws]
+
+            # One stable segment sort by the chosen dimension's rank:
+            # radix by rank, then radix by segment id.
+            seg_dtype = np.int16 if nseg <= np.iinfo(np.int16).max else np.int64
+            seg_rep = np.repeat(np.arange(nseg, dtype=seg_dtype), sizes)
+            dims_rep = np.repeat(dims, sizes)
+            keys = rnk[dims_rep, np.arange(n_active)]
+            by_key = np.argsort(keys, kind="stable")
+            flat = by_key[np.argsort(seg_rep[by_key], kind="stable")]
+            perm = perm[flat]
+            pts = pts[:, flat]
+            rnk = rnk[:, flat]
+
+            # Median threshold (np.median semantics) and left counts.
+            vals = pts[dims_rep, np.arange(n_active)]
+            mid = starts[:-1] + sizes // 2
+            hi = vals[mid]
+            lo = vals[np.maximum(mid - 1, 0)]
+            thresholds = np.where(sizes % 2 == 1, hi, 0.5 * (lo + hi))
+            below = np.concatenate(
+                ([0], np.cumsum(vals <= np.repeat(thresholds, sizes)))
+            )
+            cnt_left = below[starts[1:]] - below[starts[:-1]]
+
+            # A split that puts everything on one side degenerates to a
+            # leaf, as in the recursive builder.
+            degenerate = (cnt_left == 0) | (cnt_left == sizes)
+            node_ids = np.empty(nseg, dtype=np.int64)
+            for j in range(nseg):
+                if degenerate[j]:
+                    node_ids[j] = emit(int(parents[j]), bool(right_child[j]),
+                                       perm[starts[j]:starts[j + 1]].copy())
+                else:
+                    node_ids[j] = emit(int(parents[j]), bool(right_child[j]), None,
+                                       dim=int(dims[j]),
+                                       threshold=float(thresholds[j]))
+
+            split = ~degenerate
+            if degenerate.any():
+                keep_rep = np.repeat(split, sizes)
+                perm = perm[keep_rep]
+                pts = pts[:, keep_rep]
+                rnk = rnk[:, keep_rep]
+            n_split = int(split.sum())
+            next_sizes = np.empty(2 * n_split, dtype=np.int64)
+            next_sizes[0::2] = cnt_left[split]
+            next_sizes[1::2] = sizes[split] - cnt_left[split]
+            parents = np.repeat(node_ids[split], 2)
+            right_child = np.tile([False, True], n_split)
+            sizes = next_sizes
+            depth += 1
+
         tree.invalidate_caches()
         return tree
 

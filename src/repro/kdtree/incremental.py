@@ -27,6 +27,7 @@ import numpy as np
 from repro.geometry import PointCloud
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
+from repro.obs import get_registry
 
 
 @dataclass
@@ -65,20 +66,62 @@ class UpdateTrace:
         }
 
 
-def reuse_tree(tree: KdTree, new_points: PointCloud | np.ndarray) -> KdTree:
+def _route_batch(tree: KdTree, xyz: np.ndarray, *, batched: bool) -> np.ndarray:
+    """Leaf node index for every row of ``xyz``.
+
+    The batched fast path reuses the engine's level-synchronous descent
+    (one gather + compare per level for the whole frame); the fallback
+    is the per-node masked walk.  Both return identical leaf ids.
+    """
+    if batched:
+        return tree.flat().descend_fast(xyz)
+    return tree.descend_batch(xyz)
+
+
+def _group_by_leaf(leaf_ids: np.ndarray, n_nodes: int) -> dict[int, np.ndarray]:
+    """``{leaf node index: ascending point indices}`` for the new frame.
+
+    One stable argsort over narrow leaf ids replaces the per-leaf
+    ``np.flatnonzero`` scans; members stay ascending within each leaf,
+    so the grouping is identical to the scan-based one.
+    """
+    if leaf_ids.size == 0:
+        return {}
+    if n_nodes <= np.iinfo(np.int16).max:
+        key = leaf_ids.astype(np.int16)
+    elif n_nodes <= np.iinfo(np.int32).max:
+        key = leaf_ids.astype(np.int32)
+    else:
+        key = leaf_ids
+    order = np.argsort(key, kind="stable")
+    sorted_leaves = leaf_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_leaves)) + 1
+    groups = np.split(order, boundaries)
+    uniques = sorted_leaves[np.concatenate(([0], boundaries))]
+    return {int(leaf): members for leaf, members in zip(uniques, groups)}
+
+
+def reuse_tree(
+    tree: KdTree,
+    new_points: PointCloud | np.ndarray,
+    *,
+    batched: bool = True,
+) -> KdTree:
     """The *static* strategy: same thresholds, re-bucket the new frame.
 
     This is the baseline Figure 10 shows diverging: as the scene moves,
-    a frozen partition fits the data worse and worse.
+    a frozen partition fits the data worse and worse.  ``batched``
+    selects the level-parallel placement fast path.
     """
     xyz = _as_points(new_points)
     new_tree = KdTree(points=xyz)
     new_tree.nodes = [KdNode(**vars(n)) for n in tree.nodes]
     new_tree.buckets = [np.empty(0, dtype=np.int64) for _ in tree.buckets]
-    leaf_ids = new_tree.descend_batch(xyz)
-    for leaf in np.unique(leaf_ids):
-        bucket_id = new_tree.nodes[int(leaf)].bucket_id
-        new_tree.buckets[bucket_id] = np.flatnonzero(leaf_ids == leaf).astype(np.int64)
+    # Thresholds are unchanged, so route through the *old* tree's flat
+    # view — usually already cached by the previous frame's queries.
+    leaf_ids = _route_batch(tree, xyz, batched=batched)
+    for leaf, members in _group_by_leaf(leaf_ids, new_tree.n_nodes).items():
+        new_tree.buckets[new_tree.nodes[leaf].bucket_id] = members
     return new_tree
 
 
@@ -89,11 +132,15 @@ def update_tree(
     *,
     lower_bound: int | None = None,
     upper_bound: int | None = None,
+    batched: bool = True,
 ) -> tuple[KdTree, UpdateTrace]:
     """Incremental update: re-bucket, then merge/split out-of-bound leaves.
 
     Bounds default to half and twice the configured bucket capacity,
-    the operating point of the paper's Figure 10.
+    the operating point of the paper's Figure 10.  ``batched`` routes
+    the whole new frame through the engine's level-parallel descent
+    (identical leaf assignment, one kernel per level); ``False`` keeps
+    the per-node masked walk.
     """
     config = config or KdTreeConfig()
     lower = lower_bound if lower_bound is not None else config.bucket_capacity // 2
@@ -101,14 +148,42 @@ def update_tree(
     if lower < 0 or upper <= lower:
         raise ValueError(f"need 0 <= lower < upper, got [{lower}, {upper}]")
 
+    with get_registry().timer("build.incremental"):
+        new_tree, trace = _update_tree(
+            tree, new_points, config, lower=lower, upper=upper, batched=batched
+        )
+    _record_update_metrics(trace, n_points=new_tree.n_points)
+    return new_tree, trace
+
+
+def _record_update_metrics(trace: UpdateTrace, *, n_points: int) -> None:
+    """Register one incremental update in :mod:`repro.obs`."""
+    obs = get_registry()
+    if not obs.enabled:
+        return
+    obs.counter("build.incremental.calls").inc()
+    obs.counter("build.incremental.points").inc(n_points)
+    obs.counter("build.incremental.points_rebuilt").inc(trace.points_rebuilt)
+    obs.counter("build.incremental.merges").inc(trace.n_merges)
+    obs.counter("build.incremental.splits").inc(trace.n_splits)
+    obs.counter("build.incremental.sorted_elements").inc(trace.sorted_elements)
+
+
+def _update_tree(
+    tree: KdTree,
+    new_points: PointCloud | np.ndarray,
+    config: KdTreeConfig,
+    *,
+    lower: int,
+    upper: int,
+    batched: bool,
+) -> tuple[KdTree, UpdateTrace]:
     xyz = _as_points(new_points)
     trace = UpdateTrace()
 
     # Step 1: place the new frame through the old structure.
-    leaf_ids = tree.descend_batch(xyz)
-    points_by_node: dict[int, np.ndarray] = {}
-    for leaf in np.unique(leaf_ids):
-        points_by_node[int(leaf)] = np.flatnonzero(leaf_ids == leaf).astype(np.int64)
+    leaf_ids = _route_batch(tree, xyz, batched=batched)
+    points_by_node = _group_by_leaf(leaf_ids, tree.n_nodes)
 
     # Subtree point counts, bottom-up.
     counts = _subtree_counts(tree, points_by_node)
@@ -199,7 +274,9 @@ def _construct_subtree(
     dim = config.dim_at_depth(depth)
     values = xyz[members, dim]
     order = np.argsort(values, kind="stable")
-    trace.sort_sizes.append(members.size)
+    # Plain int at append time: numpy scalars leak into as_dict() and
+    # break json.dumps downstream.
+    trace.sort_sizes.append(int(members.size))
     sorted_members = members[order]
     median = members.size // 2
     threshold = float(values[order[median - 1]])

@@ -55,3 +55,23 @@ class TestExperimentResult:
     def test_to_text_marks_failures(self):
         text = self.make({"check": False}).to_text()
         assert "[FAIL] check" in text
+
+    def test_from_dict_round_trips(self):
+        original = self.make({"one": True, "two": False})
+        original.elapsed_s = 1.5
+        original.notes = "a note"
+        restored = ExperimentResult.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_from_dict_tolerates_missing_optionals(self):
+        restored = ExperimentResult.from_dict(
+            {
+                "exp_id": "figX",
+                "title": "Demo",
+                "headers": ["a"],
+                "rows": [[1]],
+                "shape_checks": {},
+            }
+        )
+        assert restored.paper_says == ""
+        assert restored.elapsed_s == 0.0

@@ -115,6 +115,46 @@ class TestAll:
         assert "elapsed (s)" in out
 
 
+class TestWorkers:
+    """--workers N fan-out: parallel processes, gathered in order."""
+
+    def test_parallel_run_reports_in_submission_order(self, stubbed, capsys):
+        assert runner.main(["run", "fig3", "table1", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert out.index("stub fig3") < out.index("stub table1")
+        assert "elapsed (s)" in out
+
+    def test_parallel_failed_checks_set_exit_code(self, monkeypatch):
+        def failing(exp_id, **kwargs):
+            result = _fake_result(exp_id)
+            result.shape_checks["looks right"] = False
+            return result
+
+        monkeypatch.setattr(runner, "run_experiment", failing)
+        assert runner.main(["run", "fig3", "table1", "--workers", "2"]) == 1
+
+    def test_workers_reject_profiling(self, stubbed, tmp_path, capsys):
+        code = runner.main(
+            ["run", "fig3", "--workers", "2", "--profile", str(tmp_path / "p.json")]
+        )
+        assert code == 2
+        assert "single process" in capsys.readouterr().err
+        assert stubbed == []
+
+    def test_workers_must_be_positive(self, stubbed, capsys):
+        assert runner.main(["run", "fig3", "--workers", "0"]) == 2
+        assert stubbed == []
+
+    def test_json_output_from_parallel_all(self, stubbed, monkeypatch, tmp_path):
+        monkeypatch.setattr(runner, "experiment_ids", lambda: ["fig3", "table1"])
+        path = tmp_path / "res.json"
+        assert runner.main(["all", "--workers", "2", "--json", str(path)]) == 0
+        entries = json.loads(path.read_text())
+        assert [e["exp_id"] for e in entries] == ["fig3", "table1"]
+        assert all(e["elapsed_s"] > 0 for e in entries)
+
+
 class TestList:
     def test_list_prints_ids(self, capsys):
         assert runner.main(["list"]) == 0

@@ -49,6 +49,37 @@ class TestEngineMetrics:
         assert result.n_queries == queries.shape[0]
 
 
+class TestBuildMetrics:
+    def test_builders_emit_documented_names(self):
+        ref, _ = lidar_frame_pair(2_000, seed=9)
+        with use_registry(MetricsRegistry()) as reg:
+            build_tree(ref, KdTreeConfig(bucket_capacity=64, builder="vectorized"))
+            build_tree(ref, KdTreeConfig(bucket_capacity=64, builder="legacy"))
+        flat = reg.as_dict()
+        assert flat["build.calls"] == 2
+        assert flat["build.calls.vectorized"] == 1
+        assert flat["build.calls.legacy"] == 1
+        assert flat["build.points"] == 2 * ref.xyz.shape[0]
+        assert flat["build.sorted_elements"] > 0
+        assert flat["build.placement_traversals"] == 2 * ref.xyz.shape[0]
+        assert flat["build.sample_size.count"] == 2
+        assert flat["build.vectorized.seconds.count"] == 1
+        assert flat["build.legacy.seconds.count"] == 1
+
+    def test_incremental_update_emits_documented_names(self):
+        from repro.kdtree import update_tree
+
+        ref, qry = lidar_frame_pair(2_000, seed=10)
+        config = KdTreeConfig(bucket_capacity=64)
+        tree, _ = build_tree(ref, config)
+        with use_registry(MetricsRegistry()) as reg:
+            update_tree(tree, qry.xyz[:300], config)
+        flat = reg.as_dict()
+        assert flat["build.incremental.calls"] == 1
+        assert flat["build.incremental.points"] == 300
+        assert flat["build.incremental.seconds.count"] == 1
+
+
 class TestSimMetrics:
     def test_dram_model_counts_accesses(self):
         from repro.sim import DramModel
