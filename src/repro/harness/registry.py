@@ -36,6 +36,7 @@ from repro.harness.exp_platforms import (
     table6_speedup,
     tables23_resources,
 )
+from repro.harness.exp_serve import serve_load
 from repro.harness.result import ExperimentResult
 
 #: Every table and figure of the paper's evaluation, in paper order.
@@ -66,6 +67,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-banks": ext_banks,
     "ext-pareto": ext_pareto,
     "ext-icp": ext_icp_registration,
+    "serve-load": serve_load,
 }
 
 

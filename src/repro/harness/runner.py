@@ -39,7 +39,8 @@ def _add_workers_flag(sub: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="run experiments in N parallel processes (default: 1)",
+        help="run experiments in N parallel processes (default: 1; "
+        "incompatible with --profile/--trace, which need one process)",
     )
 
 
@@ -48,12 +49,14 @@ def _add_output_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--profile",
         metavar="PATH",
-        help="write a JSON profile: per-experiment wall-clock + subsystem metrics",
+        help="write a JSON profile: per-experiment wall-clock + subsystem "
+        "metrics (single process only — rejected with --workers > 1)",
     )
     sub.add_argument(
         "--trace",
         metavar="PATH",
-        help="write a Chrome trace_event timeline (load in chrome://tracing)",
+        help="write a Chrome trace_event timeline (load in chrome://tracing; "
+        "single process only — rejected with --workers > 1)",
     )
 
 

@@ -60,6 +60,41 @@ class _KdTreeIndex:
         self._tree, self._trace = build_tree(xyz, self.tree_config)
         return self
 
+    def save_snapshot(self, path) -> None:
+        """Write the flat layout to ``path`` (``save_flat`` format).
+
+        The snapshot round-trips the engine's structure-of-arrays
+        bit-identically, so :meth:`from_snapshot` warm-starts an index
+        whose batched queries answer exactly as this one's.
+        """
+        from repro.kdtree.serialize import save_flat
+
+        save_flat(self._tree.flat(), path)
+
+    @classmethod
+    def from_snapshot(cls, path, *, tree: KdTreeConfig | None = None):
+        """Warm-start from a :meth:`save_snapshot` file — no rebuild.
+
+        The loaded index serves queries through the batched engine over
+        the snapshot's :class:`~repro.kdtree.engine.FlatKdTree`;
+        ``build(new_reference)`` still works and replaces the snapshot
+        with a freshly built tree.  Available on the engine-backed
+        backends (``kd-approx`` / ``kd-exact``); the BBF backend walks
+        the node objects a snapshot does not store.
+        """
+        from repro.kdtree.serialize import load_flat
+
+        if cls is KdBbfIndex:
+            raise NotImplementedError(
+                "kd-bbf walks KdNode objects; snapshots store only the flat "
+                "layout — rebuild with KdBbfIndex(reference) instead"
+            )
+        self = cls.__new__(cls)
+        self.tree_config = tree or KdTreeConfig()
+        self._tree = load_flat(path)
+        self._trace = None
+        return self
+
     def stats(self) -> dict:
         flat = self._tree.flat()
         out = flat.stats()

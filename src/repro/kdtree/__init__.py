@@ -31,7 +31,16 @@ from repro.kdtree.search import (
     knn_exact,
     radius_search,
 )
-from repro.kdtree.serialize import load_tree, save_tree, tree_from_arrays, tree_to_arrays
+from repro.kdtree.serialize import (
+    flat_from_arrays,
+    flat_to_arrays,
+    load_flat,
+    load_tree,
+    save_flat,
+    save_tree,
+    tree_from_arrays,
+    tree_to_arrays,
+)
 from repro.kdtree.stats import TreeStats, node_access_probability, tree_stats
 from repro.kdtree.validate import TreeInvariantError, check_tree
 
@@ -54,6 +63,8 @@ __all__ = [
     "build_tree",
     "build_tree_vectorized",
     "check_tree",
+    "flat_from_arrays",
+    "flat_to_arrays",
     "knn_approx",
     "knn_approx_batched",
     "knn_approx_loop",
@@ -64,11 +75,13 @@ __all__ = [
     "boundary_distances",
     "diagnose_misses",
     "leaf_regions",
+    "load_flat",
     "load_tree",
     "node_access_probability",
     "place_points",
     "radius_search",
     "reuse_tree",
+    "save_flat",
     "save_tree",
     "tree_from_arrays",
     "tree_stats",

@@ -26,9 +26,11 @@ computation the same way the accelerator does:
 
 Candidate *selection* inside a bucket uses the classic
 ``|q|^2 - 2 q.c + |c|^2`` BLAS expansion for speed (in float32, keeping
-``SELECT_PAD`` extra candidates so rounding at the selection boundary
-cannot change the final set; the per-row-constant ``|q|^2`` term is
-dropped where only the ranking matters).  The expansion is evaluated on
+``SELECT_PAD`` extra candidates to absorb rounding at the selection
+boundary, with an exact float64 re-selection for the rare rows where
+more candidates tie at the boundary than the pad can hold; the
+per-row-constant ``|q|^2`` term is dropped where only the ranking
+matters).  The expansion is evaluated on
 *centered* coordinates — the cloud centroid is subtracted from both the
 reference points and the queries — because on raw coordinates its
 cancellation error grows with ``|q|^2``: a lidar frame in UTM-style
@@ -71,7 +73,9 @@ class FlatKdTree:
 
     #: Extra candidates kept by the float32 selection stage.  The final
     #: top-k is decided on exact float64 distances, so the pad only has
-    #: to absorb float32 rounding at the selection boundary.
+    #: to absorb float32 rounding at the selection boundary; rows where
+    #: more candidates tie at that boundary than the pad can hold are
+    #: re-selected exactly in float64 (see ``_grouped_topk``).
     SELECT_PAD = 4
 
     def __init__(
@@ -219,6 +223,16 @@ class FlatKdTree:
         )
 
     # ------------------------------------------------------------------
+    def flat(self) -> "FlatKdTree":
+        """Self view, mirroring :meth:`~repro.kdtree.node.KdTree.flat`.
+
+        Lets code that accepts "anything with a ``flat()``" — the
+        batched exact search, the serving layer's shard workers — take
+        either a :class:`~repro.kdtree.node.KdTree` or a snapshot-loaded
+        :class:`FlatKdTree` without converting.
+        """
+        return self
+
     @property
     def n_nodes(self) -> int:
         return self.dim.shape[0]
@@ -436,9 +450,10 @@ def _grouped_topk(
 
     Queries are grouped by bucket (argsort), candidates are *selected*
     per group with a float32 BLAS metric over the CSR-aligned,
-    centroid-centered bucket blocks (keeping ``SELECT_PAD`` extras so
-    float32 rounding cannot change the final set), and the reported
-    top-k is decided on exactly recomputed float64 distances.  Returns
+    centroid-centered bucket blocks (keeping ``SELECT_PAD`` extras to
+    absorb float32 rounding, with an exact float64 re-selection for
+    rows where boundary ties overflow the pad), and the reported top-k
+    is decided on exactly recomputed float64 distances.  Returns
     ``(indices, distances)`` of shape ``(M, k)``.
     """
     from repro.kdtree.search import PAD_INDEX
@@ -480,6 +495,31 @@ def _grouped_topk(
             )
             part = np.argpartition(d2, t - 1, axis=1)[:, :t]
             sel[qids] = cand[part]
+            # SELECT_PAD absorbs float32 rounding at the selection
+            # boundary only while fewer than t candidates sit within
+            # rounding distance of it.  Duplicate-heavy buckets (points
+            # identical up to float32 resolution, e.g. an unsplittable
+            # overflowed leaf) can tie tens of candidates there, and
+            # argpartition may then drop a true neighbor whose margin
+            # is representable in float64 but not float32.  Re-select
+            # those rows on exact difference-first float64 distances,
+            # id-ascending among ties so `_exact_rows`'s stable sort
+            # reports the canonical ids.
+            kth = np.max(np.take_along_axis(d2, part, axis=1), axis=1)
+            scale = (q32[qids] ** 2).sum(axis=1) + np.abs(
+                flat.bucket_sq32[lo:hi]
+            ).max()
+            margin = 16.0 * np.finfo(np.float32).eps * scale
+            risky = np.flatnonzero(
+                (d2 <= (kth + margin)[:, None]).sum(axis=1) > t
+            )
+            if risky.size:
+                ido = np.argsort(cand, kind="stable")
+                cpts = flat.points[cand[ido]]
+                diff = q[qids[risky], None, :] - cpts[None, :, :]
+                d64 = np.einsum("mbd,mbd->mb", diff, diff)
+                o = np.argsort(d64, axis=1, kind="stable")[:, :t]
+                sel[qids[risky]] = cand[ido][o]
         else:
             sel[qids, :b] = cand
     idx, dst = _exact_rows(flat, q, sel)
@@ -556,9 +596,26 @@ def _collect_backtrack_visits(
     return np.concatenate(visit_q), np.concatenate(visit_b)
 
 
-def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
+def knn_exact_batched(
+    tree: "KdTree | FlatKdTree",
+    queries: np.ndarray,
+    k: int,
+    *,
+    max_visits: int | None = None,
+):
     """Exact kNN: batched single-bucket pass, leaf radius test, then
     batched backtracking for the minority of queries that need it.
+
+    ``tree`` may be a :class:`~repro.kdtree.node.KdTree` or a
+    :class:`FlatKdTree` (e.g. loaded from a snapshot) — the search only
+    touches the flat layout.  ``max_visits`` bounds how many *extra*
+    buckets (beyond the home leaf) backtracking may scan per query, in
+    the order the branch-and-bound walk reaches them: ``None`` is the
+    unbounded exact search, ``0`` degenerates to the single-bucket
+    approximate answer, and intermediate budgets trade accuracy for
+    bounded work — the ladder :mod:`repro.serve` degrades along under
+    load.  With a finite budget the result is no longer guaranteed
+    exact.
 
     Returns ``(result, visits)`` where ``visits`` counts buckets
     scanned per query (1 for every query the radius test settles).
@@ -567,18 +624,40 @@ def knn_exact_batched(tree: KdTree, queries: np.ndarray, k: int):
 
     if k < 1:
         raise ValueError("k must be positive")
+    if max_visits is not None and max_visits < 0:
+        raise ValueError("max_visits must be non-negative")
     obs = get_registry()
     q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     with obs.timer("engine.exact"):
-        indices, distances, visits = _exact_batched_impl(tree, q, k, obs)
+        indices, distances, visits = _exact_batched_impl(
+            tree, q, k, obs, max_visits=max_visits
+        )
     if obs.enabled:
         obs.counter("engine.exact.calls").inc()
         obs.counter("engine.exact.queries").inc(q.shape[0])
     return QueryResult(indices=indices, distances=distances), visits
 
 
+def _truncate_visits(
+    vq: np.ndarray, vb: np.ndarray, max_visits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep each query's first ``max_visits`` (query, bucket) pairs.
+
+    Pairs arrive in the order the frontier walk reached the buckets; a
+    stable sort by query groups them while preserving that arrival
+    order, so the budget keeps the earliest-reached buckets.
+    """
+    order = np.argsort(vq, kind="stable")
+    vq_s, vb_s = vq[order], vb[order]
+    starts = np.flatnonzero(np.r_[True, vq_s[1:] != vq_s[:-1]])
+    sizes = np.diff(np.r_[starts, vq_s.size])
+    rank = np.arange(vq_s.size) - np.repeat(starts, sizes)
+    keep = rank < max_visits
+    return vq_s[keep], vb_s[keep]
+
+
 def _exact_batched_impl(
-    tree: KdTree, q: np.ndarray, k: int, obs
+    tree: "KdTree | FlatKdTree", q: np.ndarray, k: int, obs, *, max_visits=None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     from repro.kdtree.search import PAD_INDEX
 
@@ -598,7 +677,15 @@ def _exact_batched_impl(
     if unsettled.size == 0:
         return indices, distances, visits
 
+    if max_visits == 0:
+        return indices, distances, visits
+
     vq, vb = _collect_backtrack_visits(flat, q, unsettled, leaf_ids, kth)
+    if max_visits is not None and vq.size:
+        before = vq.size
+        vq, vb = _truncate_visits(vq, vb, max_visits)
+        if obs.enabled:
+            obs.counter("engine.exact.budget_truncated").inc(int(before - vq.size))
     if obs.enabled:
         obs.counter("engine.exact.bucket_scans").inc(int(vq.size))
         obs.distribution("engine.exact.frontier").observe(int(vq.size))

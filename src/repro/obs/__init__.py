@@ -30,6 +30,7 @@ from repro.obs.registry import (
     Counter,
     Distribution,
     Gauge,
+    Histogram,
     MetricsRegistry,
     NullRegistry,
     disable,
@@ -43,6 +44,7 @@ __all__ = [
     "Counter",
     "Distribution",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "chrome_trace",

@@ -11,13 +11,17 @@ this).
 Metric names are hierarchical dotted paths with a subsystem prefix:
 ``dram.bytes``, ``cache.read_gather.flushes``,
 ``engine.exact.bucket_scans``, ``icp.rms`` — see
-``docs/observability.md`` for the full naming scheme.  Three metric
+``docs/observability.md`` for the full naming scheme.  Four metric
 kinds cover the repo's needs:
 
 * **counter** — monotonically accumulated totals (``inc``),
 * **gauge** — last-written value (``set``),
 * **distribution** — streaming summary (count / total / mean / min /
-  max / last) of observed values (``observe``).
+  max / last) of observed values (``observe``),
+* **histogram** — a distribution that additionally samples a bounded
+  reservoir so it can report percentiles (``percentile(95)``, and
+  ``p50``/``p90``/``p95``/``p99`` in ``as_dict()``) — the serving
+  layer's latency metrics use this kind.
 
 Spans come in two flavors.  ``timer(name)`` is a context manager that
 observes the elapsed seconds into the ``<name>.seconds`` distribution.
@@ -35,6 +39,7 @@ repo's hot paths are single-threaded NumPy batches.
 
 from __future__ import annotations
 
+import random
 import time
 from contextlib import contextmanager
 
@@ -109,6 +114,93 @@ class Distribution:
         }
 
 
+class Histogram:
+    """A distribution that can also answer percentile queries.
+
+    Keeps the same streaming summary as :class:`Distribution` plus a
+    bounded reservoir (algorithm R with a per-name deterministic seed),
+    so ``percentile(95)`` stays O(reservoir) no matter how many values
+    were observed.  Used where tail behavior is the point — the serving
+    layer's latency metrics (``serve.latency.*``) report p50/p95/p99
+    through this kind.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last",
+                 "_reservoir", "_rng")
+    kind = "histogram"
+
+    #: Reservoir capacity; percentile error is sampling error over this
+    #: many points, plenty for p99 at the serving layer's volumes.
+    RESERVOIR_SIZE = 4096
+
+    #: The percentiles ``as_dict`` reports (the serving layer's catalog).
+    REPORTED_PERCENTILES = (50, 90, 95, 99)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.last = 0.0
+        self._reservoir: list[float] = []
+        self._rng = random.Random(name)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.last = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the sampled observations."""
+        if not self._reservoir:
+            return 0.0
+        data = sorted(self._reservoir)
+        if len(data) == 1:
+            return data[0]
+        pos = (q / 100.0) * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def as_dict(self) -> dict:
+        """Summary plus the reported percentiles (``p50`` … ``p99``)."""
+        if self.count == 0:
+            return {"count": 0}
+        out = {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+        data = sorted(self._reservoir)
+        for q in self.REPORTED_PERCENTILES:
+            pos = (q / 100.0) * (len(data) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(data) - 1)
+            frac = pos - lo
+            out[f"p{q}"] = data[lo] * (1.0 - frac) + data[hi] * frac
+        return out
+
+
 class _Span:
     """Context manager timing one region; optionally traced."""
 
@@ -154,6 +246,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._distributions: dict[str, Distribution] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._events: list[dict] = []
         self._t0 = time.perf_counter()
 
@@ -174,6 +267,12 @@ class MetricsRegistry:
         metric = self._distributions.get(name)
         if metric is None:
             metric = self._distributions[name] = Distribution(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
         return metric
 
     # -- timing --------------------------------------------------------
@@ -224,6 +323,9 @@ class MetricsRegistry:
             "distributions": {
                 n: d.as_dict() for n, d in sorted(self._distributions.items())
             },
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
         }
 
     def as_dict(self) -> dict:
@@ -235,6 +337,9 @@ class MetricsRegistry:
             out[name] = gauge.value
         for name, dist in sorted(self._distributions.items()):
             for stat, value in dist.as_dict().items():
+                out[f"{name}.{stat}"] = value
+        for name, hist in sorted(self._histograms.items()):
+            for stat, value in hist.as_dict().items():
                 out[f"{name}.{stat}"] = value
         return out
 
@@ -254,6 +359,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._distributions.clear()
+        self._histograms.clear()
         self._events.clear()
         self._t0 = time.perf_counter()
 
@@ -276,6 +382,9 @@ class _NullMetric:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
     def as_dict(self) -> dict:
         return {}
@@ -315,6 +424,9 @@ class NullRegistry:
     def distribution(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
     def phase(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
@@ -328,7 +440,7 @@ class NullRegistry:
         pass
 
     def snapshot(self) -> dict:
-        return {"counters": {}, "gauges": {}, "distributions": {}}
+        return {"counters": {}, "gauges": {}, "distributions": {}, "histograms": {}}
 
     def as_dict(self) -> dict:
         return {}

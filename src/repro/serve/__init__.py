@@ -1,0 +1,46 @@
+"""Concurrent kNN serving over the batched engine.
+
+The QuickNN hardware earns its throughput by keeping many traversal
+units busy against one shared tree; this package is the software
+serving analogue: coalesce concurrent queries into engine-sized
+micro-batches, fan them out over sharded trees, and protect the whole
+thing with admission control and a graceful-degradation ladder so
+overload produces typed rejections and labelled approximations —
+never silent wrong answers.
+
+Quick example::
+
+    from repro.serve import KnnServer, ServeConfig
+
+    with KnnServer(frame_xyz, ServeConfig(n_shards=4)) as server:
+        response = server.query(rows, k=8)          # ServeResponse
+
+See ``docs/serving.md`` for the architecture and the knob catalogue,
+and the ``quicknn-serve`` CLI for load generation.
+"""
+
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.config import DEFAULT_DEGRADE_THRESHOLDS, ServeConfig
+from repro.serve.errors import Overloaded, RequestTimeout, ServeError, ServerClosed
+from repro.serve.loadgen import LoadgenReport, run_closed_loop, run_open_loop
+from repro.serve.server import KnnServer, ServeResponse
+from repro.serve.sharding import ShardPlan, make_plan, merge_topk
+
+__all__ = [
+    "DEFAULT_DEGRADE_THRESHOLDS",
+    "KnnServer",
+    "LoadgenReport",
+    "MicroBatcher",
+    "Overloaded",
+    "RequestTimeout",
+    "ServeConfig",
+    "ServeError",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerClosed",
+    "ShardPlan",
+    "make_plan",
+    "merge_topk",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,171 @@
+"""Micro-batching intake: bounded queue, deadline-driven batch formation.
+
+The batcher is the serving layer's front door.  ``submit`` applies
+admission control synchronously — a request either enters the bounded
+queue or is shed with :class:`~repro.serve.errors.Overloaded` before it
+costs anything.  The dispatcher side calls ``next_batch``, which blocks
+until a batch is *ready*: either ``max_batch_size`` query rows have
+accumulated, or the oldest queued request has waited ``max_delay_s``.
+That deadline is the latency price of coalescing — one knob trades
+batch fill (throughput) against queueing delay, the classic
+micro-batching trade the QuickNN hardware makes with its parallel
+traversal units and this layer makes in software.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serve.errors import Overloaded, ServerClosed
+
+
+@dataclass
+class ServeRequest:
+    """One admitted unit of work: a few query rows plus routing flags."""
+
+    xyz: np.ndarray                 # (m, 3) float64 query rows
+    k: int
+    mode: str                       # "exact" | "approx"
+    allow_degraded: bool
+    future: Future = field(default_factory=Future)
+    arrival: float = 0.0            # monotonic admission time
+    deadline: float | None = None   # monotonic; None = no timeout
+    served: str = "exact"           # what actually ran (set at dispatch)
+
+    @property
+    def n_rows(self) -> int:
+        return self.xyz.shape[0]
+
+
+class MicroBatcher:
+    """Bounded request queue with size/deadline batch formation.
+
+    Thread-safe: any number of submitters, any number of dispatchers
+    (the server runs one).  ``max_queue`` is measured in query *rows*
+    (a multi-row request occupies its row count), so admission pressure
+    tracks actual work, not request count.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int,
+        max_delay_s: float,
+        max_queue: int,
+        clock=time.monotonic,
+    ):
+        self.max_batch_size = max_batch_size
+        self.max_delay_s = max_delay_s
+        self.max_queue = max_queue
+        self._clock = clock
+        self._queue: list[ServeRequest] = []
+        self._rows_queued = 0
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- submitter side ------------------------------------------------
+    def submit(self, request: ServeRequest) -> None:
+        """Admit ``request`` or shed it; never blocks on a full queue."""
+        with self._ready:
+            if self._closed:
+                raise ServerClosed("cannot submit: batcher is closed")
+            if self._rows_queued + request.n_rows > self.max_queue:
+                raise Overloaded(self._rows_queued, self.max_queue)
+            request.arrival = self._clock()
+            self._queue.append(request)
+            self._rows_queued += request.n_rows
+            self._ready.notify()
+
+    def depth(self) -> int:
+        """Queued query rows right now (the admission/degradation signal)."""
+        with self._lock:
+            return self._rows_queued
+
+    def fill_fraction(self) -> float:
+        """Queue occupancy in [0, 1] — the degradation ladder's input."""
+        with self._lock:
+            return self._rows_queued / self.max_queue
+
+    # -- dispatcher side -----------------------------------------------
+    def next_batch(self, timeout: float | None = None) -> list[ServeRequest] | None:
+        """Block until a batch is ready; ``None`` on timeout or closed-empty.
+
+        A batch is a prefix of the queue holding at most
+        ``max_batch_size`` rows — except that a single oversized request
+        always ships alone (the engine handles any batch size; splitting
+        a request would split its future).
+        """
+        give_up = None if timeout is None else self._clock() + timeout
+        with self._ready:
+            while True:
+                now = self._clock()
+                if self._queue:
+                    oldest_age = now - self._queue[0].arrival
+                    if (
+                        self._rows_queued >= self.max_batch_size
+                        or oldest_age >= self.max_delay_s
+                        or self._closed
+                    ):
+                        return self._pop_batch_locked()
+                    wait = self.max_delay_s - oldest_age
+                    if give_up is not None:
+                        wait = min(wait, give_up - now)
+                elif self._closed:
+                    return None
+                else:
+                    wait = None if give_up is None else give_up - now
+                if wait is not None and wait <= 0:
+                    return None
+                self._ready.wait(wait)
+
+    def _pop_batch_locked(self) -> list[ServeRequest]:
+        batch: list[ServeRequest] = []
+        rows = 0
+        while self._queue:
+            nxt = self._queue[0].n_rows
+            if batch and rows + nxt > self.max_batch_size:
+                break
+            batch.append(self._queue.pop(0))
+            rows += nxt
+        self._rows_queued -= rows
+        return batch
+
+    def expire(self, now: float) -> list[ServeRequest]:
+        """Remove and return queued requests whose deadline has passed.
+
+        Called by the server's monitor so a doomed request frees its
+        queue rows (and gets its typed timeout) without waiting for its
+        batch to form.
+        """
+        with self._ready:
+            expired = [
+                r for r in self._queue
+                if r.deadline is not None and now >= r.deadline
+            ]
+            if expired:
+                self._queue = [
+                    r for r in self._queue
+                    if not (r.deadline is not None and now >= r.deadline)
+                ]
+                self._rows_queued = sum(r.n_rows for r in self._queue)
+                self._ready.notify_all()
+            return expired
+
+    # -- shutdown ------------------------------------------------------
+    def close(self) -> list[ServeRequest]:
+        """Refuse new submissions; return (and drop) whatever is queued.
+
+        The caller owns failing the drained requests' futures.
+        """
+        with self._ready:
+            self._closed = True
+            drained, self._queue = self._queue, []
+            self._rows_queued = 0
+            self._ready.notify_all()
+            return drained

@@ -1,0 +1,234 @@
+"""``quicknn-serve``: drive a KnnServer against a synthetic LiDAR frame.
+
+Three subcommands:
+
+* ``bench`` — closed-loop throughput comparison: one-at-a-time
+  (``concurrency=1``) versus concurrent submission through the same
+  micro-batching server.  The speedup column is the serving layer's
+  reason to exist; the acceptance bar is >= 3x on the paper's
+  30k-point operating frame.
+* ``load`` — open-loop Poisson arrivals at a fixed offered rate;
+  reports latency percentiles and typed shed/timeout counts.  With
+  ``--fail-on-errors`` the exit code asserts a clean run (the CI
+  serve-smoke job).
+* ``smoke`` — a fast preset of ``load`` sized for CI (~seconds).
+
+All subcommands accept ``--json PATH`` to write the full report as a
+machine-readable artifact, including a snapshot of the ``serve.*``
+metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.datasets import lidar_frame
+from repro.obs import MetricsRegistry, set_registry
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import run_closed_loop, run_open_loop
+from repro.serve.server import KnnServer
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--points", type=int, default=30_000,
+                        help="reference frame size (default: 30000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="frame/query RNG seed (default: 0)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="point shards (default: 1)")
+    parser.add_argument("--sharding", choices=("round-robin", "spatial"),
+                        default="round-robin")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="worker threads per shard (default: 1)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batch size in query rows (default: 256)")
+    parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="batch formation deadline (default: 2ms)")
+    parser.add_argument("--max-queue", type=int, default=4096,
+                        help="admission bound in queued rows (default: 4096)")
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--mode", choices=("exact", "approx"), default="exact")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON to PATH ('-' = stdout)")
+
+
+def _make_config(args) -> ServeConfig:
+    return ServeConfig(
+        n_shards=args.shards,
+        sharding=args.sharding,
+        n_replicas=args.replicas,
+        max_batch_size=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        max_queue=args.max_queue,
+    )
+
+
+def _workload(args) -> tuple[np.ndarray, np.ndarray]:
+    reference = lidar_frame(args.points, seed=args.seed).xyz
+    rng = np.random.default_rng(args.seed + 1)
+    jitter = rng.normal(scale=0.05, size=reference.shape)
+    queries = reference[rng.permutation(reference.shape[0])] + jitter
+    return reference, queries
+
+
+def _emit(payload: dict, json_path: str | None) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if json_path == "-":
+        print(text)
+    elif json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def _serve_metrics(registry: MetricsRegistry) -> dict:
+    return {
+        name: value
+        for name, value in registry.as_dict().items()
+        if name.startswith("serve.")
+    }
+
+
+def _cmd_bench(args) -> int:
+    registry = MetricsRegistry()
+    set_registry(registry)
+    reference, queries = _workload(args)
+    queries = queries[: args.queries]
+    config = _make_config(args)
+    with KnnServer(reference, config) as server:
+        baseline = run_closed_loop(
+            server, queries, args.k, mode=args.mode, concurrency=1
+        )
+        batched = run_closed_loop(
+            server, queries, args.k, mode=args.mode,
+            concurrency=args.concurrency,
+        )
+    speedup = (
+        batched.throughput_qps / baseline.throughput_qps
+        if baseline.throughput_qps > 0
+        else float("inf")
+    )
+    payload = {
+        "bench": {
+            "n_reference": int(reference.shape[0]),
+            "n_queries": int(queries.shape[0]),
+            "k": args.k,
+            "mode": args.mode,
+            "config": {
+                "n_shards": config.n_shards,
+                "max_batch_size": config.max_batch_size,
+                "max_delay_s": config.max_delay_s,
+            },
+            "one_at_a_time": baseline.as_dict(),
+            "micro_batched": batched.as_dict(),
+            "speedup": speedup,
+        },
+        "metrics": _serve_metrics(registry),
+    }
+    _emit(payload, args.json)
+    print(
+        f"one-at-a-time: {baseline.throughput_qps:,.0f} rows/s | "
+        f"micro-batched (c={args.concurrency}): "
+        f"{batched.throughput_qps:,.0f} rows/s | speedup {speedup:.1f}x"
+    )
+    errors = baseline.errors + batched.errors
+    if errors:
+        print(f"FAIL: {errors} errored requests", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_load(args) -> int:
+    registry = MetricsRegistry()
+    set_registry(registry)
+    reference, queries = _workload(args)
+    config = _make_config(args)
+    with KnnServer(reference, config) as server:
+        report = run_open_loop(
+            server, queries, args.k, mode=args.mode,
+            rate_qps=args.rate, duration_s=args.duration,
+            rows_per_request=args.rows_per_request, seed=args.seed,
+            allow_degraded=args.allow_degraded,
+        )
+    payload = {
+        "load": report.as_dict(),
+        "config": {
+            "n_shards": config.n_shards,
+            "max_batch_size": config.max_batch_size,
+            "max_delay_s": config.max_delay_s,
+            "max_queue": config.max_queue,
+        },
+        "metrics": _serve_metrics(registry),
+    }
+    _emit(payload, args.json)
+    print(
+        f"offered {report.offered} | completed {report.completed} | "
+        f"shed {report.shed} | timed out {report.timed_out} | "
+        f"errors {report.errors} | "
+        f"p50 {report.percentile(50):.2f}ms p99 {report.percentile(99):.2f}ms"
+    )
+    if args.fail_on_errors and report.errors:
+        print(f"FAIL: {report.errors} errored requests", file=sys.stderr)
+        return 1
+    if args.fail_on_errors and report.completed == 0:
+        print("FAIL: no requests completed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quicknn-serve",
+        description="Load-test the repro.serve kNN serving layer on a "
+        "synthetic LiDAR frame.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser(
+        "bench", help="closed-loop throughput: one-at-a-time vs micro-batched"
+    )
+    _add_server_args(bench)
+    bench.add_argument("--queries", type=int, default=4096,
+                       help="query rows per arm (default: 4096)")
+    bench.add_argument("--concurrency", type=int, default=64,
+                       help="submitters in the batched arm (default: 64)")
+    bench.set_defaults(func=_cmd_bench)
+
+    load = sub.add_parser(
+        "load", help="open-loop Poisson load with latency percentiles"
+    )
+    _add_server_args(load)
+    load.add_argument("--rate", type=float, default=2000.0,
+                      help="offered requests/s (default: 2000)")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="offering window seconds (default: 5)")
+    load.add_argument("--rows-per-request", type=int, default=1)
+    load.add_argument("--allow-degraded", action="store_true",
+                      help="let exact requests degrade under load")
+    load.add_argument("--fail-on-errors", action="store_true",
+                      help="exit 1 unless zero errored requests")
+    load.set_defaults(func=_cmd_load)
+
+    smoke = sub.add_parser(
+        "smoke", help="CI preset of 'load': small frame, short window"
+    )
+    _add_server_args(smoke)
+    smoke.add_argument("--rate", type=float, default=1500.0)
+    smoke.add_argument("--duration", type=float, default=3.0)
+    smoke.add_argument("--rows-per-request", type=int, default=1)
+    smoke.add_argument("--allow-degraded", action="store_true")
+    smoke.set_defaults(func=_cmd_load, fail_on_errors=True)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Typed failures of the serving layer.
+
+Every way :mod:`repro.serve` refuses or abandons a request is a
+distinct exception type, so callers (and the load generator) can count
+sheds, timeouts, and shutdowns separately — and so overload is never
+reported as a wrong answer, only as a typed rejection.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+
+class Overloaded(ServeError):
+    """Admission control shed the request: the intake queue was full.
+
+    Raised *synchronously* by ``submit`` — a shed request never enters
+    the queue, so shedding costs the server nothing but this exception.
+    ``queue_depth`` / ``max_queue`` record the pressure at rejection
+    time (in queued query rows).
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int):
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        super().__init__(
+            f"serve queue full ({queue_depth}/{max_queue} query rows); "
+            "request shed"
+        )
+
+
+class RequestTimeout(ServeError):
+    """The request missed its deadline before a result was merged.
+
+    Set as the future's exception; ``waited_s`` is how long the request
+    had been in the system when it was abandoned.
+    """
+
+    def __init__(self, waited_s: float, timeout_s: float):
+        self.waited_s = waited_s
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"request timed out after {waited_s:.3f}s (deadline {timeout_s:.3f}s)"
+        )
+
+
+class ServerClosed(ServeError):
+    """The server was shut down; submissions and pending work fail fast."""
+
+    def __init__(self, message: str = "server is closed"):
+        super().__init__(message)

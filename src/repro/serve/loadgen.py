@@ -1,0 +1,254 @@
+"""Synthetic load generation against a :class:`~repro.serve.server.KnnServer`.
+
+Two drive modes, matching the two questions you ask a serving layer:
+
+* :func:`run_closed_loop` — ``concurrency`` submitter threads, each
+  waiting for its previous answer before sending the next request.
+  ``concurrency=1`` is the one-at-a-time baseline; raising it lets the
+  micro-batcher coalesce, which is exactly the throughput win the
+  batched engine exists for.  Throughput question: *how fast can it go?*
+* :func:`run_open_loop` — Poisson arrivals at a fixed offered rate,
+  submitted without waiting, the standard way to expose queueing,
+  shedding, and tail latency.  Latency question: *what happens at a
+  given load, including overload?*
+
+Both return a :class:`LoadgenReport` with completion/shed/timeout/error
+counts and latency percentiles; the typed serve errors are counted
+separately so an overloaded run is distinguishable from a broken one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.errors import Overloaded, RequestTimeout
+from repro.serve.server import KnnServer
+
+#: Reported latency percentiles (percent).
+PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome counts and latency distribution of one load run."""
+
+    mode: str                    # "closed-loop" | "open-loop"
+    duration_s: float
+    offered: int                 # requests the generator tried to submit
+    completed: int
+    shed: int                    # typed Overloaded at admission
+    timed_out: int               # typed RequestTimeout
+    errors: int                  # anything else (must be 0 in a healthy run)
+    degraded: int                # completed but served under a tightened budget
+    rows_completed: int
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed query rows per second."""
+        return self.rows_completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "errors": self.errors,
+            "degraded": self.degraded,
+            "rows_completed": self.rows_completed,
+            "throughput_qps": self.throughput_qps,
+            "latency_ms": {
+                f"p{int(q)}": self.percentile(q) for q in PERCENTILES
+            }
+            | {
+                "mean": float(np.mean(self.latencies_ms))
+                if self.latencies_ms
+                else 0.0
+            },
+        }
+
+
+class _Tally:
+    """Thread-safe accumulator shared by submitters and callbacks."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.offered = 0
+        self.completed = 0
+        self.shed = 0
+        self.timed_out = 0
+        self.errors = 0
+        self.degraded = 0
+        self.rows_completed = 0
+        self.latencies_ms: list[float] = []
+
+    def record(self, future) -> None:
+        exc = future.exception()
+        with self.lock:
+            if exc is None:
+                response = future.result()
+                self.completed += 1
+                self.rows_completed += response.indices.shape[0]
+                self.latencies_ms.append(response.latency_s * 1e3)
+                if response.degraded:
+                    self.degraded += 1
+            elif isinstance(exc, RequestTimeout):
+                self.timed_out += 1
+            else:
+                self.errors += 1
+
+    def report(self, mode: str, duration_s: float) -> LoadgenReport:
+        return LoadgenReport(
+            mode=mode,
+            duration_s=duration_s,
+            offered=self.offered,
+            completed=self.completed,
+            shed=self.shed,
+            timed_out=self.timed_out,
+            errors=self.errors,
+            degraded=self.degraded,
+            rows_completed=self.rows_completed,
+            latencies_ms=self.latencies_ms,
+        )
+
+
+def _request_slices(queries: np.ndarray, rows_per_request: int) -> list[np.ndarray]:
+    n = queries.shape[0]
+    return [
+        queries[start:start + rows_per_request]
+        for start in range(0, n, rows_per_request)
+    ]
+
+
+def run_closed_loop(
+    server: KnnServer,
+    queries: np.ndarray,
+    k: int,
+    *,
+    mode: str = "exact",
+    concurrency: int = 1,
+    rows_per_request: int = 1,
+    allow_degraded: bool = False,
+    clock=time.perf_counter,
+) -> LoadgenReport:
+    """Drive every query row through the server with bounded concurrency.
+
+    The queries are cut into ``rows_per_request``-row requests and
+    dealt round-robin to ``concurrency`` submitter threads; each thread
+    waits for its answer before sending the next (closed loop), so the
+    server's queue depth never exceeds ``concurrency`` requests.  Every
+    row is offered exactly once — shed requests are counted, not
+    retried — and with default-sized queues nothing sheds, making this
+    the mode for throughput and identity measurements.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be positive")
+    requests = _request_slices(
+        np.atleast_2d(np.asarray(queries, dtype=np.float64)), rows_per_request
+    )
+    tally = _Tally()
+    tally.offered = len(requests)
+
+    def _submitter(worker: int) -> None:
+        for i in range(worker, len(requests), concurrency):
+            try:
+                future = server.submit(
+                    requests[i], k, mode=mode, allow_degraded=allow_degraded
+                )
+            except Overloaded:
+                with tally.lock:
+                    tally.shed += 1
+                continue
+            future.exception()  # closed loop: wait for the answer
+            tally.record(future)
+
+    started = clock()
+    threads = [
+        threading.Thread(target=_submitter, args=(w,), name=f"loadgen-{w}")
+        for w in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return tally.report("closed-loop", clock() - started)
+
+
+def run_open_loop(
+    server: KnnServer,
+    queries: np.ndarray,
+    k: int,
+    *,
+    rate_qps: float,
+    duration_s: float,
+    mode: str = "exact",
+    rows_per_request: int = 1,
+    allow_degraded: bool = False,
+    seed: int = 0,
+    drain_timeout_s: float = 10.0,
+    clock=time.perf_counter,
+) -> LoadgenReport:
+    """Offer Poisson arrivals at ``rate_qps`` requests/s for ``duration_s``.
+
+    Arrivals are submitted without waiting (open loop) — when the
+    server falls behind, the queue grows and admission control sheds,
+    which is the point: this mode measures latency percentiles and the
+    shed/degrade behaviour *at* a load, not the peak rate.  Query rows
+    are drawn round-robin from ``queries``.  After the offering window
+    the run waits up to ``drain_timeout_s`` for stragglers.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    pool = _request_slices(
+        np.atleast_2d(np.asarray(queries, dtype=np.float64)), rows_per_request
+    )
+    rng = np.random.default_rng(seed)
+    tally = _Tally()
+    pending: list = []
+    started = clock()
+    deadline = started + duration_s
+    next_at = started
+    i = 0
+    while True:
+        now = clock()
+        if now >= deadline:
+            break
+        if now < next_at:
+            time.sleep(min(next_at - now, 0.001))
+            continue
+        next_at += rng.exponential(1.0 / rate_qps)
+        tally.offered += 1
+        try:
+            future = server.submit(
+                pool[i % len(pool)], k, mode=mode, allow_degraded=allow_degraded
+            )
+        except Overloaded:
+            tally.shed += 1
+        else:
+            future.add_done_callback(tally.record)
+            pending.append(future)
+        i += 1
+    drain_by = clock() + drain_timeout_s
+    for future in pending:
+        remaining = drain_by - clock()
+        if remaining <= 0:
+            break
+        try:
+            future.exception(timeout=remaining)
+        except TimeoutError:
+            break
+    return tally.report("open-loop", clock() - started)

@@ -1,0 +1,690 @@
+"""KnnServer: sharded, micro-batched kNN serving with graceful degradation.
+
+The request path, in the order a query row experiences it:
+
+1. **Admission** — ``submit`` validates the rows and offers them to the
+   bounded :class:`~repro.serve.batcher.MicroBatcher`; a full queue
+   sheds the request synchronously with
+   :class:`~repro.serve.errors.Overloaded` (a typed refusal, never a
+   degraded-silently answer).
+2. **Batch formation** — the dispatcher thread pulls a batch when it
+   fills or its deadline lapses, reads the queue fraction to pick the
+   degradation level, drops already-expired requests, and groups the
+   rest by ``(k, effective budget)`` so each group is one engine call.
+3. **Fan-out** — each group becomes a job holding a snapshot of the
+   current shard trees; one task per shard goes on that shard's queue,
+   where ``n_replicas`` worker threads compute the local top-k through
+   the batched engine and translate local ids to global ids.
+4. **Merge** — the last shard to finish merges the per-shard lists with
+   the canonical :func:`~repro.serve.sharding.merge_topk` rule and
+   resolves every request's future with a :class:`ServeResponse`.
+5. **Failure handling** — a monitor thread enforces per-request
+   deadlines (:class:`~repro.serve.errors.RequestTimeout`), re-enqueues
+   slow shard tasks for hedging (first answer wins), and worker errors
+   are retried ``max_retries`` times before the job's requests fail
+   with the underlying error.
+
+Degradation ladder (queue fraction against ``degrade_thresholds``):
+
+====== ======================== =====================================
+level  approx requests          exact requests with ``allow_degraded``
+====== ======================== =====================================
+0      budget = ``approx_budget``  unbounded exact
+1      budget halved               bounded: ``4 × approx_budget`` visits
+2      budget quartered            bounded: ``approx_budget`` visits
+3      budget 0 (home leaf only)   budget 0 (home leaf only)
+====== ======================== =====================================
+
+Exact requests *without* ``allow_degraded`` are never degraded — they
+run the unbounded exact search at every level and rely on admission
+control alone.  Every response reports the level and budget it was
+served at, so a degraded answer is always labelled as one.
+
+Warm handoff: :meth:`KnnServer.update_reference` rebuilds the shard
+trees (PR 4's :func:`~repro.kdtree.flat_build.build_flat`, one build
+per shard) and swaps them in atomically.  In-flight jobs keep the
+snapshot they captured at batch formation, so a swap never mixes
+generations within one answer.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
+from repro.kdtree.flat_build import build_flat
+from repro.kdtree.search import PAD_INDEX, QueryResult
+from repro.obs import get_registry
+from repro.serve.batcher import MicroBatcher, ServeRequest
+from repro.serve.config import ServeConfig
+from repro.serve.errors import RequestTimeout, ServerClosed
+from repro.serve.sharding import ShardPlan, make_plan, merge_topk
+
+_SNAPSHOT_GLOB = "shard-*.npz"
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One answered request, with the conditions it was answered under.
+
+    ``indices`` holds *global* reference-point ids (``-1`` padding),
+    ``distances`` the exact float64 distances from the engine kernel.
+    ``served`` names the search actually run (``"exact"``,
+    ``"approx"``, or ``"degraded"`` when load tightened the budget or
+    downgraded an opted-in exact request); ``budget`` is the
+    ``max_visits`` it ran with (``None`` = unbounded exact).
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    mode: str               # what the caller asked for
+    served: str             # what actually ran
+    degrade_level: int
+    budget: int | None
+    latency_s: float
+    generation: int
+
+    @property
+    def degraded(self) -> bool:
+        return self.served == "degraded"
+
+    def as_query_result(self) -> QueryResult:
+        return QueryResult(indices=self.indices, distances=self.distances)
+
+
+@dataclass(frozen=True)
+class _ShardState:
+    """One shard's immutable snapshot: its tree and the id translation."""
+
+    tree: FlatKdTree
+    global_ids: np.ndarray
+
+
+class _BatchJob:
+    """One engine call's worth of coalesced rows, fanned out to shards."""
+
+    __slots__ = (
+        "requests", "q", "k", "budget", "shards", "generation",
+        "degrade_level", "lock", "results", "shard_done", "hedged",
+        "attempts", "n_done", "finished", "dispatched_at",
+    )
+
+    def __init__(self, requests, q, k, budget, shards, generation,
+                 degrade_level, dispatched_at):
+        self.requests: list[ServeRequest] = requests
+        self.q = q                       # (rows, 3) concatenated queries
+        self.k = k
+        self.budget = budget             # None = unbounded exact
+        self.shards: tuple[_ShardState, ...] = shards
+        self.generation = generation
+        self.degrade_level = degrade_level
+        self.lock = threading.Lock()
+        n = len(shards)
+        self.results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n
+        self.shard_done = [False] * n
+        self.hedged = [False] * n
+        self.attempts = [0] * n
+        self.n_done = 0
+        self.finished = False
+        self.dispatched_at = dispatched_at
+
+
+def _try_set_result(future: Future, value) -> bool:
+    try:
+        future.set_result(value)
+        return True
+    except Exception:       # already resolved (timeout/shutdown won the race)
+        return False
+
+
+def _try_set_exception(future: Future, exc: BaseException) -> bool:
+    try:
+        future.set_exception(exc)
+        return True
+    except Exception:
+        return False
+
+
+class KnnServer:
+    """Concurrent kNN service over any engine-backed reference cloud.
+
+    Usage::
+
+        with KnnServer(frame_xyz, ServeConfig(n_shards=4)) as server:
+            fut = server.submit(rows, k=8)           # Future[ServeResponse]
+            resp = server.query(rows, k=8)           # submit + wait
+
+    All public methods are thread-safe.  See the module docstring for
+    the request path and the degradation ladder.
+    """
+
+    def __init__(
+        self,
+        reference,
+        config: ServeConfig | None = None,
+        *,
+        clock=time.monotonic,
+    ):
+        self.config = config or ServeConfig()
+        self._clock = clock
+        xyz = np.ascontiguousarray(np.asarray(reference, dtype=np.float64))
+        if xyz.ndim != 2 or xyz.shape[1] != 3:
+            raise ValueError("reference must have shape (N, 3)")
+        plan = make_plan(xyz, self.config.n_shards, self.config.sharding)
+        shards = tuple(
+            _ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
+                        global_ids=ids)
+            for ids in plan.global_ids
+        )
+        self._boot(plan, shards)
+
+    @classmethod
+    def from_snapshots(cls, directory, config: ServeConfig | None = None,
+                       *, clock=time.monotonic) -> "KnnServer":
+        """Warm-start from :meth:`save_snapshots` files — no rebuild.
+
+        ``config.n_shards`` must match the snapshot count (the default
+        config is widened to the snapshot count automatically when left
+        at 1).  Answers are bit-identical to the server that saved the
+        snapshots: the flat trees round-trip exactly.
+        """
+        from dataclasses import replace
+
+        from repro.kdtree.serialize import load_flat
+
+        paths = sorted(Path(directory).glob(_SNAPSHOT_GLOB))
+        if not paths:
+            raise FileNotFoundError(
+                f"no {_SNAPSHOT_GLOB} snapshots under {directory}"
+            )
+        config = config or ServeConfig()
+        if config.n_shards == 1 and len(paths) > 1:
+            config = replace(config, n_shards=len(paths))
+        if config.n_shards != len(paths):
+            raise ValueError(
+                f"config.n_shards={config.n_shards} but found "
+                f"{len(paths)} snapshot shards under {directory}"
+            )
+        shards = []
+        for path in paths:
+            flat, extra = load_flat(path, with_extra=True)
+            shards.append(_ShardState(
+                tree=flat,
+                global_ids=np.asarray(extra["global_ids"], dtype=np.int64),
+            ))
+        plan = ShardPlan(
+            strategy=config.sharding,
+            global_ids=tuple(s.global_ids for s in shards),
+        )
+        self = cls.__new__(cls)
+        self.config = config
+        self._clock = clock
+        self._boot(plan, tuple(shards))
+        return self
+
+    def _boot(self, plan: ShardPlan, shards: tuple[_ShardState, ...]) -> None:
+        self._plan = plan
+        self._shards = shards
+        self._generation = 0
+        self._swap_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._closed = False
+        self._inflight: set[_BatchJob] = set()
+        self._inflight_lock = threading.Lock()
+        self._batcher = MicroBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_delay_s=self.config.max_delay_s,
+            max_queue=self.config.max_queue,
+            clock=self._clock,
+        )
+        self._shard_queues = [queue.SimpleQueue() for _ in range(plan.n_shards)]
+        self._threads: list[threading.Thread] = []
+        for slot in range(plan.n_shards):
+            for replica in range(self.config.n_replicas):
+                t = threading.Thread(
+                    target=self._worker_loop, args=(slot,),
+                    name=f"serve-shard{slot}-r{replica}", daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True,
+        )
+        self._dispatcher.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-monitor", daemon=True,
+        )
+        self._monitor.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every warm handoff; reported on each response."""
+        return self._generation
+
+    def submit(self, queries, k: int, *, mode: str = "exact",
+               allow_degraded: bool = False) -> Future:
+        """Admit rows for service; returns a ``Future[ServeResponse]``.
+
+        Raises :class:`~repro.serve.errors.Overloaded` synchronously if
+        admission control sheds the request, and
+        :class:`~repro.serve.errors.ServerClosed` after :meth:`close`.
+        """
+        if mode not in ("exact", "approx"):
+            raise ValueError(f"mode must be 'exact' or 'approx', got {mode!r}")
+        if k < 1:
+            raise ValueError("k must be positive")
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or q.shape[1] != 3 or q.shape[0] == 0:
+            raise ValueError("queries must have shape (m, 3) with m >= 1")
+        request = ServeRequest(
+            xyz=np.ascontiguousarray(q), k=k, mode=mode,
+            allow_degraded=allow_degraded,
+        )
+        if self.config.request_timeout_s is not None:
+            request.deadline = self._clock() + self.config.request_timeout_s
+        try:
+            self._batcher.submit(request)
+        except Exception:
+            self._count("serve.shed", 1)
+            raise
+        self._count("serve.requests", 1)
+        self._count("serve.rows", request.n_rows)
+        return request.future
+
+    def query(self, queries, k: int, *, mode: str = "exact",
+              allow_degraded: bool = False,
+              timeout: float | None = None) -> ServeResponse:
+        """Blocking :meth:`submit`: wait for and return the response."""
+        return self.submit(
+            queries, k, mode=mode, allow_degraded=allow_degraded
+        ).result(timeout=timeout)
+
+    def update_reference(self, points) -> dict:
+        """Warm handoff: rebuild every shard from ``points``, swap atomically.
+
+        Queries keep being served against the old shard trees during
+        the rebuild; the swap is one tuple assignment, and in-flight
+        jobs finish on the snapshot they captured.  Returns a summary
+        (new generation, shard sizes, rebuild wall time).
+        """
+        xyz = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+        if xyz.ndim != 2 or xyz.shape[1] != 3:
+            raise ValueError("points must have shape (N, 3)")
+        started = self._clock()
+        plan = make_plan(xyz, self.config.n_shards, self.config.sharding)
+        obs = get_registry()
+        with self._obs_lock, obs.timer("serve.rebuild"):
+            shards = tuple(
+                _ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
+                            global_ids=ids)
+                for ids in plan.global_ids
+            )
+        with self._swap_lock:
+            self._plan = plan
+            self._shards = shards
+            self._generation += 1
+            generation = self._generation
+        self._count("serve.rebuilds", 1)
+        return {
+            "generation": generation,
+            "n_points": int(xyz.shape[0]),
+            "shard_sizes": [int(ids.size) for ids in plan.global_ids],
+            "rebuild_s": self._clock() - started,
+        }
+
+    def update_reference_async(self, points) -> Future:
+        """Run :meth:`update_reference` on a background thread."""
+        future: Future = Future()
+
+        def _run():
+            try:
+                future.set_result(self.update_reference(points))
+            except BaseException as exc:  # surfaced via the future
+                future.set_exception(exc)
+
+        threading.Thread(target=_run, name="serve-rebuild", daemon=True).start()
+        return future
+
+    def save_snapshots(self, directory) -> list[Path]:
+        """Persist every shard tree (plus its global-id map) under ``directory``.
+
+        One ``shard-NNN.npz`` per shard in :func:`~repro.kdtree.serialize.save_flat`
+        format with the id translation as an extra array;
+        :meth:`from_snapshots` restores a server answering bit-identically.
+        """
+        from repro.kdtree.serialize import save_flat
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._swap_lock:
+            shards = self._shards
+        paths = []
+        for slot, shard in enumerate(shards):
+            path = directory / f"shard-{slot:03d}.npz"
+            save_flat(shard.tree, path, extra={"global_ids": shard.global_ids})
+            paths.append(path)
+        return paths
+
+    def stats(self) -> dict:
+        """Operational snapshot: shards, queue, generation, config."""
+        with self._swap_lock:
+            plan = self._plan
+            generation = self._generation
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        return {
+            "plan": plan.describe(),
+            "generation": generation,
+            "queue_rows": self._batcher.depth(),
+            "inflight_jobs": inflight,
+            "degrade_level": self._degrade_level(self._batcher.fill_fraction()),
+            "n_worker_threads": len(self._threads),
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Stop serving: shed the queue, fail in-flight work, join threads."""
+        if self._closed:
+            return
+        self._closed = True
+        for request in self._batcher.close():
+            _try_set_exception(request.future, ServerClosed())
+        with self._inflight_lock:
+            jobs = list(self._inflight)
+            self._inflight.clear()
+        for job in jobs:
+            with job.lock:
+                job.finished = True
+                requests = list(job.requests)
+            for request in requests:
+                _try_set_exception(request.future, ServerClosed())
+        for q in self._shard_queues:
+            for _ in range(self.config.n_replicas):
+                q.put(None)
+        self._dispatcher.join(timeout=5.0)
+        self._monitor.join(timeout=5.0)
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "KnnServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Degradation policy
+    # ------------------------------------------------------------------
+    def _degrade_level(self, fill: float) -> int:
+        t1, t2, t3 = self.config.degrade_thresholds
+        if fill >= t3:
+            return 3
+        if fill >= t2:
+            return 2
+        if fill >= t1:
+            return 1
+        return 0
+
+    def _plan_budget(self, request: ServeRequest, level: int) -> tuple[int | None, str]:
+        """Map (request, load level) to an engine budget and a label."""
+        b = self.config.approx_budget
+        if request.mode == "approx":
+            budget = (b, b // 2, b // 4, 0)[level]
+            return budget, ("approx" if budget == b else "degraded")
+        if not request.allow_degraded or level == 0:
+            return None, "exact"
+        budget = (None, 4 * b, b, 0)[level]
+        return budget, "degraded"
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch(timeout=0.1)
+            if batch is None:
+                if self._closed:
+                    return
+                continue
+            try:
+                self._dispatch_batch(batch)
+            except Exception as exc:  # defensive: never kill the dispatcher
+                for request in batch:
+                    _try_set_exception(request.future, exc)
+                self._count("serve.errors", len(batch))
+
+    def _dispatch_batch(self, batch: list[ServeRequest]) -> None:
+        now = self._clock()
+        # Pressure at batch formation: the popped rows still count —
+        # measuring after the pop would let one large batch drain the
+        # signal and mask the very overload it represents.
+        batch_rows = sum(r.n_rows for r in batch)
+        fill = (batch_rows + self._batcher.depth()) / self.config.max_queue
+        level = self._degrade_level(fill)
+        obs = get_registry()
+        if obs.enabled:
+            with self._obs_lock:
+                obs.counter("serve.batches").inc()
+                obs.gauge("serve.queue_depth").set(self._batcher.depth())
+                obs.gauge("serve.degrade_level").set(level)
+                obs.distribution("serve.batch_fill").observe(batch_rows)
+
+        live: list[tuple[ServeRequest, int | None, str]] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                waited = now - request.arrival
+                if _try_set_exception(
+                    request.future,
+                    RequestTimeout(waited, self.config.request_timeout_s),
+                ):
+                    self._count("serve.timeouts", 1)
+                continue
+            budget, served = self._plan_budget(request, level)
+            live.append((request, budget, served))
+
+        groups: dict[tuple, list[tuple[ServeRequest, str]]] = {}
+        for request, budget, served in live:
+            groups.setdefault((request.k, budget), []).append((request, served))
+
+        with self._swap_lock:
+            shards = self._shards
+            generation = self._generation
+        for (k, budget), members in groups.items():
+            requests = [r for r, _ in members]
+            for request, served in members:
+                request.served = served
+            job = _BatchJob(
+                requests=requests,
+                q=np.concatenate([r.xyz for r in requests], axis=0),
+                k=k,
+                budget=budget,
+                shards=shards,
+                generation=generation,
+                degrade_level=level,
+                dispatched_at=now,
+            )
+            with self._inflight_lock:
+                self._inflight.add(job)
+            for slot, shard_queue in enumerate(self._shard_queues):
+                shard_queue.put((job, slot))
+
+    # ------------------------------------------------------------------
+    # Shard workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, slot: int) -> None:
+        shard_queue = self._shard_queues[slot]
+        while True:
+            task = shard_queue.get()
+            if task is None:
+                return
+            job, _ = task
+            with job.lock:
+                if job.finished or job.shard_done[slot]:
+                    continue  # hedge lost the race, or job already failed
+            try:
+                result = self._run_shard(job, slot)
+            except Exception as exc:
+                self._handle_shard_error(job, slot, exc)
+                continue
+            last = False
+            with job.lock:
+                if not job.finished and not job.shard_done[slot]:
+                    job.shard_done[slot] = True
+                    job.results[slot] = result
+                    job.n_done += 1
+                    last = job.n_done == len(job.shards)
+            if last:
+                self._finish_job(job)
+
+    def _run_shard(self, job: _BatchJob, slot: int):
+        shard = job.shards[slot]
+        if job.budget is None:
+            result, _ = knn_exact_batched(shard.tree, job.q, job.k)
+        elif job.budget == 0:
+            result = knn_approx_batched(shard.tree, job.q, job.k)
+        else:
+            result, _ = knn_exact_batched(
+                shard.tree, job.q, job.k, max_visits=job.budget
+            )
+        local = result.indices
+        translated = shard.global_ids[local]
+        translated[local == PAD_INDEX] = PAD_INDEX
+        return translated, result.distances
+
+    def _handle_shard_error(self, job: _BatchJob, slot: int, exc: Exception) -> None:
+        with job.lock:
+            if job.finished or job.shard_done[slot]:
+                return
+            job.attempts[slot] += 1
+            retry = job.attempts[slot] <= self.config.max_retries
+            if not retry:
+                job.finished = True
+        if retry:
+            self._count("serve.retries", 1)
+            self._shard_queues[slot].put((job, slot))
+            return
+        self._drop_inflight(job)
+        for request in job.requests:
+            _try_set_exception(request.future, exc)
+        self._count("serve.errors", len(job.requests))
+
+    def _finish_job(self, job: _BatchJob) -> None:
+        with job.lock:
+            if job.finished:
+                return
+            job.finished = True
+        self._drop_inflight(job)
+        parts = job.results
+        indices, distances = merge_topk(
+            [p[0] for p in parts], [p[1] for p in parts], job.k
+        )
+        now = self._clock()
+        obs = get_registry()
+        row = 0
+        for request in job.requests:
+            rows = slice(row, row + request.n_rows)
+            row += request.n_rows
+            response = ServeResponse(
+                indices=indices[rows],
+                distances=distances[rows],
+                mode=request.mode,
+                served=request.served,
+                degrade_level=job.degrade_level,
+                budget=job.budget,
+                latency_s=now - request.arrival,
+                generation=job.generation,
+            )
+            if _try_set_result(request.future, response):
+                if obs.enabled:
+                    with self._obs_lock:
+                        obs.histogram("serve.latency_ms").observe(
+                            response.latency_s * 1e3
+                        )
+                        obs.counter("serve.completed").inc()
+                        if response.degraded:
+                            obs.counter("serve.degraded").inc()
+
+    def _drop_inflight(self, job: _BatchJob) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(job)
+
+    # ------------------------------------------------------------------
+    # Monitor: timeouts and hedging
+    # ------------------------------------------------------------------
+    def _monitor_tick(self) -> None:
+        now = self._clock()
+        for request in self._batcher.expire(now):
+            if _try_set_exception(
+                request.future,
+                RequestTimeout(now - request.arrival, self.config.request_timeout_s),
+            ):
+                self._count("serve.timeouts", 1)
+        with self._inflight_lock:
+            jobs = list(self._inflight)
+        for job in jobs:
+            for request in job.requests:
+                if (
+                    request.deadline is not None
+                    and now >= request.deadline
+                    and not request.future.done()
+                ):
+                    if _try_set_exception(
+                        request.future,
+                        RequestTimeout(
+                            now - request.arrival, self.config.request_timeout_s
+                        ),
+                    ):
+                        self._count("serve.timeouts", 1)
+            hedge_after = self.config.hedge_delay_s
+            if hedge_after is None:
+                continue
+            if now - job.dispatched_at < hedge_after:
+                continue
+            for slot in range(len(job.shards)):
+                fire = False
+                with job.lock:
+                    if (
+                        not job.finished
+                        and not job.shard_done[slot]
+                        and not job.hedged[slot]
+                    ):
+                        job.hedged[slot] = True
+                        fire = True
+                if fire:
+                    self._count("serve.hedges", 1)
+                    self._shard_queues[slot].put((job, slot))
+
+    def _monitor_loop(self) -> None:
+        horizons = [
+            h for h in (self.config.hedge_delay_s, self.config.request_timeout_s)
+            if h is not None
+        ]
+        tick = min(min(horizons) / 4 if horizons else 0.05, 0.05)
+        tick = max(tick, 0.001)
+        while not self._closed:
+            time.sleep(tick)
+            try:
+                self._monitor_tick()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, n: int) -> None:
+        obs = get_registry()
+        if obs.enabled:
+            with self._obs_lock:
+                obs.counter(name).inc(n)

@@ -1,0 +1,122 @@
+"""Point sharding and cross-shard top-k merging.
+
+A shard plan partitions the reference cloud's point ids into disjoint
+subsets; each shard builds its own k-d tree over its subset and every
+query fans out to all shards.  Because the engine reports exact
+float64 distances computed by the same kernel regardless of which
+shard holds a point, merging the per-shard top-k lists recovers the
+global top-k *distances* bit-identically for any shard count: a shard
+can only cut a candidate at its local k boundary when it keeps another
+candidate at exactly the same distance, so the merged distance rows
+always equal the single-index exact answer.  :func:`merge_topk` orders
+each row canonically — ascending distance, ties broken by ascending
+point id — which also pins the *indices* whenever a row has no
+exact-duplicate distances.  The one remaining freedom is which of
+several exactly-tied candidates straddling a k boundary gets reported
+(they are interchangeable by construction); everything else is
+deterministic and shard-count invariant.
+
+Two strategies:
+
+* ``round-robin`` — point ``i`` goes to shard ``i % S``.  Perfectly
+  balanced, and each shard sees a spatially representative thinned
+  cloud (the QuickNN paper's parallel traversal units share one tree;
+  this is the share-nothing software analogue).
+* ``spatial`` — recursive median cuts along the widest extent, the
+  FractalCloud-style partitioning: shards are compact cells, so a
+  shard's k-th distance is a tight bound and its top-k list rarely
+  contributes more than the cell boundary region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kdtree.search import PAD_INDEX
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Disjoint global point-id sets, one per shard."""
+
+    strategy: str
+    global_ids: tuple[np.ndarray, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.global_ids)
+
+    @property
+    def n_points(self) -> int:
+        return sum(ids.size for ids in self.global_ids)
+
+    def describe(self) -> dict:
+        sizes = [int(ids.size) for ids in self.global_ids]
+        return {
+            "strategy": self.strategy,
+            "n_shards": self.n_shards,
+            "n_points": self.n_points,
+            "min_shard_points": min(sizes),
+            "max_shard_points": max(sizes),
+        }
+
+
+def make_plan(xyz: np.ndarray, n_shards: int, strategy: str) -> ShardPlan:
+    """Partition ``(N, 3)`` points into ``n_shards`` disjoint id sets."""
+    n = xyz.shape[0]
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    if n < n_shards:
+        raise ValueError(f"cannot split {n} points into {n_shards} shards")
+    if strategy == "round-robin":
+        ids = tuple(np.arange(s, n, n_shards, dtype=np.int64) for s in range(n_shards))
+    elif strategy == "spatial":
+        ids = _spatial_split(xyz, n_shards)
+    else:
+        raise ValueError(
+            f"unknown sharding {strategy!r}; expected 'round-robin' or 'spatial'"
+        )
+    return ShardPlan(strategy=strategy, global_ids=ids)
+
+
+def _spatial_split(xyz: np.ndarray, n_shards: int) -> tuple[np.ndarray, ...]:
+    """Recursive median cuts: split the largest cell at its widest axis."""
+    cells: list[np.ndarray] = [np.arange(xyz.shape[0], dtype=np.int64)]
+    while len(cells) < n_shards:
+        largest = max(range(len(cells)), key=lambda c: cells[c].size)
+        ids = cells.pop(largest)
+        coords = xyz[ids]
+        axis = int(np.argmax(coords.max(axis=0) - coords.min(axis=0)))
+        order = np.argsort(coords[:, axis], kind="stable")
+        half = ids.size // 2
+        cells.append(np.sort(ids[order[:half]]))
+        cells.append(np.sort(ids[order[half:]]))
+    return tuple(cells)
+
+
+def merge_topk(
+    indices_parts: list[np.ndarray],
+    distances_parts: list[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise k-smallest merge of per-shard top-k lists.
+
+    Inputs are ``(M, k_s)`` global point indices (``-1`` padding) and
+    matching float64 distances (``inf`` padding), one pair per shard.
+    Rows of the output are in canonical order — ascending distance,
+    ties broken by ascending point id, padding last — implemented as
+    two stable argsorts (secondary key first).  Shards partition the
+    points, so no id appears twice and the merged set is the global
+    top-k whenever each shard list is its local top-k.
+    """
+    cat_idx = np.concatenate(indices_parts, axis=1)
+    cat_dst = np.concatenate(distances_parts, axis=1)
+    o1 = np.argsort(cat_idx, axis=1, kind="stable")
+    o2 = np.argsort(np.take_along_axis(cat_dst, o1, axis=1), axis=1, kind="stable")
+    order = np.take_along_axis(o1, o2, axis=1)[:, :k]
+    idx = np.take_along_axis(cat_idx, order, axis=1)
+    dst = np.take_along_axis(cat_dst, order, axis=1)
+    idx[np.isinf(dst)] = PAD_INDEX
+    return np.ascontiguousarray(idx), np.ascontiguousarray(dst)

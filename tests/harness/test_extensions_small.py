@@ -90,3 +90,18 @@ class TestIcpRegistration:
         assert len(result.rows) == 3
         assert result.shape_checks["every backend converges"]
         assert result.shape_checks["approx recovers the pose"]
+
+
+class TestServeLoad:
+    def test_small(self):
+        from repro.harness.exp_serve import serve_load
+
+        result = serve_load(
+            n_points=3_000, n_queries=256, concurrency=16, n_shards=2
+        )
+        assert len(result.rows) == 4  # three closed-loop arms + overload
+        assert result.shape_checks["zero errored requests in every arm"]
+        assert result.shape_checks[
+            "sharded serving bit-identical to unsharded exact engine"
+        ]
+        assert result.shape_checks["overload sheds typed rejections"]

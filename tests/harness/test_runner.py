@@ -142,6 +142,24 @@ class TestWorkers:
         assert "single process" in capsys.readouterr().err
         assert stubbed == []
 
+    def test_workers_reject_tracing(self, stubbed, tmp_path, capsys):
+        # --trace shares the per-process registry constraint with --profile:
+        # both must be refused under --workers, not silently half-recorded.
+        code = runner.main(
+            ["run", "fig3", "--workers", "2", "--trace", str(tmp_path / "t.json")]
+        )
+        assert code == 2
+        assert "single process" in capsys.readouterr().err
+        assert stubbed == []
+        assert not (tmp_path / "t.json").exists()
+
+    def test_workers_help_documents_profiling_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["run", "--help"])
+        out = " ".join(capsys.readouterr().out.split())
+        assert "incompatible with --profile/--trace" in out
+        assert out.count("rejected with --workers > 1") == 2
+
     def test_workers_must_be_positive(self, stubbed, capsys):
         assert runner.main(["run", "fig3", "--workers", "0"]) == 2
         assert stubbed == []

@@ -157,3 +157,85 @@ class TestExactIdentity:
         slow = knn_approx_loop(new_tree, queries, 4)
         assert np.array_equal(fast.indices, slow.indices)
         assert np.array_equal(fast.distances, slow.distances)
+
+
+class TestVisitBudget:
+    """The max_visits knob: bounded backtracking for graceful degradation."""
+
+    def test_zero_budget_equals_approx(self, workload):
+        tree, _, queries = workload
+        budgeted, _ = knn_exact_batched(tree, queries, 8, max_visits=0)
+        approx = knn_approx_batched(tree.flat(), queries, 8)
+        assert np.array_equal(budgeted.indices, approx.indices)
+        assert np.array_equal(budgeted.distances, approx.distances)
+
+    def test_unbounded_budget_is_exact(self, workload):
+        tree, _, queries = workload
+        exact, _ = knn_exact_batched(tree, queries, 8)
+        huge, _ = knn_exact_batched(tree, queries, 8, max_visits=10**9)
+        assert np.array_equal(exact.indices, huge.indices)
+        assert np.array_equal(exact.distances, huge.distances)
+
+    def test_recall_monotone_in_budget(self, workload):
+        tree, ref, queries = workload
+        exact, _ = knn_exact_batched(tree, queries, 8)
+        recalls = []
+        for budget in (0, 1, 4, 16):
+            got, _ = knn_exact_batched(tree, queries, 8, max_visits=budget)
+            hits = sum(
+                np.intersect1d(got.indices[i], exact.indices[i]).size
+                for i in range(queries.shape[0])
+            )
+            recalls.append(hits / exact.indices.size)
+        assert recalls == sorted(recalls)
+        assert recalls[-1] > recalls[0]
+
+    def test_budget_bounds_visits(self, workload):
+        tree, _, queries = workload
+        _, visits = knn_exact_batched(tree, queries, 8, max_visits=3)
+        # home leaf + at most 3 budgeted extra buckets
+        assert visits.max() <= 4
+
+    def test_negative_budget_rejected(self, workload):
+        tree, _, queries = workload
+        with pytest.raises(ValueError, match="max_visits"):
+            knn_exact_batched(tree, queries, 8, max_visits=-1)
+
+
+class TestSelectionTieOverflow:
+    """Boundary ties wider than SELECT_PAD must not drop a true neighbor.
+
+    An unsplittable bucket of duplicates collapses to one float32
+    selection score; with more tied candidates than the pad holds,
+    argpartition used to pick an arbitrary subset and could exclude a
+    strictly closer point whose margin (here 2^-9 in z) is representable
+    in float64 but below float32 resolution at the centered magnitude.
+    """
+
+    @pytest.fixture()
+    def degenerate(self):
+        g = np.float64(2.0) ** -9
+        points = np.full((128, 3), g)
+        points[0] = [g, g, 0.0]            # the strictly nearest point
+        points[1] = [-997.0, 69.0, 0.0]    # outlier: inflates the centered scale
+        points[2] = [-322.0, 1.0, g]
+        tree, _ = build_tree(points, KdTreeConfig(bucket_capacity=8))
+        return points, tree
+
+    def test_approx_self_query_finds_duplicate_buried_point(self, degenerate):
+        points, tree = degenerate
+        result = knn_approx_batched(tree.flat(), points[0][None, :], 1)
+        assert result.indices[0, 0] == 0
+        assert result.distances[0, 0] == 0.0
+
+    def test_exact_self_query_finds_duplicate_buried_point(self, degenerate):
+        points, tree = degenerate
+        result, _ = knn_exact_batched(tree, points[0][None, :], 1)
+        assert result.indices[0, 0] == 0
+        assert result.distances[0, 0] == 0.0
+
+    def test_exact_matches_loop_path_on_duplicate_cloud(self, degenerate):
+        points, tree = degenerate
+        batched, _ = knn_exact_batched(tree, points[:8], 4)
+        loop = knn_exact(tree, points[:8], 4, engine=False)
+        assert np.array_equal(batched.distances, loop.distances)

@@ -149,7 +149,7 @@ class TestViews:
         reg = MetricsRegistry()
         reg.counter("a").inc()
         snap = reg.snapshot()
-        assert set(snap) == {"counters", "gauges", "distributions"}
+        assert set(snap) == {"counters", "gauges", "distributions", "histograms"}
         assert snap["counters"] == {"a": 1}
 
     def test_reset_clears_everything(self):
@@ -173,9 +173,13 @@ class TestNullRegistry:
             with reg.timer("t"):
                 reg.sample("s", 3.0)
         reg.ingest({"a": 1})
+        reg.histogram("h").observe(4.0)
+        assert reg.histogram("h").percentile(50) == 0.0
         assert reg.as_dict() == {}
         assert reg.events == []
-        assert reg.snapshot() == {"counters": {}, "gauges": {}, "distributions": {}}
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "distributions": {}, "histograms": {}
+        }
 
 
 class TestActivation:

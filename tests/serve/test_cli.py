@@ -1,0 +1,63 @@
+"""quicknn-serve CLI: subcommands, JSON artifacts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.serve import cli
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_bench_defaults(self):
+        args = cli.build_parser().parse_args(["bench"])
+        assert args.points == 30_000
+        assert args.concurrency == 64
+
+    def test_smoke_implies_fail_on_errors(self):
+        args = cli.build_parser().parse_args(["smoke"])
+        assert args.fail_on_errors is True
+
+
+class TestBench:
+    def test_small_bench_writes_json(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = cli.main([
+            "bench", "--points", "2000", "--queries", "256",
+            "--concurrency", "16", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        bench = payload["bench"]
+        assert bench["one_at_a_time"]["errors"] == 0
+        assert bench["micro_batched"]["errors"] == 0
+        assert bench["speedup"] > 0
+        assert any(k.startswith("serve.") for k in payload["metrics"])
+
+
+class TestLoad:
+    def test_small_load_writes_json(self, tmp_path):
+        out = tmp_path / "load.json"
+        code = cli.main([
+            "load", "--points", "2000", "--rate", "300",
+            "--duration", "0.5", "--json", str(out), "--fail-on-errors",
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["load"]["errors"] == 0
+        assert payload["load"]["completed"] > 0
+        assert payload["load"]["latency_ms"]["p99"] >= 0
+        assert payload["metrics"]["serve.completed"] == payload["load"]["completed"]
+
+    def test_smoke_preset_runs(self, tmp_path, capsys):
+        out = tmp_path / "smoke.json"
+        code = cli.main([
+            "smoke", "--points", "2000", "--rate", "300",
+            "--duration", "0.4", "--json", str(out),
+        ])
+        assert code == 0
+        assert "errors 0" in capsys.readouterr().out
+        assert out.exists()

@@ -1,0 +1,100 @@
+"""Load generator: closed-loop, open-loop, and report accounting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.serve import KnnServer, ServeConfig, run_closed_loop, run_open_loop
+from repro.serve.loadgen import LoadgenReport
+
+
+@pytest.fixture(scope="module")
+def served():
+    rng = np.random.default_rng(5)
+    ref = uniform_cloud(3_000, rng=rng).xyz
+    queries = uniform_cloud(128, rng=rng).xyz
+    return ref, queries
+
+
+class TestClosedLoop:
+    def test_every_row_offered_once_and_answered(self, served):
+        ref, queries = served
+        with KnnServer(ref) as server:
+            report = run_closed_loop(
+                server, queries, 4, concurrency=4, rows_per_request=8
+            )
+        assert report.mode == "closed-loop"
+        assert report.offered == 16  # 128 rows / 8 per request
+        assert report.completed == 16
+        assert report.rows_completed == 128
+        assert report.shed == report.timed_out == report.errors == 0
+        assert report.throughput_qps > 0
+        assert len(report.latencies_ms) == 16
+
+    def test_concurrency_one_is_sequential(self, served):
+        ref, queries = served
+        with KnnServer(ref) as server:
+            report = run_closed_loop(server, queries[:16], 4, concurrency=1)
+        assert report.completed == 16
+
+    def test_rejects_bad_concurrency(self, served):
+        ref, queries = served
+        with KnnServer(ref) as server:
+            with pytest.raises(ValueError, match="concurrency"):
+                run_closed_loop(server, queries, 4, concurrency=0)
+
+
+class TestOpenLoop:
+    def test_poisson_load_completes(self, served):
+        ref, queries = served
+        with KnnServer(ref) as server:
+            report = run_open_loop(
+                server, queries, 4, rate_qps=400.0, duration_s=0.5, seed=1
+            )
+        assert report.mode == "open-loop"
+        assert report.offered > 0
+        assert report.completed > 0
+        assert report.errors == 0
+        assert report.completed + report.shed + report.timed_out <= report.offered
+
+    def test_overload_sheds_typed(self, served):
+        ref, queries = served
+        config = ServeConfig(max_queue=8, request_timeout_s=None)
+        with KnnServer(ref, config) as server:
+            report = run_open_loop(
+                server, queries, 4, rate_qps=20_000.0, duration_s=0.3, seed=2
+            )
+        assert report.shed > 0
+        assert report.errors == 0  # overload is shed, never errored
+
+    def test_rejects_bad_args(self, served):
+        ref, queries = served
+        with KnnServer(ref) as server:
+            with pytest.raises(ValueError, match="rate_qps"):
+                run_open_loop(server, queries, 4, rate_qps=0, duration_s=1)
+            with pytest.raises(ValueError, match="duration_s"):
+                run_open_loop(server, queries, 4, rate_qps=10, duration_s=0)
+
+
+class TestReport:
+    def test_percentiles_and_dict(self):
+        report = LoadgenReport(
+            mode="closed-loop", duration_s=2.0, offered=4, completed=4,
+            shed=0, timed_out=0, errors=0, degraded=1, rows_completed=8,
+            latencies_ms=[1.0, 2.0, 3.0, 4.0],
+        )
+        assert report.throughput_qps == 4.0
+        assert report.percentile(50) == 2.5
+        payload = report.as_dict()
+        assert payload["latency_ms"]["p50"] == 2.5
+        assert payload["latency_ms"]["mean"] == 2.5
+        assert payload["degraded"] == 1
+
+    def test_empty_report(self):
+        report = LoadgenReport(
+            mode="open-loop", duration_s=0.0, offered=0, completed=0,
+            shed=0, timed_out=0, errors=0, degraded=0, rows_completed=0,
+        )
+        assert report.throughput_qps == 0.0
+        assert report.percentile(99) == 0.0
+        assert report.as_dict()["latency_ms"]["mean"] == 0.0
