@@ -61,15 +61,15 @@ class _KdTreeIndex:
         return self
 
     def save_snapshot(self, path) -> None:
-        """Write the flat layout to ``path`` (``save_flat`` format).
+        """Write the flat layout to ``path`` (``Snapshot`` format).
 
         The snapshot round-trips the engine's structure-of-arrays
         bit-identically, so :meth:`from_snapshot` warm-starts an index
         whose batched queries answer exactly as this one's.
         """
-        from repro.kdtree.serialize import save_flat
+        from repro.kdtree.snapshot import Snapshot
 
-        save_flat(self._tree.flat(), path)
+        Snapshot.from_flat(self._tree.flat()).save(path)
 
     @classmethod
     def from_snapshot(cls, path, *, tree: KdTreeConfig | None = None):
@@ -82,7 +82,7 @@ class _KdTreeIndex:
         backends (``kd-approx`` / ``kd-exact``); the BBF backend walks
         the node objects a snapshot does not store.
         """
-        from repro.kdtree.serialize import load_flat
+        from repro.kdtree.snapshot import Snapshot
 
         if cls is KdBbfIndex:
             raise NotImplementedError(
@@ -91,7 +91,7 @@ class _KdTreeIndex:
             )
         self = cls.__new__(cls)
         self.tree_config = tree or KdTreeConfig()
-        self._tree = load_flat(path)
+        self._tree = Snapshot.load(path).to_flat()
         self._trace = None
         return self
 

@@ -41,6 +41,7 @@ from repro.kdtree.serialize import (
     tree_from_arrays,
     tree_to_arrays,
 )
+from repro.kdtree.snapshot import Snapshot
 from repro.kdtree.stats import TreeStats, node_access_probability, tree_stats
 from repro.kdtree.validate import TreeInvariantError, check_tree
 
@@ -56,6 +57,7 @@ __all__ = [
     "NO_NODE",
     "PAD_INDEX",
     "QueryResult",
+    "Snapshot",
     "TreeInvariantError",
     "TreeStats",
     "UpdateTrace",

@@ -9,44 +9,27 @@ Two formats live here:
 * :func:`save_tree` / :func:`load_tree` — the node-and-pointer
   :class:`~repro.kdtree.node.KdTree` (object graph reconstructed on
   load; what the arch models and per-query searches consume).
-* :func:`save_flat` / :func:`load_flat` — a
-  :class:`~repro.kdtree.engine.FlatKdTree` snapshot, stored exactly as
-  the engine's structure-of-arrays layout so the round trip is
-  bit-identical array for array.  This is the warm-start path: a
-  serving worker (or an index adapter via
-  :meth:`repro.index.KdApproxIndex.from_snapshot`) loads the arrays
-  and is immediately queryable, no rebuild.
+* :func:`save_flat` / :func:`load_flat` — **deprecated** wrappers over
+  :class:`repro.kdtree.snapshot.Snapshot`, the unified flat-tree
+  snapshot handle both the disk and shared-memory transports consume.
+  The wrappers keep reading and writing the identical ``.npz`` format,
+  so existing snapshot files (and code) keep working while emitting a
+  ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import io
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.kdtree.engine import FlatKdTree
 from repro.kdtree.node import KdNode, KdTree
+from repro.kdtree.snapshot import Snapshot
 
 _FORMAT_VERSION = 1
-_FLAT_FORMAT_VERSION = 1
-
-#: The structural arrays of a FlatKdTree, in constructor order.
-_FLAT_FIELDS = (
-    "points",
-    "dim",
-    "threshold",
-    "left",
-    "right",
-    "is_leaf",
-    "bucket_id",
-    "bucket_offsets",
-    "bucket_members",
-)
-
-#: Prefix for caller-supplied side arrays in a flat snapshot (the serve
-#: layer stores each shard's global point ids this way).
-_EXTRA_PREFIX = "extra_"
 
 
 def tree_to_arrays(tree: KdTree) -> dict[str, np.ndarray]:
@@ -130,27 +113,28 @@ def load_tree(path: str | Path | io.IOBase) -> KdTree:
 
 
 # ----------------------------------------------------------------------
-# FlatKdTree snapshots (warm-start format)
+# FlatKdTree snapshots — deprecated wrappers over repro.kdtree.snapshot
 # ----------------------------------------------------------------------
-def flat_to_arrays(flat: FlatKdTree) -> dict[str, np.ndarray]:
-    """Flatten a :class:`FlatKdTree` into its ``.npz`` payload.
+def _snapshot_deprecated(old: str, new: str) -> None:
+    # stacklevel=3: warn -> this helper -> wrapper -> caller.
+    warnings.warn(
+        f"repro.kdtree.serialize.{old} is deprecated; use "
+        f"repro.kdtree.snapshot.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    The payload holds the structural arrays verbatim (the lazy
-    selection-stage artifacts are derived, so they are not stored) —
-    :func:`flat_from_arrays` gives back bit-identical arrays.
-    """
-    out = {"flat_version": np.array([_FLAT_FORMAT_VERSION], dtype=np.int64)}
-    for name in _FLAT_FIELDS:
-        out[name] = getattr(flat, name)
-    return out
+
+def flat_to_arrays(flat: FlatKdTree) -> dict[str, np.ndarray]:
+    """Deprecated: use :meth:`repro.kdtree.snapshot.Snapshot.to_payload`."""
+    _snapshot_deprecated("flat_to_arrays", "Snapshot.from_flat(...).to_payload()")
+    return Snapshot.from_flat(flat).to_payload()
 
 
 def flat_from_arrays(arrays: dict[str, np.ndarray]) -> FlatKdTree:
-    """Rebuild a :class:`FlatKdTree` from :func:`flat_to_arrays` output."""
-    version = int(arrays["flat_version"][0])
-    if version != _FLAT_FORMAT_VERSION:
-        raise ValueError(f"unsupported flat tree format version {version}")
-    return FlatKdTree.from_arrays(**{name: arrays[name] for name in _FLAT_FIELDS})
+    """Deprecated: use :meth:`repro.kdtree.snapshot.Snapshot.from_payload`."""
+    _snapshot_deprecated("flat_from_arrays", "Snapshot.from_payload(...).to_flat()")
+    return Snapshot.from_payload(arrays).to_flat()
 
 
 def save_flat(
@@ -159,37 +143,21 @@ def save_flat(
     *,
     extra: dict[str, np.ndarray] | None = None,
 ) -> None:
-    """Write a flat-tree snapshot to an ``.npz`` file (or stream).
+    """Deprecated: use :meth:`repro.kdtree.snapshot.Snapshot.save`.
 
-    ``extra`` attaches caller-owned side arrays (returned by
-    ``load_flat(path, with_extra=True)``); names must not collide with
-    the structural fields.
+    Writes the identical ``.npz`` format (``Snapshot.load`` reads old
+    ``save_flat`` files and vice versa).
     """
-    payload = flat_to_arrays(flat)
-    for name, value in (extra or {}).items():
-        if name in payload:
-            raise ValueError(f"extra array name {name!r} collides with a flat field")
-        payload[_EXTRA_PREFIX + name] = np.asarray(value)
-    np.savez_compressed(path, **payload)
+    _snapshot_deprecated("save_flat", "Snapshot.from_flat(...).save(path)")
+    Snapshot.from_flat(flat, extra=extra).save(path)
 
 
 def load_flat(
     path: str | Path | io.IOBase, *, with_extra: bool = False
 ) -> FlatKdTree | tuple[FlatKdTree, dict[str, np.ndarray]]:
-    """Read a snapshot written by :func:`save_flat`.
-
-    With ``with_extra=True`` returns ``(flat, extras)`` where
-    ``extras`` maps the names passed to ``save_flat(extra=...)`` back
-    to their arrays.
-    """
-    with np.load(path) as payload:
-        arrays = {key: payload[key] for key in payload.files}
-    flat = flat_from_arrays(arrays)
+    """Deprecated: use :meth:`repro.kdtree.snapshot.Snapshot.load`."""
+    _snapshot_deprecated("load_flat", "Snapshot.load(path)")
+    snap = Snapshot.load(path)
     if not with_extra:
-        return flat
-    extras = {
-        key[len(_EXTRA_PREFIX):]: value
-        for key, value in arrays.items()
-        if key.startswith(_EXTRA_PREFIX)
-    }
-    return flat, extras
+        return snap.to_flat()
+    return snap.to_flat(), dict(snap.extras)

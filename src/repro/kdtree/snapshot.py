@@ -1,0 +1,146 @@
+"""Unified flat-tree snapshot handle: one format, two transports.
+
+A :class:`Snapshot` is the portable form of a
+:class:`~repro.kdtree.engine.FlatKdTree`: the structural arrays of the
+engine's structure-of-arrays layout, plus caller-owned side arrays
+(``extras`` — the serve layer stores each shard's global point ids
+this way), under a versioned header.  It is the single currency every
+snapshot path consumes:
+
+* **disk** — :meth:`Snapshot.save` / :meth:`Snapshot.load` write the
+  ``.npz`` format historically produced by
+  :func:`repro.kdtree.serialize.save_flat` (which now delegates here
+  and is deprecated), so old snapshot files keep loading and new files
+  keep loading in old readers.
+* **shared memory** — :meth:`Snapshot.to_payload` flattens the
+  snapshot into one ``{name: array}`` dict that
+  :mod:`repro.serve.shm` lays out in a ``multiprocessing.shared_memory``
+  segment; :meth:`Snapshot.from_payload` reassembles the handle from
+  the zero-copy views a worker process attaches.
+
+The round trip is bit-identical array for array in both transports:
+the arrays are stored verbatim, and the lazy selection-stage artifacts
+of :class:`FlatKdTree` are derived, never serialized.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.kdtree.engine import FlatKdTree
+
+#: Version stamped into every payload header.  Version 1 is the PR 5
+#: ``save_flat`` layout; this module reads and writes it unchanged so
+#: snapshots interoperate across the rename.
+FORMAT_VERSION = 1
+
+#: Header key carrying the format version (kept from the original
+#: ``save_flat`` payload for backward/forward compatibility).
+_VERSION_KEY = "flat_version"
+
+#: The structural arrays of a FlatKdTree, in constructor order.
+FLAT_FIELDS = (
+    "points",
+    "dim",
+    "threshold",
+    "left",
+    "right",
+    "is_leaf",
+    "bucket_id",
+    "bucket_offsets",
+    "bucket_members",
+)
+
+#: Prefix namespacing caller-supplied side arrays in a payload.
+EXTRA_PREFIX = "extra_"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A serialized-form flat k-d tree plus caller-owned side arrays.
+
+    ``arrays`` maps every name in :data:`FLAT_FIELDS` to its array;
+    ``extras`` carries side data (name-spaced on the wire with
+    ``extra_``).  Instances are cheap handles over the arrays — no
+    copies are taken on construction, so a snapshot built from
+    shared-memory views stays zero-copy until the engine derives its
+    query-stage artifacts.
+    """
+
+    arrays: dict[str, np.ndarray]
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def __post_init__(self):
+        missing = [name for name in FLAT_FIELDS if name not in self.arrays]
+        if missing:
+            raise ValueError(f"snapshot is missing structural arrays {missing}")
+        for name in self.extras:
+            if name in FLAT_FIELDS or name == _VERSION_KEY:
+                raise ValueError(
+                    f"extra array name {name!r} collides with a structural field"
+                )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_flat(
+        cls, flat: FlatKdTree, *, extra: dict[str, np.ndarray] | None = None
+    ) -> "Snapshot":
+        """Capture a queryable tree (structural arrays only, no copies)."""
+        arrays = {name: getattr(flat, name) for name in FLAT_FIELDS}
+        extras = {name: np.asarray(value) for name, value in (extra or {}).items()}
+        return cls(arrays=arrays, extras=extras)
+
+    def to_flat(self) -> FlatKdTree:
+        """Reassemble the queryable engine tree over these arrays."""
+        return FlatKdTree.from_arrays(**{n: self.arrays[n] for n in FLAT_FIELDS})
+
+    # -- flat payload (the wire format both transports share) ----------
+    def to_payload(self) -> dict[str, np.ndarray]:
+        """One flat ``{name: array}`` dict: header + fields + extras."""
+        payload = {_VERSION_KEY: np.array([self.version], dtype=np.int64)}
+        payload.update({name: self.arrays[name] for name in FLAT_FIELDS})
+        for name, value in self.extras.items():
+            payload[EXTRA_PREFIX + name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, np.ndarray]) -> "Snapshot":
+        """Inverse of :meth:`to_payload`; validates the version header."""
+        if _VERSION_KEY not in payload:
+            raise ValueError("payload has no snapshot version header")
+        version = int(np.asarray(payload[_VERSION_KEY]).ravel()[0])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported flat tree format version {version}")
+        arrays = {n: payload[n] for n in FLAT_FIELDS if n in payload}
+        extras = {
+            key[len(EXTRA_PREFIX):]: value
+            for key, value in payload.items()
+            if key.startswith(EXTRA_PREFIX)
+        }
+        return cls(arrays=arrays, extras=extras, version=version)
+
+    # -- disk transport ------------------------------------------------
+    def save(self, path: str | Path | io.IOBase) -> None:
+        """Write the ``.npz`` snapshot file (or writable binary stream)."""
+        np.savez_compressed(path, **self.to_payload())
+
+    @classmethod
+    def load(cls, path: str | Path | io.IOBase) -> "Snapshot":
+        """Read a snapshot written by :meth:`save` (or legacy ``save_flat``)."""
+        with np.load(path) as payload:
+            return cls.from_payload({key: payload[key] for key in payload.files})
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return int(self.arrays["points"].shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (what a shared-memory segment must hold)."""
+        return sum(a.nbytes for a in self.to_payload().values())

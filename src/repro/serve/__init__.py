@@ -19,15 +19,33 @@ See ``docs/serving.md`` for the architecture and the knob catalogue,
 and the ``quicknn-serve`` CLI for load generation.
 """
 
+from repro.serve.backends import (
+    ExecutionBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from repro.serve.batcher import MicroBatcher, ServeRequest
-from repro.serve.config import DEFAULT_DEGRADE_THRESHOLDS, ServeConfig
-from repro.serve.errors import Overloaded, RequestTimeout, ServeError, ServerClosed
+from repro.serve.config import (
+    DEFAULT_DEGRADE_THRESHOLDS,
+    ExecutionConfig,
+    ServeConfig,
+)
+from repro.serve.errors import (
+    Overloaded,
+    RequestTimeout,
+    ServeError,
+    ServerClosed,
+    WorkerError,
+)
 from repro.serve.loadgen import LoadgenReport, run_closed_loop, run_open_loop
 from repro.serve.server import KnnServer, ServeResponse
-from repro.serve.sharding import ShardPlan, make_plan, merge_topk
+from repro.serve.sharding import ShardPlan, ShardState, make_plan, merge_topk
 
 __all__ = [
     "DEFAULT_DEGRADE_THRESHOLDS",
+    "ExecutionBackend",
+    "ExecutionConfig",
     "KnnServer",
     "LoadgenReport",
     "MicroBatcher",
@@ -39,8 +57,13 @@ __all__ = [
     "ServeResponse",
     "ServerClosed",
     "ShardPlan",
+    "ShardState",
+    "WorkerError",
+    "available_backends",
+    "make_backend",
     "make_plan",
     "merge_topk",
+    "register_backend",
     "run_closed_loop",
     "run_open_loop",
 ]

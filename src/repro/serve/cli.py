@@ -6,31 +6,41 @@ Three subcommands:
   (``concurrency=1``) versus concurrent submission through the same
   micro-batching server.  The speedup column is the serving layer's
   reason to exist; the acceptance bar is >= 3x on the paper's
-  30k-point operating frame.
+  30k-point operating frame.  With ``--backend process`` a thread
+  reference arm also runs, so the report carries
+  ``process_speedup_vs_thread``; ``--bench-json`` writes the
+  committed-trajectory artifact (``BENCH_serve.json`` schema) with
+  machine-normalized numbers and honesty notes.
 * ``load`` — open-loop Poisson arrivals at a fixed offered rate;
   reports latency percentiles and typed shed/timeout counts.  With
   ``--fail-on-errors`` the exit code asserts a clean run (the CI
-  serve-smoke job).
+  serve-smoke job, which runs it under both execution backends).
 * ``smoke`` — a fast preset of ``load`` sized for CI (~seconds).
 
 All subcommands accept ``--json PATH`` to write the full report as a
 machine-readable artifact, including a snapshot of the ``serve.*``
-metrics.
+metrics, and ``--backend {thread,process}`` to pick the execution
+backend (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
 
 import numpy as np
 
 from repro.datasets import lidar_frame
 from repro.obs import MetricsRegistry, set_registry
-from repro.serve.config import ServeConfig
+from repro.serve.backends import available_backends
+from repro.serve.config import ExecutionConfig, ServeConfig
 from repro.serve.loadgen import run_closed_loop, run_open_loop
 from repro.serve.server import KnnServer
+
+#: Schema tag of the --bench-json artifact (bump on layout changes).
+BENCH_SCHEMA = "quicknn-bench-serve/v1"
 
 
 def _add_server_args(parser: argparse.ArgumentParser) -> None:
@@ -43,7 +53,14 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sharding", choices=("round-robin", "spatial"),
                         default="round-robin")
     parser.add_argument("--replicas", type=int, default=1,
-                        help="worker threads per shard (default: 1)")
+                        help="shard replicas: worker threads per shard, or the "
+                        "default worker-process count (default: 1)")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default="thread",
+                        help="execution backend (default: thread)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker processes per shard under --backend "
+                        "process (default: --replicas)")
     parser.add_argument("--max-batch", type=int, default=256,
                         help="micro-batch size in query rows (default: 256)")
     parser.add_argument("--max-delay-ms", type=float, default=2.0,
@@ -56,7 +73,7 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
                         help="write the report as JSON to PATH ('-' = stdout)")
 
 
-def _make_config(args) -> ServeConfig:
+def _make_config(args, *, backend: str | None = None) -> ServeConfig:
     return ServeConfig(
         n_shards=args.shards,
         sharding=args.sharding,
@@ -64,6 +81,10 @@ def _make_config(args) -> ServeConfig:
         max_batch_size=args.max_batch,
         max_delay_s=args.max_delay_ms / 1e3,
         max_queue=args.max_queue,
+        execution=ExecutionConfig(
+            backend=backend if backend is not None else args.backend,
+            processes=args.processes,
+        ),
     )
 
 
@@ -92,49 +113,171 @@ def _serve_metrics(registry: MetricsRegistry) -> dict:
     }
 
 
+def _bench_arm(reference, queries, config, args, *, concurrency: int,
+               repeats: int) -> dict:
+    """Run one closed-loop arm ``repeats`` times; report the best run.
+
+    Best-of is the standard defence against scheduler noise on shared
+    machines: the fastest repeat is the least-interfered measurement.
+    The per-repeat throughputs are kept so the artifact stays honest
+    about the spread.
+    """
+    best = None
+    runs = []
+    with KnnServer(reference, config) as server:
+        for _ in range(repeats):
+            report = run_closed_loop(
+                server, queries, args.k, mode=args.mode,
+                concurrency=concurrency,
+            )
+            runs.append(report.throughput_qps)
+            if best is None or report.throughput_qps > best.throughput_qps:
+                best = report
+    out = best.as_dict()
+    out["throughput_qps_runs"] = runs
+    out["repeats"] = repeats
+    return out
+
+
+def _machine_info() -> dict:
+    import os
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def _bench_artifact(bench: dict, args) -> dict:
+    """The ``BENCH_serve.json`` committed-trajectory artifact.
+
+    Throughputs are additionally normalized per CPU core so numbers
+    from different machines land on comparable footing, and
+    ``extra_info.notes`` records every caveat a reader needs before
+    trusting a comparison.
+    """
+    machine = _machine_info()
+    cores = machine["cpu_count"]
+    notes = [
+        "best-of-{} closed-loop runs per arm; per-repeat throughputs "
+        "kept in throughput_qps_runs".format(bench["repeats"]),
+        "qps_per_core divides by os.cpu_count(); it normalizes machine "
+        "size, not memory bandwidth or clock",
+    ]
+    if cores < 4:
+        notes.append(
+            f"measured on a {cores}-core machine: the process backend "
+            "cannot demonstrate multi-core scaling here (expect <=1x vs "
+            "thread); re-run on >=4 cores for the scaling claim"
+        )
+    benchmarks = []
+    for arm in ("one_at_a_time", "micro_batched", "micro_batched_thread"):
+        if arm not in bench:
+            continue
+        qps = bench[arm]["throughput_qps"]
+        benchmarks.append(
+            {
+                "name": f"serve.{arm}",
+                "backend": bench["backend"] if arm != "micro_batched_thread"
+                else "thread",
+                "qps": qps,
+                "qps_per_core": qps / cores,
+                "qps_runs": bench[arm]["throughput_qps_runs"],
+                "latency_ms_p50": bench[arm]["latency_ms"]["p50"],
+                "latency_ms_p99": bench[arm]["latency_ms"]["p99"],
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "params": {
+            "points": bench["n_reference"],
+            "queries": bench["n_queries"],
+            "k": bench["k"],
+            "mode": bench["mode"],
+            "shards": args.shards,
+            "replicas": args.replicas,
+            "concurrency": args.concurrency,
+            "backend": bench["backend"],
+        },
+        "machine": machine,
+        "benchmarks": benchmarks,
+        "derived": {
+            "speedup_batched_vs_serial": bench["speedup"],
+            "process_speedup_vs_thread": bench.get(
+                "process_speedup_vs_thread"
+            ),
+        },
+        "extra_info": {"notes": notes},
+    }
+
+
 def _cmd_bench(args) -> int:
     registry = MetricsRegistry()
     set_registry(registry)
     reference, queries = _workload(args)
     queries = queries[: args.queries]
     config = _make_config(args)
-    with KnnServer(reference, config) as server:
-        baseline = run_closed_loop(
-            server, queries, args.k, mode=args.mode, concurrency=1
-        )
-        batched = run_closed_loop(
-            server, queries, args.k, mode=args.mode,
-            concurrency=args.concurrency,
-        )
+    baseline = _bench_arm(reference, queries, config, args,
+                          concurrency=1, repeats=args.repeats)
+    batched = _bench_arm(reference, queries, config, args,
+                         concurrency=args.concurrency, repeats=args.repeats)
     speedup = (
-        batched.throughput_qps / baseline.throughput_qps
-        if baseline.throughput_qps > 0
+        batched["throughput_qps"] / baseline["throughput_qps"]
+        if baseline["throughput_qps"] > 0
         else float("inf")
     )
-    payload = {
-        "bench": {
-            "n_reference": int(reference.shape[0]),
-            "n_queries": int(queries.shape[0]),
-            "k": args.k,
-            "mode": args.mode,
-            "config": {
-                "n_shards": config.n_shards,
-                "max_batch_size": config.max_batch_size,
-                "max_delay_s": config.max_delay_s,
-            },
-            "one_at_a_time": baseline.as_dict(),
-            "micro_batched": batched.as_dict(),
-            "speedup": speedup,
+    bench = {
+        "n_reference": int(reference.shape[0]),
+        "n_queries": int(queries.shape[0]),
+        "k": args.k,
+        "mode": args.mode,
+        "backend": args.backend,
+        "repeats": args.repeats,
+        "config": {
+            "n_shards": config.n_shards,
+            "max_batch_size": config.max_batch_size,
+            "max_delay_s": config.max_delay_s,
+            "backend": config.execution.backend,
         },
-        "metrics": _serve_metrics(registry),
+        "one_at_a_time": baseline,
+        "micro_batched": batched,
+        "speedup": speedup,
     }
+    if args.backend == "process":
+        # Reference arm: same batched load on the thread backend, so the
+        # report can state the process backend's win (or honest loss).
+        thread_config = _make_config(args, backend="thread")
+        thread_batched = _bench_arm(
+            reference, queries, thread_config, args,
+            concurrency=args.concurrency, repeats=args.repeats,
+        )
+        bench["micro_batched_thread"] = thread_batched
+        bench["process_speedup_vs_thread"] = (
+            batched["throughput_qps"] / thread_batched["throughput_qps"]
+            if thread_batched["throughput_qps"] > 0
+            else float("inf")
+        )
+    payload = {"bench": bench, "metrics": _serve_metrics(registry)}
     _emit(payload, args.json)
-    print(
-        f"one-at-a-time: {baseline.throughput_qps:,.0f} rows/s | "
+    if args.bench_json:
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_bench_artifact(bench, args), indent=2,
+                                sort_keys=True) + "\n")
+    line = (
+        f"[{args.backend}] one-at-a-time: "
+        f"{baseline['throughput_qps']:,.0f} rows/s | "
         f"micro-batched (c={args.concurrency}): "
-        f"{batched.throughput_qps:,.0f} rows/s | speedup {speedup:.1f}x"
+        f"{batched['throughput_qps']:,.0f} rows/s | speedup {speedup:.1f}x"
     )
-    errors = baseline.errors + batched.errors
+    if "process_speedup_vs_thread" in bench:
+        line += (
+            f" | vs thread batched: "
+            f"{bench['process_speedup_vs_thread']:.2f}x"
+        )
+    print(line)
+    errors = baseline["errors"] + batched["errors"]
     if errors:
         print(f"FAIL: {errors} errored requests", file=sys.stderr)
         return 1
@@ -195,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query rows per arm (default: 4096)")
     bench.add_argument("--concurrency", type=int, default=64,
                        help="submitters in the batched arm (default: 64)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="closed-loop runs per arm; best-of is reported "
+                       "(default: 3)")
+    bench.add_argument("--bench-json", metavar="PATH", default=None,
+                       help="write the BENCH_serve.json trajectory artifact "
+                       "(schema'd, machine-normalized) to PATH")
     bench.set_defaults(func=_cmd_bench)
 
     load = sub.add_parser(

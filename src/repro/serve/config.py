@@ -9,12 +9,91 @@ pool, then the failure-handling and degradation policies.  See
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.kdtree.config import KdTreeConfig
 
 #: Queue-fraction thresholds of the degradation ladder (levels 1..3).
 DEFAULT_DEGRADE_THRESHOLDS = (0.5, 0.75, 0.9)
+
+#: Shared-memory segment names must stay portable across platforms:
+#: POSIX gives them one flat namespace, so keep them short and plain.
+_SHM_PREFIX_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How shard work is executed: the backend and its lifecycle knobs.
+
+    Mirrors the ``engine=`` / ``builder=`` knob pattern: ``backend``
+    names an entry in the execution-backend registry
+    (:mod:`repro.serve.backends`), and every backend answers
+    bit-identically — the choice is purely about *where* the engine
+    kernels run.
+
+    Parameters
+    ----------
+    backend:
+        ``"thread"`` — shard replicas are threads in the server
+        process; the engine's NumPy/BLAS kernels release the GIL for
+        the heavy parts, but Python-level work stays on one core.
+        ``"process"`` — shard replicas are worker processes attached to
+        shared-memory snapshots of the shard trees (one physical tree
+        copy per machine); batches cross a queue, answers come back
+        over a result queue, and the canonical top-k merge stays in the
+        coordinator.  Pick ``process`` for multi-core throughput on
+        frames worth the ~seconds of worker start-up; pick ``thread``
+        for tiny frames, single-core machines, or latency-floor
+        sensitivity (see ``docs/serving.md``).
+    processes:
+        Worker processes *per shard* under the process backend (the
+        process analogue of ``n_replicas``).  ``None`` inherits
+        ``n_replicas``.
+    shm_prefix:
+        Prefix of the generation-stamped shared-memory segment names
+        (``{prefix}-{uid}-g{generation}-s{shard}``).  Letters, digits,
+        ``.``, ``_``, ``-`` only.
+    join_timeout_s:
+        How long shutdown waits for a worker process to exit after its
+        sentinel before escalating to ``terminate()`` (and ``kill()``).
+    unlink_timeout_s:
+        How long shutdown waits for the result collector to drain
+        worker farewells (final per-process counters) before segments
+        are unlinked regardless.
+    """
+
+    backend: str = "thread"
+    processes: int | None = None
+    shm_prefix: str = "quicknn"
+    join_timeout_s: float = 5.0
+    unlink_timeout_s: float = 5.0
+
+    def __post_init__(self):
+        from repro.serve.backends import available_backends
+
+        names = available_backends()
+        if self.backend not in names:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"registered backends: {', '.join(names)}"
+            )
+        if self.processes is not None and self.processes < 1:
+            raise ValueError("processes must be positive (or None)")
+        if not _SHM_PREFIX_RE.match(self.shm_prefix):
+            raise ValueError(
+                "shm_prefix must be 1-64 characters of [A-Za-z0-9._-], "
+                f"got {self.shm_prefix!r}"
+            )
+        if self.join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
+        if self.unlink_timeout_s <= 0:
+            raise ValueError("unlink_timeout_s must be positive")
+
+    def processes_per_shard(self, n_replicas: int) -> int:
+        """Worker processes each shard gets (``None`` = ``n_replicas``)."""
+        return self.processes if self.processes is not None else n_replicas
 
 
 @dataclass(frozen=True)
@@ -67,12 +146,14 @@ class ServeConfig:
     tree:
         Per-shard k-d tree build configuration (PR 4's vectorized
         direct-to-flat builder runs per shard).
+    execution:
+        Execution-backend selection and lifecycle knobs
+        (:class:`ExecutionConfig`): thread replicas in-process, or
+        worker processes over shared-memory snapshots.
     worker:
-        Worker execution model.  ``"thread"`` is the only supported
-        value: shard workers are threads, and the engine's NumPy/BLAS
-        kernels release the GIL for the heavy parts.  (A process pool
-        would have to ship every batch across pickling boundaries —
-        measured slower than threads for this workload shape.)
+        **Deprecated** alias for ``execution.backend`` (the pre-
+        :class:`ExecutionConfig` spelling).  Passing it emits a
+        ``DeprecationWarning`` and folds the value into ``execution``.
     """
 
     n_shards: int = 1
@@ -87,7 +168,8 @@ class ServeConfig:
     approx_budget: int = 4
     degrade_thresholds: tuple[float, float, float] = DEFAULT_DEGRADE_THRESHOLDS
     tree: KdTreeConfig = field(default_factory=KdTreeConfig)
-    worker: str = "thread"
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    worker: str | None = None
 
     def __post_init__(self):
         if self.n_shards < 1:
@@ -119,8 +201,17 @@ class ServeConfig:
             raise ValueError(
                 "degrade_thresholds must be three ascending fractions in (0, 1]"
             )
-        if self.worker != "thread":
-            raise ValueError(
-                f"unsupported worker model {self.worker!r}; only 'thread' "
-                "workers are implemented (see ServeConfig docstring)"
+        if self.worker is not None:
+            # stacklevel=3 attributes the warning to the ServeConfig(...)
+            # call site (warn -> __post_init__ -> generated __init__ ->
+            # caller), keeping the repo's own escalated-warning filter
+            # pointed at code that still uses the old spelling.
+            warnings.warn(
+                "ServeConfig(worker=...) is deprecated; use "
+                "ServeConfig(execution=ExecutionConfig(backend=...))",
+                DeprecationWarning,
+                stacklevel=3,
             )
+            folded = replace(self.execution, backend=self.worker)
+            object.__setattr__(self, "execution", folded)
+            object.__setattr__(self, "worker", None)

@@ -51,3 +51,13 @@ class ServerClosed(ServeError):
 
     def __init__(self, message: str = "server is closed"):
         super().__init__(message)
+
+
+class WorkerError(ServeError):
+    """A worker-process failure whose original exception could not cross
+    the process boundary (unpicklable); carries its type and message.
+
+    Retried like any other shard failure; surfaces on the request
+    future only after ``max_retries`` re-enqueues are exhausted.
+    """
+

@@ -12,14 +12,20 @@ The request path, in the order a query row experiences it:
    degradation level, drops already-expired requests, and groups the
    rest by ``(k, effective budget)`` so each group is one engine call.
 3. **Fan-out** — each group becomes a job holding a snapshot of the
-   current shard trees; one task per shard goes on that shard's queue,
-   where ``n_replicas`` worker threads compute the local top-k through
-   the batched engine and translate local ids to global ids.
-4. **Merge** — the last shard to finish merges the per-shard lists with
-   the canonical :func:`~repro.serve.sharding.merge_topk` rule and
-   resolves every request's future with a :class:`ServeResponse`.
+   current shard generation; one task per shard goes to the
+   *execution backend* (:mod:`repro.serve.backends`): thread replicas
+   computing in-process, or worker processes computing against
+   shared-memory snapshots of the shard trees.  Either way the shard
+   computes its local top-k through the batched engine and translates
+   local ids to global ids.
+4. **Merge** — when the last shard answers, the coordinator merges the
+   per-shard lists with the canonical
+   :func:`~repro.serve.sharding.merge_topk` rule and resolves every
+   request's future with a :class:`ServeResponse`.  The merge always
+   runs in the coordinator, so exact answers are bit-identical to the
+   unsharded engine for any shard count **and either backend**.
 5. **Failure handling** — a monitor thread enforces per-request
-   deadlines (:class:`~repro.serve.errors.RequestTimeout`), re-enqueues
+   deadlines (:class:`~repro.serve.errors.RequestTimeout`), re-submits
    slow shard tasks for hedging (first answer wins), and worker errors
    are retried ``max_retries`` times before the job's requests fail
    with the underlying error.
@@ -42,14 +48,18 @@ served at, so a degraded answer is always labelled as one.
 
 Warm handoff: :meth:`KnnServer.update_reference` rebuilds the shard
 trees (PR 4's :func:`~repro.kdtree.flat_build.build_flat`, one build
-per shard) and swaps them in atomically.  In-flight jobs keep the
-snapshot they captured at batch formation, so a swap never mixes
-generations within one answer.
+per shard), *publishes* the new generation to the execution backend
+(under the process backend: new generation-stamped shared-memory
+segments), and swaps it in atomically.  In-flight jobs keep the
+generation they captured at batch formation; a superseded generation's
+execution resources are retired only when its last in-flight job
+drains (deferred unlink), so no worker ever faces a segment that
+vanished mid-query.
 """
 
 from __future__ import annotations
 
-import queue
+import itertools
 import threading
 import time
 from concurrent.futures import Future
@@ -58,14 +68,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
 from repro.kdtree.flat_build import build_flat
-from repro.kdtree.search import PAD_INDEX, QueryResult
+from repro.kdtree.search import QueryResult
+from repro.kdtree.snapshot import Snapshot
 from repro.obs import get_registry
+from repro.serve.backends import make_backend
 from repro.serve.batcher import MicroBatcher, ServeRequest
 from repro.serve.config import ServeConfig
 from repro.serve.errors import RequestTimeout, ServerClosed
-from repro.serve.sharding import ShardPlan, make_plan, merge_topk
+from repro.serve.sharding import ShardPlan, ShardState, make_plan, merge_topk
 
 _SNAPSHOT_GLOB = "shard-*.npz"
 
@@ -99,30 +110,23 @@ class ServeResponse:
         return QueryResult(indices=self.indices, distances=self.distances)
 
 
-@dataclass(frozen=True)
-class _ShardState:
-    """One shard's immutable snapshot: its tree and the id translation."""
-
-    tree: FlatKdTree
-    global_ids: np.ndarray
-
-
 class _BatchJob:
     """One engine call's worth of coalesced rows, fanned out to shards."""
 
     __slots__ = (
-        "requests", "q", "k", "budget", "shards", "generation",
+        "job_id", "requests", "q", "k", "budget", "shards", "generation",
         "degrade_level", "lock", "results", "shard_done", "hedged",
         "attempts", "n_done", "finished", "dispatched_at",
     )
 
-    def __init__(self, requests, q, k, budget, shards, generation,
+    def __init__(self, job_id, requests, q, k, budget, shards, generation,
                  degrade_level, dispatched_at):
+        self.job_id: int = job_id
         self.requests: list[ServeRequest] = requests
         self.q = q                       # (rows, 3) concatenated queries
         self.k = k
         self.budget = budget             # None = unbounded exact
-        self.shards: tuple[_ShardState, ...] = shards
+        self.shards: tuple[ShardState, ...] = shards
         self.generation = generation
         self.degrade_level = degrade_level
         self.lock = threading.Lock()
@@ -162,7 +166,9 @@ class KnnServer:
             resp = server.query(rows, k=8)           # submit + wait
 
     All public methods are thread-safe.  See the module docstring for
-    the request path and the degradation ladder.
+    the request path and the degradation ladder, and
+    :class:`~repro.serve.config.ExecutionConfig` for the thread/process
+    execution choice.
     """
 
     def __init__(
@@ -179,8 +185,8 @@ class KnnServer:
             raise ValueError("reference must have shape (N, 3)")
         plan = make_plan(xyz, self.config.n_shards, self.config.sharding)
         shards = tuple(
-            _ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
-                        global_ids=ids)
+            ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
+                       global_ids=ids)
             for ids in plan.global_ids
         )
         self._boot(plan, shards)
@@ -197,8 +203,6 @@ class KnnServer:
         """
         from dataclasses import replace
 
-        from repro.kdtree.serialize import load_flat
-
         paths = sorted(Path(directory).glob(_SNAPSHOT_GLOB))
         if not paths:
             raise FileNotFoundError(
@@ -212,13 +216,9 @@ class KnnServer:
                 f"config.n_shards={config.n_shards} but found "
                 f"{len(paths)} snapshot shards under {directory}"
             )
-        shards = []
-        for path in paths:
-            flat, extra = load_flat(path, with_extra=True)
-            shards.append(_ShardState(
-                tree=flat,
-                global_ids=np.asarray(extra["global_ids"], dtype=np.int64),
-            ))
+        shards = tuple(
+            ShardState.from_snapshot(Snapshot.load(path)) for path in paths
+        )
         plan = ShardPlan(
             strategy=config.sharding,
             global_ids=tuple(s.global_ids for s in shards),
@@ -226,34 +226,30 @@ class KnnServer:
         self = cls.__new__(cls)
         self.config = config
         self._clock = clock
-        self._boot(plan, tuple(shards))
+        self._boot(plan, shards)
         return self
 
-    def _boot(self, plan: ShardPlan, shards: tuple[_ShardState, ...]) -> None:
+    def _boot(self, plan: ShardPlan, shards: tuple[ShardState, ...]) -> None:
         self._plan = plan
         self._shards = shards
         self._generation = 0
         self._swap_lock = threading.Lock()
+        self._rebuild_lock = threading.Lock()
         self._obs_lock = threading.Lock()
         self._closed = False
-        self._inflight: set[_BatchJob] = set()
+        self._inflight: dict[int, _BatchJob] = {}
         self._inflight_lock = threading.Lock()
+        self._gen_inflight: dict[int, int] = {}
+        self._retired_gens: set[int] = set()
+        self._job_ids = itertools.count()
         self._batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             max_delay_s=self.config.max_delay_s,
             max_queue=self.config.max_queue,
             clock=self._clock,
         )
-        self._shard_queues = [queue.SimpleQueue() for _ in range(plan.n_shards)]
-        self._threads: list[threading.Thread] = []
-        for slot in range(plan.n_shards):
-            for replica in range(self.config.n_replicas):
-                t = threading.Thread(
-                    target=self._worker_loop, args=(slot,),
-                    name=f"serve-shard{slot}-r{replica}", daemon=True,
-                )
-                t.start()
-                self._threads.append(t)
+        self._backend = make_backend(self.config.execution.backend, self)
+        self._backend.start(shards)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatch", daemon=True,
         )
@@ -316,9 +312,13 @@ class KnnServer:
     def update_reference(self, points) -> dict:
         """Warm handoff: rebuild every shard from ``points``, swap atomically.
 
-        Queries keep being served against the old shard trees during
-        the rebuild; the swap is one tuple assignment, and in-flight
-        jobs finish on the snapshot they captured.  Returns a summary
+        Queries keep being served against the old shard generation
+        during the rebuild; the new generation is *published* to the
+        execution backend first (under the process backend: fresh
+        generation-stamped shared-memory segments), then the swap is
+        one tuple assignment.  In-flight jobs finish on the generation
+        they captured; the old generation's execution resources are
+        retired once its last in-flight job drains.  Returns a summary
         (new generation, shard sizes, rebuild wall time).
         """
         xyz = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
@@ -327,20 +327,24 @@ class KnnServer:
         started = self._clock()
         plan = make_plan(xyz, self.config.n_shards, self.config.sharding)
         obs = get_registry()
-        with self._obs_lock, obs.timer("serve.rebuild"):
-            shards = tuple(
-                _ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
-                            global_ids=ids)
-                for ids in plan.global_ids
-            )
-        with self._swap_lock:
-            self._plan = plan
-            self._shards = shards
-            self._generation += 1
-            generation = self._generation
+        with self._rebuild_lock:
+            with self._obs_lock, obs.timer("serve.rebuild"):
+                shards = tuple(
+                    ShardState(tree=build_flat(xyz[ids], self.config.tree)[0],
+                               global_ids=ids)
+                    for ids in plan.global_ids
+                )
+            with self._swap_lock:
+                next_generation = self._generation + 1
+            self._backend.publish(next_generation, shards)
+            with self._swap_lock:
+                self._plan = plan
+                self._shards = shards
+                self._generation = next_generation
+        self._maybe_retire(next_generation - 1)
         self._count("serve.rebuilds", 1)
         return {
-            "generation": generation,
+            "generation": next_generation,
             "n_points": int(xyz.shape[0]),
             "shard_sizes": [int(ids.size) for ids in plan.global_ids],
             "rebuild_s": self._clock() - started,
@@ -362,12 +366,11 @@ class KnnServer:
     def save_snapshots(self, directory) -> list[Path]:
         """Persist every shard tree (plus its global-id map) under ``directory``.
 
-        One ``shard-NNN.npz`` per shard in :func:`~repro.kdtree.serialize.save_flat`
-        format with the id translation as an extra array;
-        :meth:`from_snapshots` restores a server answering bit-identically.
+        One ``shard-NNN.npz`` per shard in the
+        :class:`~repro.kdtree.snapshot.Snapshot` format with the id
+        translation as an extra array; :meth:`from_snapshots` restores
+        a server answering bit-identically.
         """
-        from repro.kdtree.serialize import save_flat
-
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with self._swap_lock:
@@ -375,50 +378,54 @@ class KnnServer:
         paths = []
         for slot, shard in enumerate(shards):
             path = directory / f"shard-{slot:03d}.npz"
-            save_flat(shard.tree, path, extra={"global_ids": shard.global_ids})
+            shard.snapshot().save(path)
             paths.append(path)
         return paths
 
     def stats(self) -> dict:
-        """Operational snapshot: shards, queue, generation, config."""
+        """Operational snapshot: shards, queue, generation, execution."""
         with self._swap_lock:
             plan = self._plan
             generation = self._generation
         with self._inflight_lock:
             inflight = len(self._inflight)
+        execution = self._backend.describe()
         return {
             "plan": plan.describe(),
             "generation": generation,
             "queue_rows": self._batcher.depth(),
             "inflight_jobs": inflight,
             "degrade_level": self._degrade_level(self._batcher.fill_fraction()),
-            "n_worker_threads": len(self._threads),
+            "execution": execution,
+            "n_worker_threads": execution.get("n_worker_threads", 0),
             "closed": self._closed,
         }
 
     def close(self) -> None:
-        """Stop serving: shed the queue, fail in-flight work, join threads."""
+        """Stop serving: shed the queue, fail in-flight work, stop workers.
+
+        Reliable under either backend: worker processes are reaped
+        (join → terminate → kill) and every shared-memory segment is
+        unlinked.  Idempotent.
+        """
         if self._closed:
             return
         self._closed = True
         for request in self._batcher.close():
             _try_set_exception(request.future, ServerClosed())
         with self._inflight_lock:
-            jobs = list(self._inflight)
+            jobs = list(self._inflight.values())
             self._inflight.clear()
+            self._gen_inflight.clear()
         for job in jobs:
             with job.lock:
                 job.finished = True
                 requests = list(job.requests)
             for request in requests:
                 _try_set_exception(request.future, ServerClosed())
-        for q in self._shard_queues:
-            for _ in range(self.config.n_replicas):
-                q.put(None)
+        self._backend.close()
         self._dispatcher.join(timeout=5.0)
         self._monitor.join(timeout=5.0)
-        for t in self._threads:
-            t.join(timeout=5.0)
 
     def __enter__(self) -> "KnnServer":
         return self
@@ -460,6 +467,10 @@ class KnnServer:
                 if self._closed:
                     return
                 continue
+            if self._closed:
+                for request in batch:
+                    _try_set_exception(request.future, ServerClosed())
+                return
             try:
                 self._dispatch_batch(batch)
             except Exception as exc:  # defensive: never kill the dispatcher
@@ -508,6 +519,7 @@ class KnnServer:
             for request, served in members:
                 request.served = served
             job = _BatchJob(
+                job_id=next(self._job_ids),
                 requests=requests,
                 q=np.concatenate([r.xyz for r in requests], axis=0),
                 k=k,
@@ -518,54 +530,38 @@ class KnnServer:
                 dispatched_at=now,
             )
             with self._inflight_lock:
-                self._inflight.add(job)
-            for slot, shard_queue in enumerate(self._shard_queues):
-                shard_queue.put((job, slot))
+                self._inflight[job.job_id] = job
+                self._gen_inflight[generation] = (
+                    self._gen_inflight.get(generation, 0) + 1
+                )
+            for slot in range(len(shards)):
+                self._backend.submit(job, slot)
 
     # ------------------------------------------------------------------
-    # Shard workers
+    # Shard completion (called by the execution backend)
     # ------------------------------------------------------------------
-    def _worker_loop(self, slot: int) -> None:
-        shard_queue = self._shard_queues[slot]
-        while True:
-            task = shard_queue.get()
-            if task is None:
-                return
-            job, _ = task
-            with job.lock:
-                if job.finished or job.shard_done[slot]:
-                    continue  # hedge lost the race, or job already failed
-            try:
-                result = self._run_shard(job, slot)
-            except Exception as exc:
-                self._handle_shard_error(job, slot, exc)
-                continue
-            last = False
-            with job.lock:
-                if not job.finished and not job.shard_done[slot]:
-                    job.shard_done[slot] = True
-                    job.results[slot] = result
-                    job.n_done += 1
-                    last = job.n_done == len(job.shards)
-            if last:
-                self._finish_job(job)
+    def _job_for(self, job_id: int) -> _BatchJob | None:
+        """In-flight job by id, or ``None`` for a late/duplicate result."""
+        with self._inflight_lock:
+            return self._inflight.get(job_id)
 
-    def _run_shard(self, job: _BatchJob, slot: int):
-        shard = job.shards[slot]
-        if job.budget is None:
-            result, _ = knn_exact_batched(shard.tree, job.q, job.k)
-        elif job.budget == 0:
-            result = knn_approx_batched(shard.tree, job.q, job.k)
-        else:
-            result, _ = knn_exact_batched(
-                shard.tree, job.q, job.k, max_visits=job.budget
-            )
-        local = result.indices
-        translated = shard.global_ids[local]
-        translated[local == PAD_INDEX] = PAD_INDEX
-        return translated, result.distances
+    def _shard_completed(
+        self, job: _BatchJob, slot: int,
+        indices: np.ndarray, distances: np.ndarray,
+    ) -> None:
+        """A shard's local top-k arrived; merge when it was the last."""
+        last = False
+        with job.lock:
+            if not job.finished and not job.shard_done[slot]:
+                job.shard_done[slot] = True
+                job.results[slot] = (indices, distances)
+                job.n_done += 1
+                last = job.n_done == len(job.shards)
+        if last:
+            self._finish_job(job)
 
-    def _handle_shard_error(self, job: _BatchJob, slot: int, exc: Exception) -> None:
+    def _shard_failed(self, job: _BatchJob, slot: int, exc: Exception) -> None:
+        """A shard computation failed; retry or fail the whole job."""
         with job.lock:
             if job.finished or job.shard_done[slot]:
                 return
@@ -575,7 +571,7 @@ class KnnServer:
                 job.finished = True
         if retry:
             self._count("serve.retries", 1)
-            self._shard_queues[slot].put((job, slot))
+            self._backend.submit(job, slot)
             return
         self._drop_inflight(job)
         for request in job.requests:
@@ -620,7 +616,29 @@ class KnnServer:
 
     def _drop_inflight(self, job: _BatchJob) -> None:
         with self._inflight_lock:
-            self._inflight.discard(job)
+            if self._inflight.pop(job.job_id, None) is None:
+                return  # close() already swept it
+            remaining = self._gen_inflight.get(job.generation, 0) - 1
+            if remaining <= 0:
+                self._gen_inflight.pop(job.generation, None)
+            else:
+                self._gen_inflight[job.generation] = remaining
+        self._maybe_retire(job.generation)
+
+    def _maybe_retire(self, generation: int) -> None:
+        """Deferred retirement: a superseded generation with no in-flight
+        jobs releases its execution resources (process backend: its
+        shared-memory segments are unlinked)."""
+        with self._swap_lock:
+            if generation >= self._generation:
+                return
+        with self._inflight_lock:
+            if self._gen_inflight.get(generation, 0) > 0:
+                return
+            if generation in self._retired_gens:
+                return
+            self._retired_gens.add(generation)
+        self._backend.retire(generation)
 
     # ------------------------------------------------------------------
     # Monitor: timeouts and hedging
@@ -634,7 +652,7 @@ class KnnServer:
             ):
                 self._count("serve.timeouts", 1)
         with self._inflight_lock:
-            jobs = list(self._inflight)
+            jobs = list(self._inflight.values())
         for job in jobs:
             for request in job.requests:
                 if (
@@ -666,7 +684,7 @@ class KnnServer:
                         fire = True
                 if fire:
                     self._count("serve.hedges", 1)
-                    self._shard_queues[slot].put((job, slot))
+                    self._backend.submit(job, slot)
 
     def _monitor_loop(self) -> None:
         horizons = [
@@ -688,3 +706,10 @@ class KnnServer:
         if obs.enabled:
             with self._obs_lock:
                 obs.counter(name).inc(n)
+
+    def _ingest(self, mapping: dict, prefix: str) -> None:
+        """Record a worker's cumulative counters as ``prefix.*`` gauges."""
+        obs = get_registry()
+        if obs.enabled:
+            with self._obs_lock:
+                obs.ingest(mapping, prefix=prefix)

@@ -34,7 +34,59 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
 from repro.kdtree.search import PAD_INDEX
+from repro.kdtree.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class ShardState:
+    """One shard's immutable snapshot: its tree and the id translation.
+
+    This is the unit both execution backends serve from — thread
+    workers hold it directly, process workers reassemble it from a
+    shared-memory segment (:meth:`from_snapshot` over zero-copy views).
+    :meth:`search` is the single compute path, so the two backends are
+    bit-identical by construction.
+    """
+
+    tree: FlatKdTree
+    global_ids: np.ndarray
+
+    def search(
+        self, q: np.ndarray, k: int, budget: int | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Local top-k for a query block, translated to global ids.
+
+        ``budget`` is the serving ladder's engine budget: ``None`` runs
+        the unbounded exact search, ``0`` the single-bucket approximate
+        answer, anything else a ``max_visits``-bounded exact search.
+        """
+        if budget is None:
+            result, _ = knn_exact_batched(self.tree, q, k)
+        elif budget == 0:
+            result = knn_approx_batched(self.tree, q, k)
+        else:
+            result, _ = knn_exact_batched(self.tree, q, k, max_visits=budget)
+        local = result.indices
+        translated = self.global_ids[local]
+        translated[local == PAD_INDEX] = PAD_INDEX
+        return translated, result.distances
+
+    def snapshot(self) -> Snapshot:
+        """Portable form (disk file or shared-memory payload)."""
+        return Snapshot.from_flat(
+            self.tree.flat(), extra={"global_ids": self.global_ids}
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: Snapshot) -> "ShardState":
+        if "global_ids" not in snap.extras:
+            raise ValueError("snapshot carries no global_ids side array")
+        return cls(
+            tree=snap.to_flat(),
+            global_ids=np.asarray(snap.extras["global_ids"], dtype=np.int64),
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,199 @@
+"""Shared-memory segments for zero-copy shard snapshots.
+
+The process execution backend keeps **one physical copy** of every
+shard's :class:`~repro.kdtree.engine.FlatKdTree` per machine: the
+coordinator lays the snapshot payload out in a
+``multiprocessing.shared_memory`` segment, and each worker process
+attaches the same segment and wraps numpy views directly over the
+mapped buffer — no pickling, no per-worker copy of the tree.
+
+Segment layout (self-describing, so a worker needs only the name)::
+
+    [magic 'QKNN'][header-length u64][header JSON][pad to 64]
+    [array 0, 64-byte aligned][array 1, ...]
+
+The JSON header records every array's name, dtype string, shape, and
+byte offset.  Self-description is what makes warm handoff simple: a
+task carries only ``(generation, segment name)`` and a worker that has
+not seen that generation attaches and decodes it on demand — there is
+no side channel that could race with a swap.
+
+Lifecycle discipline (see ``docs/serving.md``):
+
+* the **coordinator** creates segments (:func:`create_segment`) and is
+  the only unlinker (:func:`unlink_segment`);
+* **workers** attach (:func:`attach_segment`) and close their mapping
+  when they evict a generation or exit — never unlink;
+* every created segment is tracked module-wide and unlinked by an
+  ``atexit`` hook as a last resort, so an abandoned server (or a
+  coordinator dying on an unhandled signal that still runs ``atexit``)
+  does not leak ``/dev/shm`` entries.
+
+A note on the ``multiprocessing`` resource tracker: on Python < 3.13
+*attaching* registers the segment just like creating does, but spawn
+children inherit the coordinator's tracker process and its cache is a
+set — so the coordinator's create and every worker's attach collapse
+into one tracker entry, and the coordinator's unlink retires it.
+Nobody here unregisters manually: a worker-side unregister would
+delete the shared entry and make the coordinator's unlink race a
+``KeyError`` inside the tracker, and the entry is also the crash
+safety net (a coordinator killed before cleanup leaves the tracker to
+unlink the segment at process-tree exit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+MAGIC = b"QKNN"
+_ALIGN = 64
+_HEADER_FIXED = len(MAGIC) + 8  # magic + u64 header length
+
+#: Segments created by this process, by name (the atexit safety net).
+_created: dict[str, shared_memory.SharedMemory] = {}
+_created_lock = threading.Lock()
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def create_segment(
+    name: str, payload: dict[str, np.ndarray]
+) -> shared_memory.SharedMemory:
+    """Create segment ``name`` holding ``payload``, return the handle.
+
+    The caller (the coordinator) owns the handle and must eventually
+    :func:`unlink_segment` it.  Raises ``FileExistsError`` if the name
+    is already in use — generation-stamped names make collisions a bug,
+    not a race to resolve.
+    """
+    arrays = {key: np.ascontiguousarray(value) for key, value in payload.items()}
+    entries = []
+    offset = 0  # relative to the start of the data region
+    for key, value in arrays.items():
+        offset = _align(offset)
+        entries.append(
+            {
+                "name": key,
+                "dtype": value.dtype.str,
+                "shape": list(value.shape),
+                "offset": offset,
+            }
+        )
+        offset += value.nbytes
+    header = json.dumps({"version": 1, "arrays": entries}).encode()
+    data_start = _align(_HEADER_FIXED + len(header))
+    total = max(1, data_start + offset)
+
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    try:
+        buf = shm.buf
+        buf[: len(MAGIC)] = MAGIC
+        buf[len(MAGIC):_HEADER_FIXED] = len(header).to_bytes(8, "little")
+        buf[_HEADER_FIXED:_HEADER_FIXED + len(header)] = header
+        for entry, value in zip(entries, arrays.values()):
+            dest = np.ndarray(
+                value.shape,
+                dtype=value.dtype,
+                buffer=buf,
+                offset=data_start + entry["offset"],
+            )
+            dest[...] = value
+            del dest  # release the buffer export before any close()
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    with _created_lock:
+        _created[shm.name] = shm
+    return shm
+
+
+def attach_segment(
+    name: str,
+) -> tuple[dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Attach segment ``name``; return zero-copy views plus the handle.
+
+    The returned arrays are views over the mapped buffer — valid until
+    the handle is closed.  The caller must :func:`close_attachment` the
+    handle (never unlink) when done.
+    """
+    shm = shared_memory.SharedMemory(name=name, create=False)
+    buf = shm.buf
+    if bytes(buf[: len(MAGIC)]) != MAGIC:
+        shm.close()
+        raise ValueError(f"segment {name!r} is not a QuickNN snapshot segment")
+    header_len = int.from_bytes(bytes(buf[len(MAGIC):_HEADER_FIXED]), "little")
+    header = json.loads(bytes(buf[_HEADER_FIXED:_HEADER_FIXED + header_len]))
+    data_start = _align(_HEADER_FIXED + header_len)
+    arrays = {
+        entry["name"]: np.ndarray(
+            tuple(entry["shape"]),
+            dtype=np.dtype(entry["dtype"]),
+            buffer=buf,
+            offset=data_start + entry["offset"],
+        )
+        for entry in header["arrays"]
+    }
+    return arrays, shm
+
+
+def close_attachment(shm: shared_memory.SharedMemory) -> None:
+    """Close a worker-side mapping, tolerating still-exported views.
+
+    numpy views over ``shm.buf`` keep the buffer exported; if the
+    caller could not drop every reference first, ``close`` raises
+    ``BufferError`` and the mapping is reclaimed at process exit
+    instead — acceptable for a worker that is shutting down anyway.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - view still referenced
+        pass
+
+
+def unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Coordinator-side teardown: close the mapping and remove the name.
+
+    Idempotent and tolerant of a name that is already gone (a resource
+    tracker or a second close may have raced us) — shutdown paths must
+    never fail on cleanup.
+    """
+    with _created_lock:
+        _created.pop(shm.name, None)
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - view still referenced
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def live_segments() -> list[str]:
+    """Names of segments this process created and has not unlinked."""
+    with _created_lock:
+        return sorted(_created)
+
+
+@atexit.register
+def _unlink_stragglers() -> None:  # pragma: no cover - exit path
+    with _created_lock:
+        stragglers = list(_created.values())
+        _created.clear()
+    for shm in stragglers:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass

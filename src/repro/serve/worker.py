@@ -1,0 +1,144 @@
+"""Worker-process main loop for the ``process`` execution backend.
+
+One worker serves one shard slot: it pulls tasks off its shard's task
+queue, attaches the named shared-memory segment for the task's
+generation (cached across tasks — attach is a one-time ``mmap`` plus
+header decode, the arrays themselves are zero-copy views), runs the
+same :meth:`~repro.serve.sharding.ShardState.search` the thread
+backend runs, and ships ``(indices, distances)`` back on its private
+result pipe.  The pipe has exactly one writer (this worker) and one
+reader (a coordinator-side collector thread), so there is no shared
+lock a SIGKILLed sibling could take to its grave — and the pipe's EOF
+doubles as the worker's death notice.  All policy — degradation,
+hedging, retries, timeouts, merge — stays in the coordinator; a worker
+is a pure compute loop.
+
+Robustness rules:
+
+* a task for a segment that cannot be attached (vanished mid-swap,
+  corrupt, whatever) produces an ``error`` message, never a worker
+  crash — the coordinator's retry/timeout machinery owns the outcome;
+* SIGTERM is converted to a clean exit (farewell message with the
+  final counters, mappings closed) so ``terminate()`` during shutdown
+  does not strand attachments;
+* unpicklable exceptions are re-wrapped as
+  :class:`~repro.serve.errors.WorkerError` so the error path itself
+  can never fail to cross the process boundary.
+
+Per-process counters (cumulative, piggybacked on every message and on
+the farewell) surface in the coordinator as ``serve.worker.<id>.*``
+gauges: ``tasks``, ``rows``, ``errors``, ``attaches``, ``pid``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+
+from repro.serve import shm as shm_mod
+from repro.serve.errors import WorkerError
+
+#: Generations a worker keeps attached (current + one behind, so a
+#: hedge or retry of a pre-swap job never pays a re-attach).
+KEEP_GENERATIONS = 2
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives pickling, else a WorkerError."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return WorkerError(f"{type(exc).__name__}: {exc}")
+
+
+class _ShardCache:
+    """Attached generations of one shard, newest-first eviction."""
+
+    def __init__(self, counters: dict):
+        self._counters = counters
+        self._states: dict[int, tuple] = {}  # generation -> (state, shm)
+
+    def get(self, generation: int, segment_name: str):
+        from repro.kdtree.snapshot import Snapshot
+        from repro.serve.sharding import ShardState
+
+        entry = self._states.get(generation)
+        if entry is None:
+            payload, handle = shm_mod.attach_segment(segment_name)
+            state = ShardState.from_snapshot(Snapshot.from_payload(payload))
+            self._states[generation] = entry = (state, handle)
+            self._counters["attaches"] += 1
+            self._evict(keep_from=generation - KEEP_GENERATIONS + 1)
+        return entry[0]
+
+    def _evict(self, keep_from: int) -> None:
+        for generation in [g for g in self._states if g < keep_from]:
+            _, handle = self._states.pop(generation)
+            shm_mod.close_attachment(handle)
+
+    def close(self) -> None:
+        states, self._states = self._states, {}
+        for _, handle in states.values():
+            shm_mod.close_attachment(handle)
+
+
+def _graceful_term(signum, frame):  # pragma: no cover - signal path
+    """SIGTERM -> SystemExit, so ``finally`` sends the farewell."""
+    raise SystemExit(0)
+
+
+def worker_main(worker_id: str, slot: int, task_queue, result_conn) -> None:
+    """Entry point of one shard-replica worker process.
+
+    ``task_queue`` yields ``(job_id, generation, segment_name, q, k,
+    budget)`` tuples, or ``None`` as the shutdown sentinel.  Replies on
+    ``result_conn`` (this worker's private pipe) are ``(kind,
+    worker_id, job_id, slot, payload, counters)`` with kind ``result``
+    (payload ``(indices, distances)``), ``error`` (payload the
+    exception), or ``bye`` (farewell).
+    """
+    signal.signal(signal.SIGTERM, _graceful_term)
+    counters = {
+        "pid": os.getpid(),
+        "tasks": 0,
+        "rows": 0,
+        "errors": 0,
+        "attaches": 0,
+    }
+    cache = _ShardCache(counters)
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                return
+            job_id, generation, segment_name, q, k, budget = task
+            try:
+                state = cache.get(generation, segment_name)
+                indices, distances = state.search(q, k, budget)
+            except Exception as exc:
+                counters["errors"] += 1
+                result_conn.send(
+                    ("error", worker_id, job_id, slot,
+                     _portable_exc(exc), dict(counters))
+                )
+                continue
+            counters["tasks"] += 1
+            counters["rows"] += int(q.shape[0])
+            result_conn.send(
+                ("result", worker_id, job_id, slot,
+                 (indices, distances), dict(counters))
+            )
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        return
+    finally:
+        cache.close()
+        try:
+            result_conn.send(("bye", worker_id, None, slot, None, dict(counters)))
+        except Exception:  # pragma: no cover - pipe already torn down
+            pass
+        try:
+            result_conn.close()
+        except Exception:  # pragma: no cover - best-effort
+            pass

@@ -1,0 +1,111 @@
+"""Unit tests for the unified Snapshot handle (repro.kdtree.snapshot)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import uniform_cloud
+from repro.kdtree import KdTreeConfig, Snapshot, build_flat, knn_exact_batched
+from repro.kdtree.snapshot import FLAT_FIELDS, FORMAT_VERSION
+
+
+@pytest.fixture
+def flat(rng):
+    cloud = uniform_cloud(1_500, rng=rng)
+    flat, _ = build_flat(cloud, KdTreeConfig(bucket_capacity=64))
+    return flat
+
+
+class TestRoundTrips:
+    def test_flat_roundtrip_bit_identical(self, flat):
+        clone = Snapshot.from_flat(flat).to_flat()
+        for name in FLAT_FIELDS:
+            a, b = getattr(flat, name), getattr(clone, name)
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b), name
+
+    def test_payload_roundtrip(self, flat):
+        snap = Snapshot.from_flat(flat, extra={"tag": np.arange(4)})
+        clone = Snapshot.from_payload(snap.to_payload())
+        assert clone.version == FORMAT_VERSION
+        assert np.array_equal(clone.extras["tag"], np.arange(4))
+        assert np.array_equal(clone.arrays["points"], flat.points)
+
+    def test_file_roundtrip_answers_identically(self, flat, rng, tmp_path):
+        path = tmp_path / "snap.npz"
+        Snapshot.from_flat(flat).save(path)
+        clone = Snapshot.load(path).to_flat()
+        queries = uniform_cloud(200, rng=rng).xyz
+        a, _ = knn_exact_batched(flat, queries, 6)
+        b, _ = knn_exact_batched(clone, queries, 6)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_stream_roundtrip(self, flat):
+        buffer = io.BytesIO()
+        Snapshot.from_flat(flat).save(buffer)
+        buffer.seek(0)
+        clone = Snapshot.load(buffer)
+        assert np.array_equal(clone.arrays["bucket_offsets"], flat.bucket_offsets)
+
+
+class TestWireCompat:
+    """Old save_flat files and new Snapshot files must interoperate."""
+
+    def test_legacy_save_flat_file_loads(self, flat, tmp_path):
+        from repro.kdtree.serialize import save_flat
+
+        path = tmp_path / "legacy.npz"
+        ids = np.arange(0, 1_500, 3, dtype=np.int64)
+        with pytest.deprecated_call():
+            save_flat(flat, path, extra={"global_ids": ids})
+        snap = Snapshot.load(path)
+        assert np.array_equal(snap.extras["global_ids"], ids)
+        assert np.array_equal(snap.to_flat().points, flat.points)
+
+    def test_snapshot_file_loads_via_legacy_reader(self, flat, tmp_path):
+        from repro.kdtree.serialize import load_flat
+
+        path = tmp_path / "new.npz"
+        ids = np.arange(7, dtype=np.int64)
+        Snapshot.from_flat(flat, extra={"global_ids": ids}).save(path)
+        with pytest.deprecated_call():
+            clone, extras = load_flat(path, with_extra=True)
+        assert np.array_equal(extras["global_ids"], ids)
+        assert np.array_equal(clone.points, flat.points)
+
+
+class TestValidation:
+    def test_missing_field_rejected(self, flat):
+        payload = Snapshot.from_flat(flat).to_payload()
+        del payload["threshold"]
+        with pytest.raises(ValueError, match="missing"):
+            Snapshot.from_payload(payload)
+
+    def test_extra_collision_rejected(self, flat):
+        with pytest.raises(ValueError, match="collides"):
+            Snapshot.from_flat(flat, extra={"points": np.zeros(3)})
+
+    def test_version_check(self, flat):
+        payload = Snapshot.from_flat(flat).to_payload()
+        payload["flat_version"] = np.array([99], dtype=np.int64)
+        with pytest.raises(ValueError, match="version"):
+            Snapshot.from_payload(payload)
+
+    def test_missing_version_header_rejected(self, flat):
+        payload = Snapshot.from_flat(flat).to_payload()
+        del payload["flat_version"]
+        with pytest.raises(ValueError, match="version"):
+            Snapshot.from_payload(payload)
+
+
+class TestIntrospection:
+    def test_n_points_and_nbytes(self, flat):
+        snap = Snapshot.from_flat(flat)
+        assert snap.n_points == 1_500
+        assert snap.nbytes > flat.points.nbytes
+
+    def test_from_flat_takes_no_copies(self, flat):
+        snap = Snapshot.from_flat(flat)
+        assert snap.arrays["points"] is flat.points

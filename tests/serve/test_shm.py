@@ -1,0 +1,104 @@
+"""Shared-memory segment layout and lifecycle (repro.serve.shm)."""
+
+import numpy as np
+import pytest
+
+from repro.serve import shm
+
+
+@pytest.fixture
+def payload():
+    rng = np.random.default_rng(7)
+    return {
+        "points": rng.uniform(-10, 10, size=(257, 3)),
+        "left": rng.integers(-1, 100, size=63, dtype=np.int64),
+        "is_leaf": rng.integers(0, 2, size=63).astype(bool),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+
+
+def _unique(name):
+    import secrets
+
+    return f"qnn-test-{name}-{secrets.token_hex(4)}"
+
+
+class TestRoundTrip:
+    def test_create_attach_bit_identical(self, payload):
+        name = _unique("rt")
+        handle = shm.create_segment(name, payload)
+        try:
+            views, attachment = shm.attach_segment(name)
+            assert set(views) == set(payload)
+            for key, value in payload.items():
+                assert views[key].dtype == value.dtype
+                assert views[key].shape == value.shape
+                assert np.array_equal(views[key], value)
+            views.clear()
+            shm.close_attachment(attachment)
+        finally:
+            shm.unlink_segment(handle)
+
+    def test_views_are_zero_copy(self, payload):
+        name = _unique("zc")
+        handle = shm.create_segment(name, payload)
+        try:
+            views, attachment = shm.attach_segment(name)
+            assert all(not v.flags["OWNDATA"] for v in views.values())
+            views.clear()
+            shm.close_attachment(attachment)
+        finally:
+            shm.unlink_segment(handle)
+
+    def test_arrays_are_64_byte_aligned(self, payload):
+        name = _unique("al")
+        handle = shm.create_segment(name, payload)
+        try:
+            views, attachment = shm.attach_segment(name)
+            for key, view in views.items():
+                if view.size:
+                    addr = view.__array_interface__["data"][0]
+                    assert addr % 64 == 0, key
+            views.clear()
+            shm.close_attachment(attachment)
+        finally:
+            shm.unlink_segment(handle)
+
+
+class TestLifecycle:
+    def test_name_collision_raises(self, payload):
+        name = _unique("col")
+        handle = shm.create_segment(name, payload)
+        try:
+            with pytest.raises(FileExistsError):
+                shm.create_segment(name, payload)
+        finally:
+            shm.unlink_segment(handle)
+
+    def test_unlink_is_idempotent(self, payload):
+        name = _unique("idem")
+        handle = shm.create_segment(name, payload)
+        shm.unlink_segment(handle)
+        shm.unlink_segment(handle)  # second call must not raise
+        with pytest.raises(FileNotFoundError):
+            shm.attach_segment(name)
+
+    def test_live_segments_tracking(self, payload):
+        name = _unique("live")
+        handle = shm.create_segment(name, payload)
+        assert name in shm.live_segments()
+        shm.unlink_segment(handle)
+        assert name not in shm.live_segments()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        name = _unique("foreign")
+        raw = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            raw.buf[:4] = b"JUNK"
+            with pytest.raises(ValueError, match="not a QuickNN"):
+                shm.attach_segment(name)
+        finally:
+            raw.close()
+            raw.unlink()
