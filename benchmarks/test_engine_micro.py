@@ -5,7 +5,10 @@ loop paths, much faster.  This file measures both sides on the paper's
 workload shape (10k queries against a 30k-point frame), records the
 ratio in ``extra_info``, and smoke-asserts the engine is not slower —
 the hard >=5x claim lives in the PR notes, not in CI, so noisy shared
-runners cannot flake the suite.
+runners cannot flake the suite.  Each test also records a trajectory
+point (queries/second) with the ``bench_engine`` recorder; with
+``QUICKNN_BENCH_DIR`` set the session writes ``BENCH_engine.json``
+for the ``bench-diff`` regression gate.
 """
 
 import time
@@ -16,16 +19,20 @@ from repro.kdtree import KdTreeConfig, build_tree, knn_approx, knn_approx_loop, 
 from repro.kdtree.search import knn_exact_instrumented
 
 
-def _best_of(fn, rounds: int) -> float:
-    best = np.inf
+def _timed_runs(fn, rounds: int) -> list[float]:
+    times = []
     for _ in range(rounds):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        times.append(time.perf_counter() - t0)
+    return times
 
 
-def test_engine_vs_loop_approx(benchmark, frames_30k):
+def _best_of(fn, rounds: int) -> float:
+    return min(_timed_runs(fn, rounds))
+
+
+def test_engine_vs_loop_approx(benchmark, frames_30k, bench_engine):
     ref, qry = frames_30k
     tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
     queries = qry.xyz[:10_000]
@@ -38,17 +45,22 @@ def test_engine_vs_loop_approx(benchmark, frames_30k):
 
     loop_s = _best_of(lambda: knn_approx_loop(tree, queries, k), rounds=2)
     benchmark(lambda: knn_approx(tree, queries, k))
-    engine_s = _best_of(lambda: knn_approx(tree, queries, k), rounds=3)
+    engine_times = _timed_runs(lambda: knn_approx(tree, queries, k), rounds=3)
+    engine_s = min(engine_times)
     speedup = loop_s / engine_s
     benchmark.extra_info["loop_ms"] = round(loop_s * 1e3, 2)
     benchmark.extra_info["engine_ms"] = round(engine_s * 1e3, 2)
     benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    bench_engine.add(
+        "approx_batched", work=queries.shape[0], times_s=engine_times,
+        k=k, points=int(ref.xyz.shape[0]), speedup_vs_loop=round(speedup, 2),
+    )
     print(f"\napprox engine: loop {loop_s * 1e3:.1f} ms, "
           f"engine {engine_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
     assert speedup >= 1.0
 
 
-def test_engine_vs_loop_exact(benchmark, frames_30k):
+def test_engine_vs_loop_exact(benchmark, frames_30k, bench_engine):
     ref, qry = frames_30k
     tree, _ = build_tree(ref, KdTreeConfig(bucket_capacity=256))
     queries = qry.xyz[:3_000]
@@ -61,11 +73,16 @@ def test_engine_vs_loop_exact(benchmark, frames_30k):
 
     loop_s = _best_of(lambda: knn_exact_instrumented(tree, queries, k), rounds=1)
     benchmark(lambda: knn_exact(tree, queries, k))
-    engine_s = _best_of(lambda: knn_exact(tree, queries, k), rounds=2)
+    engine_times = _timed_runs(lambda: knn_exact(tree, queries, k), rounds=2)
+    engine_s = min(engine_times)
     speedup = loop_s / engine_s
     benchmark.extra_info["loop_ms"] = round(loop_s * 1e3, 2)
     benchmark.extra_info["engine_ms"] = round(engine_s * 1e3, 2)
     benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    bench_engine.add(
+        "exact_batched", work=queries.shape[0], times_s=engine_times,
+        k=k, points=int(ref.xyz.shape[0]), speedup_vs_loop=round(speedup, 2),
+    )
     print(f"\nexact engine: loop {loop_s * 1e3:.1f} ms, "
           f"engine {engine_s * 1e3:.1f} ms, speedup {speedup:.1f}x")
     assert speedup >= 1.0

@@ -1,0 +1,147 @@
+"""``quicknn-experiments bench-diff``: the trajectory regression gate.
+
+Compares two ``BENCH_*.json`` trajectory artifacts (the
+``quicknn-bench-<area>/v1`` schema emitted by ``quicknn-serve bench
+--bench-json`` and the engine/build micro-benchmark sessions) and
+flags regressions *beyond the recorded noise*.
+
+The tolerance logic: every benchmark entry carries its per-repeat
+rates (``qps_runs``), so each file records how noisy its own
+measurement was.  A benchmark regresses only when the new best rate
+falls below the old best rate by more than::
+
+    max(rel_spread(old runs), rel_spread(new runs), min_spread)
+
+where ``rel_spread`` is ``(max - min) / max`` of the repeats and
+``min_spread`` (default 10%) is the floor that keeps a pair of
+suspiciously-quiet runs from gating on scheduler luck.  All rates are
+higher-is-better, matching the artifacts.
+
+Exit codes: 0 clean (or ``--warn-only``), 1 regression, 2 unusable
+input.  Benchmarks present in only one file are reported but never
+gate — a renamed or newly added benchmark is not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Default noise floor: differences under 10% never gate.  On the
+#: 1-core CI runner the recorded spreads routinely exceed this, so the
+#: effective tolerance is usually the artifact's own spread.
+DEFAULT_MIN_SPREAD = 0.10
+
+
+def load_trajectory(path: str) -> dict:
+    """Load and minimally validate one trajectory artifact."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema", "")
+    if not schema.startswith("quicknn-bench-"):
+        raise ValueError(
+            f"{path}: schema {schema!r} is not a quicknn-bench-*/v1 trajectory"
+        )
+    if not isinstance(doc.get("benchmarks"), list):
+        raise ValueError(f"{path}: missing 'benchmarks' list")
+    return doc
+
+
+def _rel_spread(runs: list[float]) -> float:
+    runs = [r for r in runs if r > 0]
+    if len(runs) < 2:
+        return 0.0
+    best = max(runs)
+    return (best - min(runs)) / best if best > 0 else 0.0
+
+
+def diff_trajectories(
+    old: dict, new: dict, *, min_spread: float = DEFAULT_MIN_SPREAD
+) -> list[dict]:
+    """Per-benchmark comparison rows; see the module docstring for rules.
+
+    Each row has ``name``, ``status`` (``ok`` / ``improved`` /
+    ``regressed`` / ``added`` / ``removed``), the old/new rates, the
+    ratio, and the tolerance that was applied.
+    """
+    old_by_name = {b["name"]: b for b in old["benchmarks"]}
+    new_by_name = {b["name"]: b for b in new["benchmarks"]}
+    rows: list[dict] = []
+    for name in sorted(old_by_name | new_by_name):
+        if name not in new_by_name:
+            rows.append({"name": name, "status": "removed",
+                         "old_qps": old_by_name[name].get("qps"),
+                         "new_qps": None, "ratio": None, "tolerance": None})
+            continue
+        if name not in old_by_name:
+            rows.append({"name": name, "status": "added", "old_qps": None,
+                         "new_qps": new_by_name[name].get("qps"),
+                         "ratio": None, "tolerance": None})
+            continue
+        o, n = old_by_name[name], new_by_name[name]
+        old_qps = float(o.get("qps", 0.0))
+        new_qps = float(n.get("qps", 0.0))
+        tolerance = max(
+            _rel_spread(o.get("qps_runs", [])),
+            _rel_spread(n.get("qps_runs", [])),
+            min_spread,
+        )
+        ratio = new_qps / old_qps if old_qps > 0 else float("inf")
+        if old_qps > 0 and new_qps < old_qps * (1.0 - tolerance):
+            status = "regressed"
+        elif old_qps > 0 and new_qps > old_qps * (1.0 + tolerance):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append({
+            "name": name, "status": status, "old_qps": old_qps,
+            "new_qps": new_qps, "ratio": ratio, "tolerance": tolerance,
+        })
+    return rows
+
+
+def format_report(rows: list[dict]) -> str:
+    """Human-readable table of a :func:`diff_trajectories` result."""
+    header = f"{'benchmark':40} {'old qps':>12} {'new qps':>12} " \
+             f"{'ratio':>7} {'tol':>6}  status"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        old_qps = "-" if row["old_qps"] is None else f"{row['old_qps']:,.1f}"
+        new_qps = "-" if row["new_qps"] is None else f"{row['new_qps']:,.1f}"
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+        tol = "-" if row["tolerance"] is None else f"{row['tolerance']:.0%}"
+        lines.append(
+            f"{row['name']:40} {old_qps:>12} {new_qps:>12} "
+            f"{ratio:>7} {tol:>6}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def run_diff(old_path: str, new_path: str, *,
+             min_spread: float = DEFAULT_MIN_SPREAD,
+             warn_only: bool = False, out=None) -> int:
+    """The ``bench-diff`` subcommand body; returns the exit code."""
+    out = out if out is not None else sys.stdout
+    try:
+        old = load_trajectory(old_path)
+        new = load_trajectory(new_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    if old.get("schema") != new.get("schema"):
+        print(
+            f"bench-diff: comparing different areas "
+            f"({old.get('schema')} vs {new.get('schema')})",
+            file=sys.stderr,
+        )
+        return 2
+    rows = diff_trajectories(old, new, min_spread=min_spread)
+    print(format_report(rows), file=out)
+    regressions = [r for r in rows if r["status"] == "regressed"]
+    if regressions:
+        names = ", ".join(r["name"] for r in regressions)
+        verdict = "WARN" if warn_only else "FAIL"
+        print(f"{verdict}: {len(regressions)} regression(s): {names}",
+              file=sys.stderr)
+        return 0 if warn_only else 1
+    return 0

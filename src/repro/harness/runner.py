@@ -7,6 +7,7 @@ Usage::
     quicknn-experiments all [--json out.json] # regenerate the whole evaluation
     quicknn-experiments all --workers 4       # fan out across processes
     quicknn-experiments report out.md         # markdown reproducibility report
+    quicknn-experiments bench-diff OLD NEW    # trajectory regression gate
 
 Every experiment-running subcommand also accepts the observability
 flags (see ``docs/observability.md``)::
@@ -85,6 +86,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("out", metavar="PATH", help="markdown file to write")
     _add_output_flags(report)
+    diff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json trajectory files and flag regressions",
+    )
+    diff.add_argument("old", metavar="OLD", help="baseline trajectory file")
+    diff.add_argument("new", metavar="NEW", help="candidate trajectory file")
+    diff.add_argument(
+        "--min-spread",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="noise floor as a fraction (default: 0.10); the effective "
+        "tolerance per benchmark is max(recorded spreads, this floor)",
+    )
+    diff.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for noisy CI runners)",
+    )
     return parser
 
 
@@ -162,6 +182,16 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in experiment_ids():
             print(exp_id)
         return 0
+
+    if args.command == "bench-diff":
+        from repro.harness.bench_diff import DEFAULT_MIN_SPREAD, run_diff
+
+        min_spread = (
+            DEFAULT_MIN_SPREAD if args.min_spread is None else args.min_spread
+        )
+        return run_diff(
+            args.old, args.new, min_spread=min_spread, warn_only=args.warn_only
+        )
 
     ids = args.exp_ids if args.command == "run" else experiment_ids()
     profiling = bool(args.profile or args.trace)

@@ -23,8 +23,10 @@ naming scheme and the profiling workflow.
 from repro.obs.export import (
     chrome_trace,
     profile_payload,
+    prometheus_text,
     write_chrome_trace,
     write_profile,
+    write_prometheus,
 )
 from repro.obs.registry import (
     Counter,
@@ -52,8 +54,10 @@ __all__ = [
     "enable",
     "get_registry",
     "profile_payload",
+    "prometheus_text",
     "set_registry",
     "use_registry",
     "write_chrome_trace",
     "write_profile",
+    "write_prometheus",
 ]

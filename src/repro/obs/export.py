@@ -1,6 +1,6 @@
-"""Exporters: flat dicts, profile JSON, and Chrome ``trace_event`` files.
+"""Exporters: flat dicts, profile JSON, Chrome traces, Prometheus text.
 
-Two file formats leave the registry:
+Three file formats leave the registry:
 
 * **profile JSON** — a plain object with the flat metric dict (and, for
   the experiment harness, per-experiment wall-clock); human- and
@@ -9,30 +9,54 @@ Two file formats leave the registry:
   (``{"traceEvents": [...]}``) that ``chrome://tracing`` and
   https://ui.perfetto.dev load directly.  Phase spans are complete
   events (``ph: "X"``) with microsecond ``ts``/``dur``; ``sample``
-  points are counter events (``ph: "C"``).
+  points are counter events (``ph: "C"``).  Events carry the real pid
+  and native thread id of whatever recorded them, and a registry that
+  merged worker deltas (:meth:`MetricsRegistry.merge_from`) emits one
+  ``process_name`` metadata record per pid — a multi-process serving
+  trace renders as one connected flame chart, each process on its own
+  labelled track.
+* **Prometheus text exposition** — the ``text/plain; version=0.0.4``
+  format scrape endpoints speak.  Dotted metric names flatten to
+  underscore form; counters gain the conventional ``_total`` suffix,
+  distributions and histograms export as summaries (``_count``/
+  ``_sum`` plus ``quantile``-labelled lines for histograms).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def chrome_trace(registry) -> dict:
     """The registry's recorded events as a Chrome trace object.
 
-    Always loadable, even for an empty or no-op registry; a metadata
-    event names the process so the timeline is labelled in the viewer.
+    Always loadable, even for an empty or no-op registry; metadata
+    events name every process that contributed events (the recording
+    process plus any merged worker registries) so the timeline tracks
+    are labelled in the viewer.
     """
+    labels: dict[int, str] = {
+        os.getpid(): getattr(registry, "process_label", "quicknn-repro")
+    }
+    labels.update(getattr(registry, "process_labels", {}))
+    recorded = registry.events
+    for event in recorded:  # label foreign pids even without a merge record
+        labels.setdefault(event.get("pid", 0), "quicknn-worker")
     events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
             "ts": 0,
-            "pid": 0,
-            "args": {"name": "quicknn-repro"},
+            "pid": pid,
+            "args": {"name": label},
         }
+        for pid, label in sorted(labels.items())
     ]
-    events.extend(registry.events)
+    events.extend(recorded)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -57,3 +81,68 @@ def write_profile(path: str, registry, **sections) -> None:
     """Serialize :func:`profile_payload` to ``path`` (indented JSON)."""
     with open(path, "w") as handle:
         json.dump(profile_payload(registry, **sections), handle, indent=2, default=str)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """A metric name in the exposition charset (dots become underscores)."""
+    flat = _PROM_NAME_RE.sub("_", name.replace(".", "_"))
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters export as ``<name>_total``, gauges as-is, distributions as
+    summaries (``_count``/``_sum``), histograms as summaries with the
+    registry's reported percentiles on ``quantile`` labels.  Output is
+    sorted by metric name so the exposition is byte-stable for a given
+    registry state — scrape-friendly and golden-testable.
+    """
+    lines: list[str] = []
+    snap = registry.snapshot()
+    for name, value in sorted(snap.get("counters", {}).items()):
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat}_total counter")
+        lines.append(f"{flat}_total {_prom_value(value)}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_prom_value(value)}")
+    for name, entry in sorted(snap.get("distributions", {}).items()):
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} summary")
+        lines.append(f"{flat}_count {int(entry.get('count', 0))}")
+        lines.append(f"{flat}_sum {_prom_value(entry.get('total', 0.0))}")
+    for name, entry in sorted(snap.get("histograms", {}).items()):
+        flat = _prom_name(name)
+        hist = registry.histogram(name)
+        lines.append(f"# TYPE {flat} summary")
+        for q in getattr(hist, "REPORTED_PERCENTILES", ()):
+            lines.append(
+                f'{flat}{{quantile="{q / 100.0}"}} '
+                f"{_prom_value(hist.percentile(q))}"
+            )
+        lines.append(f"{flat}_count {int(entry.get('count', 0))}")
+        lines.append(f"{flat}_sum {_prom_value(entry.get('total', 0.0))}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, registry) -> None:
+    """Serialize :func:`prometheus_text` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))

@@ -28,18 +28,42 @@ observes the elapsed seconds into the ``<name>.seconds`` distribution.
 ``phase(name)`` does the same and *additionally* records a Chrome
 ``trace_event`` span (when the registry was created with
 ``trace=True``), so nested phases render as a flame chart in
-``chrome://tracing`` / Perfetto.  ``sample(name, value)`` observes a
-distribution and, when tracing, also emits a trace *counter* track —
-used for per-iteration convergence curves.
+``chrome://tracing`` / Perfetto.  Trace events carry the recording
+process's real pid and native thread id, so spans from different
+processes land on separate tracks when merged.  ``phase(name,
+args={...})`` attaches arguments to the span — the serving layer uses
+this to stamp request ids onto every stage of a request's fan-out.
+``sample(name, value)`` observes a distribution and, when tracing,
+also emits a trace *counter* track — used for per-iteration
+convergence curves.
 
-The registry is deliberately not thread-safe beyond what the GIL
-provides: increments are single bytecode-level operations and the
-repo's hot paths are single-threaded NumPy batches.
+Thread-safety: ``Distribution.observe`` and ``Histogram.observe``
+mutate several fields per observation, so both take a per-instrument
+lock — the serving layer's replica threads hammer them concurrently.
+``Counter.inc`` / ``Gauge.set`` stay lock-free: a single in-place
+update whose worst interleaving loses one increment, which the repo's
+single-writer hot paths never hit (the serving coordinator serializes
+its own metric writes).  The :class:`NullRegistry` fast path is
+untouched — disabled instrumentation still costs only attribute
+lookups.
+
+Cross-process aggregation: a live registry can serialize its complete
+state (:meth:`MetricsRegistry.snapshot`), emit the *changes since its
+last flush* (:meth:`MetricsRegistry.flush_delta`), and fold another
+registry's snapshot or delta into itself
+(:meth:`MetricsRegistry.merge_from`).  The serving layer's worker
+processes run their own live registries and piggyback ``flush_delta``
+payloads on every result message; the coordinator merges them, so
+machine-wide ``engine.*`` truth survives the process boundary.  See
+``docs/observability.md`` ("Cross-process aggregation") for the
+payload layout and merge semantics.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import threading
 import time
 from contextlib import contextmanager
 
@@ -73,9 +97,14 @@ class Gauge:
 
 
 class Distribution:
-    """Streaming summary of a series of observations."""
+    """Streaming summary of a series of observations.
 
-    __slots__ = ("name", "count", "total", "min", "max", "last")
+    ``observe`` updates five fields; a per-instrument lock keeps
+    concurrent observers (the serving layer's replica threads) from
+    interleaving a torn summary.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last", "_lock")
     kind = "distribution"
 
     def __init__(self, name: str):
@@ -85,16 +114,18 @@ class Distribution:
         self.min = float("inf")
         self.max = float("-inf")
         self.last = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self.last = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.last = value
 
     @property
     def mean(self) -> float:
@@ -113,6 +144,39 @@ class Distribution:
             "last": self.last,
         }
 
+    # -- cross-process protocol ----------------------------------------
+    def state(self) -> dict:
+        """Full-fidelity serializable state (JSON/pickle-safe)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+    def merge(self, entry: dict) -> None:
+        """Fold a :meth:`state`-shaped summary (or delta) into this one.
+
+        ``count``/``total`` accumulate; ``min``/``max`` combine
+        order-independently; ``last`` is last-merged-wins.
+        """
+        add = int(entry.get("count", 0))
+        if add == 0:
+            return
+        with self._lock:
+            self.count += add
+            self.total += float(entry.get("total", 0.0))
+            other_min = float(entry.get("min", float("inf")))
+            other_max = float(entry.get("max", float("-inf")))
+            if other_min < self.min:
+                self.min = other_min
+            if other_max > self.max:
+                self.max = other_max
+            self.last = float(entry.get("last", self.last))
+
 
 class Histogram:
     """A distribution that can also answer percentile queries.
@@ -123,10 +187,16 @@ class Histogram:
     were observed.  Used where tail behavior is the point — the serving
     layer's latency metrics (``serve.latency.*``) report p50/p95/p99
     through this kind.
+
+    For the cross-process delta protocol the histogram additionally
+    buffers observations since the last :meth:`drain_pending` into a
+    second bounded reservoir, so a flush ships representative raw
+    samples (plus the exact count they stand for) instead of the whole
+    observation stream.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "last",
-                 "_reservoir", "_rng")
+                 "_reservoir", "_rng", "_lock", "_pending", "_pending_seen")
     kind = "histogram"
 
     #: Reservoir capacity; percentile error is sampling error over this
@@ -145,22 +215,34 @@ class Histogram:
         self.last = 0.0
         self._reservoir: list[float] = []
         self._rng = random.Random(name)
+        self._lock = threading.Lock()
+        self._pending: list[float] = []
+        self._pending_seen = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self.last = value
-        if len(self._reservoir) < self.RESERVOIR_SIZE:
-            self._reservoir.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self.RESERVOIR_SIZE:
-                self._reservoir[slot] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.last = value
+            if len(self._reservoir) < self.RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
+            # Same algorithm R over the flush window, feeding flush_delta.
+            self._pending_seen += 1
+            if len(self._pending) < self.RESERVOIR_SIZE:
+                self._pending.append(value)
+            else:
+                slot = self._rng.randrange(self._pending_seen)
+                if slot < self.RESERVOIR_SIZE:
+                    self._pending[slot] = value
 
     @property
     def mean(self) -> float:
@@ -168,9 +250,10 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0–100) of the sampled observations."""
-        if not self._reservoir:
+        with self._lock:
+            data = sorted(self._reservoir)
+        if not data:
             return 0.0
-        data = sorted(self._reservoir)
         if len(data) == 1:
             return data[0]
         pos = (q / 100.0) * (len(data) - 1)
@@ -191,7 +274,8 @@ class Histogram:
             "max": self.max,
             "last": self.last,
         }
-        data = sorted(self._reservoir)
+        with self._lock:
+            data = sorted(self._reservoir)
         for q in self.REPORTED_PERCENTILES:
             pos = (q / 100.0) * (len(data) - 1)
             lo = int(pos)
@@ -200,16 +284,88 @@ class Histogram:
             out[f"p{q}"] = data[lo] * (1.0 - frac) + data[hi] * frac
         return out
 
+    # -- cross-process protocol ----------------------------------------
+    def state(self) -> dict:
+        """Full-fidelity serializable state, reservoir included."""
+        if self.count == 0:
+            return {"count": 0}
+        with self._lock:
+            samples = list(self._reservoir)
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+            "samples": samples,
+        }
+
+    def drain_pending(self) -> tuple[list[float], int]:
+        """Samples buffered since the last drain, and the count they stand
+        for; resets the flush window."""
+        with self._lock:
+            samples, self._pending = self._pending, []
+            seen, self._pending_seen = self._pending_seen, 0
+        return samples, seen
+
+    def merge(self, entry: dict) -> None:
+        """Fold a :meth:`state`/delta summary plus its samples into this one.
+
+        The summary fields merge exactly (counts and totals add, the
+        extremes combine).  The reservoir merge is a weighted union: the
+        incoming samples stand for ``entry["count"]`` observations, the
+        resident reservoir for the prior count, and the merged reservoir
+        keeps a proportional draw from each side — approximate in the
+        same way reservoir percentiles already are.
+        """
+        add = int(entry.get("count", 0))
+        if add == 0:
+            return
+        samples = [float(v) for v in entry.get("samples", [])]
+        with self._lock:
+            self.count += add
+            self.total += float(entry.get("total", 0.0))
+            other_min = float(entry.get("min", float("inf")))
+            other_max = float(entry.get("max", float("-inf")))
+            if other_min < self.min:
+                self.min = other_min
+            if other_max > self.max:
+                self.max = other_max
+            self.last = float(entry.get("last", self.last))
+            if not samples:
+                return
+            if len(self._reservoir) + len(samples) <= self.RESERVOIR_SIZE:
+                self._reservoir.extend(samples)
+                return
+            # Proportional draw: keep RESERVOIR_SIZE items, split by the
+            # observation weight each side represents.
+            size = self.RESERVOIR_SIZE
+            take_new = min(
+                len(samples), max(1, round(size * add / self.count))
+            )
+            take_old = min(len(self._reservoir), size - take_new)
+            kept_old = (
+                self._reservoir if len(self._reservoir) == take_old
+                else self._rng.sample(self._reservoir, take_old)
+            )
+            kept_new = (
+                samples if len(samples) == take_new
+                else self._rng.sample(samples, take_new)
+            )
+            self._reservoir = list(kept_old) + list(kept_new)
+
 
 class _Span:
     """Context manager timing one region; optionally traced."""
 
-    __slots__ = ("_registry", "name", "cat", "_traced", "_start")
+    __slots__ = ("_registry", "name", "cat", "args", "_traced", "_start")
 
-    def __init__(self, registry: "MetricsRegistry", name: str, *, traced: bool):
+    def __init__(self, registry: "MetricsRegistry", name: str, *,
+                 traced: bool, args: dict | None = None):
         self._registry = registry
         self.name = name
         self.cat = name.split(".", 1)[0]
+        self.args = args
         self._traced = traced and registry.trace_enabled
         self._start = 0.0
 
@@ -222,33 +378,48 @@ class _Span:
         reg = self._registry
         reg.distribution(f"{self.name}.seconds").observe(end - self._start)
         if self._traced:
-            reg._events.append(
-                {
-                    "name": self.name,
-                    "cat": self.cat,
-                    "ph": "X",
-                    "ts": (self._start - reg._t0) * 1e6,
-                    "dur": (end - self._start) * 1e6,
-                    "pid": 0,
-                    "tid": 0,
-                }
-            )
+            event = {
+                "name": self.name,
+                "cat": self.cat,
+                "ph": "X",
+                "ts": (self._start - reg._t0) * 1e6,
+                "dur": (end - self._start) * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_native_id(),
+            }
+            if self.args is not None:
+                event["args"] = self.args
+            reg._events.append(event)
         return False
 
 
 class MetricsRegistry:
-    """A live registry: metrics accumulate, spans time, traces record."""
+    """A live registry: metrics accumulate, spans time, traces record.
+
+    ``process_label`` names this process in merged Chrome traces
+    (worker processes set it to ``quicknn-worker-<id>``).
+    """
 
     enabled = True
 
-    def __init__(self, *, trace: bool = False):
+    def __init__(self, *, trace: bool = False,
+                 process_label: str = "quicknn-repro"):
         self.trace_enabled = trace
+        self.process_label = process_label
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._distributions: dict[str, Distribution] = {}
         self._histograms: dict[str, Histogram] = {}
         self._events: list[dict] = []
         self._t0 = time.perf_counter()
+        # Cross-process bookkeeping: per-pid labels of merged registries
+        # and the flush baselines of the delta protocol.
+        self._process_labels: dict[int, str] = {}
+        self._flushed_counters: dict[str, float] = {}
+        self._flushed_gauges: dict[str, float] = {}
+        self._flushed_dists: dict[str, tuple[int, float]] = {}
+        self._flushed_hists: dict[str, tuple[int, float]] = {}
+        self._events_flushed = 0
 
     # -- metric accessors (get-or-create) ------------------------------
     def counter(self, name: str) -> Counter:
@@ -276,9 +447,13 @@ class MetricsRegistry:
         return metric
 
     # -- timing --------------------------------------------------------
-    def phase(self, name: str) -> _Span:
-        """Timed span that also records a Chrome-trace slice."""
-        return _Span(self, name, traced=True)
+    def phase(self, name: str, args: dict | None = None) -> _Span:
+        """Timed span that also records a Chrome-trace slice.
+
+        ``args`` lands on the trace event (request/job ids, sizes …)
+        so merged multi-process traces stay navigable.
+        """
+        return _Span(self, name, traced=True, args=args)
 
     def timer(self, name: str) -> _Span:
         """Timed span without a trace slice (cheap, hot-path safe)."""
@@ -294,7 +469,7 @@ class MetricsRegistry:
                     "cat": name.split(".", 1)[0],
                     "ph": "C",
                     "ts": (time.perf_counter() - self._t0) * 1e6,
-                    "pid": 0,
+                    "pid": os.getpid(),
                     "args": {"value": float(value)},
                 }
             )
@@ -316,17 +491,133 @@ class MetricsRegistry:
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> dict:
-        """Structured view: one sub-dict per metric kind."""
+        """Full-fidelity serializable state: one sub-dict per metric kind.
+
+        Unlike :meth:`as_dict` (the flat human/JSON report view), a
+        snapshot carries everything :meth:`merge_from` needs to
+        reconstruct the metrics in another registry — including each
+        histogram's sampled reservoir (``samples``).  ``t0``/``pid``/
+        ``process_label`` identify the recording process so trace
+        timestamps can be rebased at merge time.
+        """
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "distributions": {
-                n: d.as_dict() for n, d in sorted(self._distributions.items())
+                n: d.state() for n, d in sorted(self._distributions.items())
             },
             "histograms": {
-                n: h.as_dict() for n, h in sorted(self._histograms.items())
+                n: h.state() for n, h in sorted(self._histograms.items())
             },
+            "events": list(self._events),
+            "t0": self._t0,
+            "pid": os.getpid(),
+            "process_label": self.process_label,
         }
+
+    def flush_delta(self) -> dict:
+        """Changes since the previous ``flush_delta`` (serializable).
+
+        Counters ship their increment, gauges their current value (only
+        when changed), distributions/histograms a summary delta whose
+        ``count``/``total`` are increments and whose ``min``/``max``/
+        ``last`` are the cumulative values (extremes merge
+        idempotently).  Histogram deltas carry the raw samples buffered
+        over the flush window.  Trace events recorded since the last
+        flush are included verbatim.  The caller feeds the payload to
+        another registry's :meth:`merge_from`; flushing is how worker
+        processes stream their metrics to the serving coordinator.
+        """
+        counters: dict[str, float] = {}
+        for name, c in self._counters.items():
+            delta = c.value - self._flushed_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+                self._flushed_counters[name] = c.value
+        gauges: dict[str, float] = {}
+        for name, g in self._gauges.items():
+            if self._flushed_gauges.get(name) != g.value:
+                gauges[name] = g.value
+                self._flushed_gauges[name] = g.value
+        dists: dict[str, dict] = {}
+        for name, d in self._distributions.items():
+            count0, total0 = self._flushed_dists.get(name, (0, 0.0))
+            if d.count != count0:
+                dists[name] = {
+                    "count": d.count - count0,
+                    "total": d.total - total0,
+                    "min": d.min,
+                    "max": d.max,
+                    "last": d.last,
+                }
+                self._flushed_dists[name] = (d.count, d.total)
+        hists: dict[str, dict] = {}
+        for name, h in self._histograms.items():
+            samples, seen = h.drain_pending()
+            if seen:
+                total0 = self._flushed_hists.get(name, (0, 0.0))[1]
+                hists[name] = {
+                    "count": seen,
+                    "total": h.total - total0,
+                    "min": h.min,
+                    "max": h.max,
+                    "last": h.last,
+                    "samples": samples,
+                }
+                self._flushed_hists[name] = (h.count, h.total)
+        events = self._events[self._events_flushed:]
+        self._events_flushed = len(self._events)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "distributions": dists,
+            "histograms": hists,
+            "events": list(events),
+            "t0": self._t0,
+            "pid": os.getpid(),
+            "process_label": self.process_label,
+        }
+
+    def merge_from(self, payload: dict, prefix: str = "") -> None:
+        """Fold a :meth:`snapshot` or :meth:`flush_delta` into this registry.
+
+        Counters accumulate, gauges are last-merged-wins, distribution
+        and histogram summaries combine per their ``merge`` rules.
+        With ``prefix`` every metric name is prefixed (the serving
+        coordinator merges each worker delta twice: once into the
+        machine-wide names and once under ``worker.<id>.`` for the
+        per-worker breakdown) and trace events are skipped — events
+        merge only on the unprefixed pass, rebased from the source
+        registry's clock origin onto this one's so the merged timeline
+        is coherent.  Callers sharing a registry across threads must
+        serialize ``merge_from`` calls themselves.
+        """
+        if prefix and not prefix.endswith("."):
+            prefix += "."
+        for name, delta in payload.get("counters", {}).items():
+            if delta:
+                self.counter(prefix + name).inc(delta)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(prefix + name).set(value)
+        for name, entry in payload.get("distributions", {}).items():
+            self.distribution(prefix + name).merge(entry)
+        for name, entry in payload.get("histograms", {}).items():
+            self.histogram(prefix + name).merge(entry)
+        if prefix:
+            return
+        pid = payload.get("pid")
+        label = payload.get("process_label")
+        if pid is not None and label and pid != os.getpid():
+            self._process_labels[pid] = label
+        events = payload.get("events", [])
+        if events and self.trace_enabled:
+            # perf_counter is CLOCK_MONOTONIC on the platforms we run
+            # on, so a cross-process rebase is a pure origin shift.
+            shift = (payload.get("t0", self._t0) - self._t0) * 1e6
+            for event in events:
+                moved = dict(event)
+                moved["ts"] = event.get("ts", 0.0) + shift
+                self._events.append(moved)
 
     def as_dict(self) -> dict:
         """Flat view: dotted names to scalars (distributions expanded)."""
@@ -348,6 +639,11 @@ class MetricsRegistry:
         """Recorded trace events (spans and counter samples)."""
         return list(self._events)
 
+    @property
+    def process_labels(self) -> dict[int, str]:
+        """Labels of merged foreign processes, keyed by pid."""
+        return dict(self._process_labels)
+
     def chrome_trace(self) -> dict:
         """The trace in Chrome ``trace_event`` JSON object format."""
         from repro.obs.export import chrome_trace
@@ -361,6 +657,12 @@ class MetricsRegistry:
         self._distributions.clear()
         self._histograms.clear()
         self._events.clear()
+        self._process_labels.clear()
+        self._flushed_counters.clear()
+        self._flushed_gauges.clear()
+        self._flushed_dists.clear()
+        self._flushed_hists.clear()
+        self._events_flushed = 0
         self._t0 = time.perf_counter()
 
 
@@ -385,6 +687,9 @@ class _NullMetric:
 
     def percentile(self, q: float) -> float:
         return 0.0
+
+    def merge(self, entry: dict) -> None:
+        pass
 
     def as_dict(self) -> dict:
         return {}
@@ -414,6 +719,7 @@ class NullRegistry:
 
     enabled = False
     trace_enabled = False
+    process_label = "quicknn-repro"
 
     def counter(self, name: str) -> _NullMetric:
         return _NULL_METRIC
@@ -427,7 +733,7 @@ class NullRegistry:
     def histogram(self, name: str) -> _NullMetric:
         return _NULL_METRIC
 
-    def phase(self, name: str) -> _NullSpan:
+    def phase(self, name: str, args: dict | None = None) -> _NullSpan:
         return _NULL_SPAN
 
     def timer(self, name: str) -> _NullSpan:
@@ -442,12 +748,22 @@ class NullRegistry:
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "distributions": {}, "histograms": {}}
 
+    def flush_delta(self) -> dict:
+        return {"counters": {}, "gauges": {}, "distributions": {}, "histograms": {}}
+
+    def merge_from(self, payload: dict, prefix: str = "") -> None:
+        pass
+
     def as_dict(self) -> dict:
         return {}
 
     @property
     def events(self) -> list[dict]:
         return []
+
+    @property
+    def process_labels(self) -> dict[int, str]:
+        return {}
 
     def chrome_trace(self) -> dict:
         from repro.obs.export import chrome_trace

@@ -36,6 +36,7 @@ import secrets
 import threading
 from typing import TYPE_CHECKING, Callable
 
+from repro.obs import get_registry
 from repro.serve import shm as shm_mod
 from repro.serve.errors import WorkerError
 
@@ -163,9 +164,15 @@ class ThreadBackend(ExecutionBackend):
                 if job.finished or job.shard_done[slot]:
                     continue  # hedge lost the race, or job already failed
             try:
-                indices, distances = job.shards[slot].search(
-                    job.q, job.k, job.budget
-                )
+                with get_registry().phase(
+                    "serve.worker.search",
+                    args={"job_id": job.job_id,
+                          "request_ids": job.request_ids,
+                          "shard": slot},
+                ):
+                    indices, distances = job.shards[slot].search(
+                        job.q, job.k, job.budget
+                    )
             except Exception as exc:
                 server._shard_failed(job, slot, exc)
                 continue
@@ -253,6 +260,10 @@ class ProcessBackend(ExecutionBackend):
 
         execution = self._server.config.execution
         per_shard = execution.processes_per_shard(self._server.config.n_replicas)
+        # The coordinator's observability choice at start is what the
+        # workers inherit — spawn'd children see none of our globals.
+        obs = get_registry()
+        obs_config = {"enabled": obs.enabled, "trace": obs.trace_enabled}
         try:
             self._slot_workers = [[] for _ in shards]
             self._rr = [itertools.count() for _ in shards]
@@ -264,7 +275,8 @@ class ProcessBackend(ExecutionBackend):
                     recv_conn, send_conn = self._ctx.Pipe(duplex=False)
                     p = self._ctx.Process(
                         target=worker_main,
-                        args=(worker_id, slot, task_queue, send_conn),
+                        args=(worker_id, slot, task_queue, send_conn,
+                              obs_config),
                         name=f"serve-shard{slot}-p{replica}",
                         daemon=True,
                     )
@@ -328,7 +340,8 @@ class ProcessBackend(ExecutionBackend):
             name = self._segment_names.get((job.generation, slot))
         if name is None:
             return  # generation already retired — the job is being torn down
-        task = (job.job_id, job.generation, name, job.q, job.k, job.budget)
+        task = (job.job_id, job.generation, name, job.q, job.k, job.budget,
+                job.request_ids)
         workers = self._slot_workers[slot]
         start = next(self._rr[slot])
         for i in range(len(workers)):
@@ -363,11 +376,15 @@ class ProcessBackend(ExecutionBackend):
                     return  # worker exited (or was killed) — pipe closed
                 except Exception:  # pragma: no cover - truncated stream
                     return  # a kill mid-send leaves nothing to resync to
-                kind, worker_id, job_id, slot, payload, counters = msg
+                kind, worker_id, job_id, slot, payload, counters, metrics = msg
                 if counters is not None:
                     with self._counter_lock:
                         self._worker_counters[worker_id] = counters
                     server._ingest(counters, prefix=f"serve.worker.{worker_id}")
+                if metrics is not None:
+                    # Merge before completing the result it rode in on,
+                    # so a resolved future implies merged metrics.
+                    server._merge_worker_metrics(worker_id, metrics)
                 if kind == "bye":
                     continue  # farewell; EOF follows
                 with worker["lock"]:

@@ -36,6 +36,7 @@ class ServeRequest:
     arrival: float = 0.0            # monotonic admission time
     deadline: float | None = None   # monotonic; None = no timeout
     served: str = "exact"           # what actually ran (set at dispatch)
+    request_id: int = -1            # server-assigned trace id (set at submit)
 
     @property
     def n_rows(self) -> int:

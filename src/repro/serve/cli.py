@@ -20,7 +20,18 @@ Three subcommands:
 All subcommands accept ``--json PATH`` to write the full report as a
 machine-readable artifact, including a snapshot of the ``serve.*``
 metrics, and ``--backend {thread,process}`` to pick the execution
-backend (see ``docs/serving.md``).
+backend (see ``docs/serving.md``).  Observability flags work under
+*both* backends — worker processes stream their metric deltas and
+trace spans back to the coordinator:
+
+* ``--profile PATH`` — full machine-wide metric dump (JSON), including
+  the worker-side ``engine.*`` totals and per-worker ``worker.<i>.*``
+  breakdowns;
+* ``--trace PATH`` — one merged Chrome/Perfetto trace with every
+  process on its own labelled track, spans stamped with request ids;
+* ``--prom PATH`` — Prometheus text exposition of the same registry;
+* ``--stats-interval S`` — a periodic one-line server stats report on
+  stderr (``load``/``smoke`` default to 1s; ``bench`` is opt-in).
 """
 
 from __future__ import annotations
@@ -29,11 +40,18 @@ import argparse
 import json
 import platform
 import sys
+import threading
 
 import numpy as np
 
 from repro.datasets import lidar_frame
-from repro.obs import MetricsRegistry, set_registry
+from repro.obs import (
+    MetricsRegistry,
+    set_registry,
+    write_chrome_trace,
+    write_profile,
+    write_prometheus,
+)
 from repro.serve.backends import available_backends
 from repro.serve.config import ExecutionConfig, ServeConfig
 from repro.serve.loadgen import run_closed_loop, run_open_loop
@@ -71,6 +89,19 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mode", choices=("exact", "approx"), default="exact")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the report as JSON to PATH ('-' = stdout)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="write the machine-wide metric profile (JSON, "
+                        "worker-side engine.* included) to PATH")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans and write one merged Chrome/"
+                        "Perfetto trace (all processes) to PATH")
+    parser.add_argument("--prom", metavar="PATH", default=None,
+                        help="write a Prometheus text exposition of the "
+                        "metrics to PATH")
+    parser.add_argument("--stats-interval", type=float, default=None,
+                        metavar="S",
+                        help="print a server stats line to stderr every S "
+                        "seconds (0 disables; load/smoke default 1s)")
 
 
 def _make_config(args, *, backend: str | None = None) -> ServeConfig:
@@ -113,8 +144,76 @@ def _serve_metrics(registry: MetricsRegistry) -> dict:
     }
 
 
+def _make_registry(args) -> MetricsRegistry:
+    """The run's live registry; tracing on iff ``--trace`` asked for it."""
+    registry = MetricsRegistry(trace=args.trace is not None)
+    set_registry(registry)
+    return registry
+
+
+def _write_obs_artifacts(registry: MetricsRegistry, args, **sections) -> None:
+    if args.profile:
+        write_profile(args.profile, registry, **sections)
+    if args.trace:
+        write_chrome_trace(args.trace, registry)
+    if args.prom:
+        write_prometheus(args.prom, registry)
+
+
+def _stats_line(stats: dict) -> str:
+    counters = stats["counters"]
+
+    def c(name):
+        return int(counters.get(f"serve.{name}", 0))
+
+    return (
+        f"[stats] gen={stats['generation']} queue={stats['queue_rows']} "
+        f"inflight={stats['inflight_jobs']} degrade={stats['degrade_level']} "
+        f"completed={c('completed')} shed={c('shed')} "
+        f"timeouts={c('timeouts')} retries={c('retries')} "
+        f"errors={c('errors')}"
+    )
+
+
+class _StatsReporter:
+    """Background thread printing one server stats line per interval.
+
+    The CLI's live surface: ``quicknn-serve load --stats-interval 1``
+    shows queue depth, degradation level, and the lifetime counters
+    while the run is in progress, on stderr so report parsing of
+    stdout/``--json`` stays clean.  A non-positive interval disables
+    the reporter entirely (zero threads started).
+    """
+
+    def __init__(self, server: KnnServer, interval_s: float | None):
+        self._server = server
+        self._interval = interval_s or 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "_StatsReporter":
+        if self._interval > 0:
+            self._thread = threading.Thread(
+                target=self._run, name="serve-stats", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                print(_stats_line(self._server.stats()), file=sys.stderr)
+            except Exception:  # pragma: no cover - racing server close
+                return
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+
 def _bench_arm(reference, queries, config, args, *, concurrency: int,
-               repeats: int) -> dict:
+               repeats: int, stats_interval: float = 0.0) -> dict:
     """Run one closed-loop arm ``repeats`` times; report the best run.
 
     Best-of is the standard defence against scheduler noise on shared
@@ -124,7 +223,8 @@ def _bench_arm(reference, queries, config, args, *, concurrency: int,
     """
     best = None
     runs = []
-    with KnnServer(reference, config) as server:
+    with KnnServer(reference, config) as server, \
+            _StatsReporter(server, stats_interval):
         for _ in range(repeats):
             report = run_closed_loop(
                 server, queries, args.k, mode=args.mode,
@@ -214,15 +314,17 @@ def _bench_artifact(bench: dict, args) -> dict:
 
 
 def _cmd_bench(args) -> int:
-    registry = MetricsRegistry()
-    set_registry(registry)
+    registry = _make_registry(args)
+    stats_interval = args.stats_interval or 0.0   # opt-in for bench
     reference, queries = _workload(args)
     queries = queries[: args.queries]
     config = _make_config(args)
     baseline = _bench_arm(reference, queries, config, args,
-                          concurrency=1, repeats=args.repeats)
+                          concurrency=1, repeats=args.repeats,
+                          stats_interval=stats_interval)
     batched = _bench_arm(reference, queries, config, args,
-                         concurrency=args.concurrency, repeats=args.repeats)
+                         concurrency=args.concurrency, repeats=args.repeats,
+                         stats_interval=stats_interval)
     speedup = (
         batched["throughput_qps"] / baseline["throughput_qps"]
         if baseline["throughput_qps"] > 0
@@ -261,6 +363,7 @@ def _cmd_bench(args) -> int:
         )
     payload = {"bench": bench, "metrics": _serve_metrics(registry)}
     _emit(payload, args.json)
+    _write_obs_artifacts(registry, args, bench=bench)
     if args.bench_json:
         with open(args.bench_json, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(_bench_artifact(bench, args), indent=2,
@@ -285,11 +388,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_load(args) -> int:
-    registry = MetricsRegistry()
-    set_registry(registry)
+    registry = _make_registry(args)
+    stats_interval = (
+        1.0 if args.stats_interval is None else args.stats_interval
+    )
     reference, queries = _workload(args)
     config = _make_config(args)
-    with KnnServer(reference, config) as server:
+    with KnnServer(reference, config) as server, \
+            _StatsReporter(server, stats_interval):
         report = run_open_loop(
             server, queries, args.k, mode=args.mode,
             rate_qps=args.rate, duration_s=args.duration,
@@ -307,6 +413,7 @@ def _cmd_load(args) -> int:
         "metrics": _serve_metrics(registry),
     }
     _emit(payload, args.json)
+    _write_obs_artifacts(registry, args, load=report.as_dict())
     print(
         f"offered {report.offered} | completed {report.completed} | "
         f"shed {report.shed} | timed out {report.timed_out} | "

@@ -101,6 +101,7 @@ class ServeResponse:
     budget: int | None
     latency_s: float
     generation: int
+    request_id: int = -1    # the trace id assigned at admission
 
     @property
     def degraded(self) -> bool:
@@ -114,15 +115,16 @@ class _BatchJob:
     """One engine call's worth of coalesced rows, fanned out to shards."""
 
     __slots__ = (
-        "job_id", "requests", "q", "k", "budget", "shards", "generation",
-        "degrade_level", "lock", "results", "shard_done", "hedged",
-        "attempts", "n_done", "finished", "dispatched_at",
+        "job_id", "requests", "request_ids", "q", "k", "budget", "shards",
+        "generation", "degrade_level", "lock", "results", "shard_done",
+        "hedged", "attempts", "n_done", "finished", "dispatched_at",
     )
 
     def __init__(self, job_id, requests, q, k, budget, shards, generation,
                  degrade_level, dispatched_at):
         self.job_id: int = job_id
         self.requests: list[ServeRequest] = requests
+        self.request_ids: list[int] = [r.request_id for r in requests]
         self.q = q                       # (rows, 3) concatenated queries
         self.k = k
         self.budget = budget             # None = unbounded exact
@@ -242,6 +244,11 @@ class KnnServer:
         self._gen_inflight: dict[int, int] = {}
         self._retired_gens: set[int] = set()
         self._job_ids = itertools.count()
+        self._request_ids = itertools.count()
+        self._started_at = self._clock()
+        #: Always-on internal counters (shed/timeouts/retries/…) — the
+        #: structured ``stats()`` surface must not depend on obs being on.
+        self._stat_counters: dict[str, float] = {}
         self._batcher = MicroBatcher(
             max_batch_size=self.config.max_batch_size,
             max_delay_s=self.config.max_delay_s,
@@ -289,11 +296,17 @@ class KnnServer:
         request = ServeRequest(
             xyz=np.ascontiguousarray(q), k=k, mode=mode,
             allow_degraded=allow_degraded,
+            request_id=next(self._request_ids),
         )
         if self.config.request_timeout_s is not None:
             request.deadline = self._clock() + self.config.request_timeout_s
         try:
-            self._batcher.submit(request)
+            with get_registry().phase(
+                "serve.admit",
+                args={"request_id": request.request_id,
+                      "rows": request.n_rows},
+            ):
+                self._batcher.submit(request)
         except Exception:
             self._count("serve.shed", 1)
             raise
@@ -383,21 +396,35 @@ class KnnServer:
         return paths
 
     def stats(self) -> dict:
-        """Operational snapshot: shards, queue, generation, execution."""
+        """Structured operational snapshot.
+
+        Always available — the lifetime ``counters`` (requests, rows,
+        completions, sheds, timeouts, retries, hedges, errors …) are
+        maintained by the server itself, independent of whether the
+        observability registry is enabled.  ``execution`` is the
+        backend's own :meth:`~repro.serve.backends.ExecutionBackend.
+        describe` snapshot (under the process backend it includes
+        worker pids, liveness, and per-worker cumulative counters).
+        """
         with self._swap_lock:
             plan = self._plan
             generation = self._generation
         with self._inflight_lock:
             inflight = len(self._inflight)
+        with self._obs_lock:
+            counters = dict(self._stat_counters)
         execution = self._backend.describe()
         return {
             "plan": plan.describe(),
             "generation": generation,
             "queue_rows": self._batcher.depth(),
+            "queue_fill": self._batcher.fill_fraction(),
             "inflight_jobs": inflight,
             "degrade_level": self._degrade_level(self._batcher.fill_fraction()),
             "execution": execution,
             "n_worker_threads": execution.get("n_worker_threads", 0),
+            "counters": counters,
+            "uptime_s": self._clock() - self._started_at,
             "closed": self._closed,
         }
 
@@ -487,9 +514,9 @@ class KnnServer:
         fill = (batch_rows + self._batcher.depth()) / self.config.max_queue
         level = self._degrade_level(fill)
         obs = get_registry()
+        self._count("serve.batches", 1)
         if obs.enabled:
             with self._obs_lock:
-                obs.counter("serve.batches").inc()
                 obs.gauge("serve.queue_depth").set(self._batcher.depth())
                 obs.gauge("serve.degrade_level").set(level)
                 obs.distribution("serve.batch_fill").observe(batch_rows)
@@ -534,8 +561,14 @@ class KnnServer:
                 self._gen_inflight[generation] = (
                     self._gen_inflight.get(generation, 0) + 1
                 )
-            for slot in range(len(shards)):
-                self._backend.submit(job, slot)
+            with obs.phase(
+                "serve.dispatch",
+                args={"job_id": job.job_id,
+                      "request_ids": job.request_ids,
+                      "rows": int(job.q.shape[0])},
+            ):
+                for slot in range(len(shards)):
+                    self._backend.submit(job, slot)
 
     # ------------------------------------------------------------------
     # Shard completion (called by the execution backend)
@@ -585,11 +618,15 @@ class KnnServer:
             job.finished = True
         self._drop_inflight(job)
         parts = job.results
-        indices, distances = merge_topk(
-            [p[0] for p in parts], [p[1] for p in parts], job.k
-        )
-        now = self._clock()
         obs = get_registry()
+        with obs.phase(
+            "serve.merge",
+            args={"job_id": job.job_id, "request_ids": job.request_ids},
+        ):
+            indices, distances = merge_topk(
+                [p[0] for p in parts], [p[1] for p in parts], job.k
+            )
+        now = self._clock()
         row = 0
         for request in job.requests:
             rows = slice(row, row + request.n_rows)
@@ -603,16 +640,17 @@ class KnnServer:
                 budget=job.budget,
                 latency_s=now - request.arrival,
                 generation=job.generation,
+                request_id=request.request_id,
             )
             if _try_set_result(request.future, response):
+                self._count("serve.completed", 1)
+                if response.degraded:
+                    self._count("serve.degraded", 1)
                 if obs.enabled:
                     with self._obs_lock:
                         obs.histogram("serve.latency_ms").observe(
                             response.latency_s * 1e3
                         )
-                        obs.counter("serve.completed").inc()
-                        if response.degraded:
-                            obs.counter("serve.degraded").inc()
 
     def _drop_inflight(self, job: _BatchJob) -> None:
         with self._inflight_lock:
@@ -703,8 +741,9 @@ class KnnServer:
     # ------------------------------------------------------------------
     def _count(self, name: str, n: int) -> None:
         obs = get_registry()
-        if obs.enabled:
-            with self._obs_lock:
+        with self._obs_lock:
+            self._stat_counters[name] = self._stat_counters.get(name, 0) + n
+            if obs.enabled:
                 obs.counter(name).inc(n)
 
     def _ingest(self, mapping: dict, prefix: str) -> None:
@@ -713,3 +752,22 @@ class KnnServer:
         if obs.enabled:
             with self._obs_lock:
                 obs.ingest(mapping, prefix=prefix)
+
+    def _merge_worker_metrics(self, worker_id: str, payload: dict) -> None:
+        """Fold one worker's ``flush_delta`` payload into the registry.
+
+        Called by the process backend's collector threads *before* the
+        result that carried the payload is completed, so by the time a
+        request's future resolves the worker-side metrics behind it are
+        already merged.  Each delta lands twice: once on the
+        machine-wide names (``engine.*`` totals become backend-agnostic
+        truth) and once under ``worker.<id>.*`` for the per-worker
+        breakdown.  ``merge_from`` is not internally synchronized, so
+        both passes run under the server's obs lock.
+        """
+        obs = get_registry()
+        if not obs.enabled:
+            return
+        with self._obs_lock:
+            obs.merge_from(payload)
+            obs.merge_from(payload, prefix=f"worker.{worker_id}")

@@ -13,6 +13,20 @@ doubles as the worker's death notice.  All policy — degradation,
 hedging, retries, timeouts, merge — stays in the coordinator; a worker
 is a pure compute loop.
 
+Observability: when the coordinator runs with profiling on it passes
+``obs_config`` and the worker enables its own live
+:class:`~repro.obs.registry.MetricsRegistry` (labelled
+``quicknn-worker-<id>``) before touching any instrumented code, so
+every ``engine.*`` counter and histogram the search path emits lands
+worker-side.  Each reply piggybacks the registry's ``flush_delta()``
+payload and the farewell carries a final flush, so the coordinator's
+registry converges to machine-wide truth — and because a flush rides
+on *every* message, a SIGKILLed worker's already-flushed deltas
+survive it.  With tracing on, each task executes inside a
+``serve.worker.search`` span stamped with the job id and the request
+ids it serves, carrying this process's real pid/tid into the merged
+Chrome trace.
+
 Robustness rules:
 
 * a task for a segment that cannot be attached (vanished mid-swap,
@@ -89,17 +103,40 @@ def _graceful_term(signum, frame):  # pragma: no cover - signal path
     raise SystemExit(0)
 
 
-def worker_main(worker_id: str, slot: int, task_queue, result_conn) -> None:
+def _enable_obs(worker_id: str, obs_config: dict | None):
+    """Install this worker's live registry when the coordinator profiles.
+
+    Must run before any instrumented code executes — the engine reads
+    the active registry per call, so enabling first guarantees every
+    ``engine.*`` metric of every task lands in this registry.
+    """
+    if not obs_config or not obs_config.get("enabled"):
+        return None
+    from repro.obs.registry import MetricsRegistry, set_registry
+
+    registry = MetricsRegistry(
+        trace=bool(obs_config.get("trace")),
+        process_label=f"quicknn-worker-{worker_id}",
+    )
+    set_registry(registry)
+    return registry
+
+
+def worker_main(worker_id: str, slot: int, task_queue, result_conn,
+                obs_config: dict | None = None) -> None:
     """Entry point of one shard-replica worker process.
 
     ``task_queue`` yields ``(job_id, generation, segment_name, q, k,
-    budget)`` tuples, or ``None`` as the shutdown sentinel.  Replies on
-    ``result_conn`` (this worker's private pipe) are ``(kind,
-    worker_id, job_id, slot, payload, counters)`` with kind ``result``
-    (payload ``(indices, distances)``), ``error`` (payload the
-    exception), or ``bye`` (farewell).
+    budget, request_ids)`` tuples, or ``None`` as the shutdown
+    sentinel.  Replies on ``result_conn`` (this worker's private pipe)
+    are ``(kind, worker_id, job_id, slot, payload, counters, metrics)``
+    with kind ``result`` (payload ``(indices, distances)``), ``error``
+    (payload the exception), or ``bye`` (farewell); ``metrics`` is the
+    worker registry's ``flush_delta()`` payload, or ``None`` when the
+    coordinator is not profiling (``obs_config`` absent/disabled).
     """
     signal.signal(signal.SIGTERM, _graceful_term)
+    registry = _enable_obs(worker_id, obs_config)
     counters = {
         "pid": os.getpid(),
         "tasks": 0,
@@ -107,35 +144,48 @@ def worker_main(worker_id: str, slot: int, task_queue, result_conn) -> None:
         "errors": 0,
         "attaches": 0,
     }
+
+    def _flush():
+        return registry.flush_delta() if registry is not None else None
+
     cache = _ShardCache(counters)
     try:
         while True:
             task = task_queue.get()
             if task is None:
                 return
-            job_id, generation, segment_name, q, k, budget = task
+            job_id, generation, segment_name, q, k, budget, request_ids = task
             try:
                 state = cache.get(generation, segment_name)
-                indices, distances = state.search(q, k, budget)
+                if registry is not None:
+                    span_args = {"job_id": job_id, "worker": worker_id}
+                    if request_ids is not None:
+                        span_args["request_ids"] = request_ids
+                    with registry.phase("serve.worker.search", args=span_args):
+                        indices, distances = state.search(q, k, budget)
+                else:
+                    indices, distances = state.search(q, k, budget)
             except Exception as exc:
                 counters["errors"] += 1
                 result_conn.send(
                     ("error", worker_id, job_id, slot,
-                     _portable_exc(exc), dict(counters))
+                     _portable_exc(exc), dict(counters), _flush())
                 )
                 continue
             counters["tasks"] += 1
             counters["rows"] += int(q.shape[0])
             result_conn.send(
                 ("result", worker_id, job_id, slot,
-                 (indices, distances), dict(counters))
+                 (indices, distances), dict(counters), _flush())
             )
     except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
         return
     finally:
         cache.close()
         try:
-            result_conn.send(("bye", worker_id, None, slot, None, dict(counters)))
+            result_conn.send(
+                ("bye", worker_id, None, slot, None, dict(counters), _flush())
+            )
         except Exception:  # pragma: no cover - pipe already torn down
             pass
         try:

@@ -1,0 +1,174 @@
+"""The bench-diff regression gate: tolerance math and CLI wiring.
+
+Synthetic ``quicknn-bench-*/v1`` artifacts exercise every verdict the
+gate can return — clean, within-noise, regressed, warn-only, renamed
+benchmarks, and unusable inputs — plus the effective-tolerance rule:
+``max(rel_spread(old), rel_spread(new), min_spread)``.
+"""
+
+import json
+
+import repro.harness.runner as runner
+from repro.harness.bench_diff import (
+    DEFAULT_MIN_SPREAD,
+    diff_trajectories,
+    format_report,
+    load_trajectory,
+    run_diff,
+)
+
+
+def _artifact(benchmarks, area="engine"):
+    return {
+        "schema": f"quicknn-bench-{area}/v1",
+        "params": {},
+        "machine": {"cpu_count": 1},
+        "benchmarks": benchmarks,
+        "derived": {},
+        "extra_info": {"notes": []},
+    }
+
+
+def _entry(name, qps, runs=None):
+    return {"name": name, "qps": qps, "qps_per_core": qps,
+            "qps_runs": runs if runs is not None else [qps]}
+
+
+def _write(tmp_path, filename, doc):
+    path = tmp_path / filename
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestDiffTrajectories:
+    def test_within_noise_floor_is_ok(self):
+        old = _artifact([_entry("engine.approx", 1000.0)])
+        new = _artifact([_entry("engine.approx", 950.0)])  # -5% < 10% floor
+        (row,) = diff_trajectories(old, new)
+        assert row["status"] == "ok"
+        assert row["tolerance"] == DEFAULT_MIN_SPREAD
+
+    def test_regression_beyond_floor_is_flagged(self):
+        old = _artifact([_entry("engine.approx", 1000.0)])
+        new = _artifact([_entry("engine.approx", 800.0)])  # -20%
+        (row,) = diff_trajectories(old, new)
+        assert row["status"] == "regressed"
+
+    def test_recorded_spread_widens_the_tolerance(self):
+        # Old runs spread 1000..700 → 30% spread; a -20% drop is noise.
+        old = _artifact([_entry("engine.approx", 1000.0,
+                                runs=[1000.0, 700.0, 900.0])])
+        new = _artifact([_entry("engine.approx", 800.0)])
+        (row,) = diff_trajectories(old, new)
+        assert row["status"] == "ok"
+        assert row["tolerance"] == 0.3
+
+    def test_new_side_spread_also_counts(self):
+        old = _artifact([_entry("engine.approx", 1000.0)])
+        new = _artifact([_entry("engine.approx", 750.0,
+                                runs=[750.0, 500.0])])  # 33% spread
+        (row,) = diff_trajectories(old, new)
+        assert row["status"] == "ok"
+
+    def test_improvement_beyond_tolerance(self):
+        old = _artifact([_entry("engine.approx", 1000.0)])
+        new = _artifact([_entry("engine.approx", 1500.0)])
+        (row,) = diff_trajectories(old, new)
+        assert row["status"] == "improved"
+
+    def test_added_and_removed_never_gate(self):
+        old = _artifact([_entry("engine.gone", 100.0)])
+        new = _artifact([_entry("engine.fresh", 100.0)])
+        rows = {r["name"]: r["status"] for r in diff_trajectories(old, new)}
+        assert rows == {"engine.fresh": "added", "engine.gone": "removed"}
+
+    def test_custom_min_spread(self):
+        old = _artifact([_entry("engine.approx", 1000.0)])
+        new = _artifact([_entry("engine.approx", 950.0)])  # -5%
+        (row,) = diff_trajectories(old, new, min_spread=0.02)
+        assert row["status"] == "regressed"
+
+    def test_report_renders_every_row(self):
+        old = _artifact([_entry("engine.a", 100.0), _entry("engine.b", 10.0)])
+        new = _artifact([_entry("engine.a", 100.0), _entry("engine.c", 5.0)])
+        text = format_report(diff_trajectories(old, new))
+        for token in ("engine.a", "engine.b", "engine.c",
+                      "removed", "added", "ok"):
+            assert token in text
+
+
+class TestRunDiff:
+    def test_clean_pair_exits_zero(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1000.0)]))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("engine.approx", 1010.0)]))
+        assert run_diff(old, new) == 0
+        assert "engine.approx" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1000.0)]))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("engine.approx", 500.0)]))
+        assert run_diff(old, new) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_warn_only_downgrades_to_zero(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1000.0)]))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("engine.approx", 500.0)]))
+        assert run_diff(old, new, warn_only=True) == 0
+        assert "WARN" in capsys.readouterr().err
+
+    def test_mismatched_areas_are_unusable(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1.0)], area="engine"))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("build.flat", 1.0)], area="build"))
+        assert run_diff(old, new) == 2
+        assert "different areas" in capsys.readouterr().err
+
+    def test_bad_schema_is_unusable(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else/v1"}))
+        ok = _write(tmp_path, "ok.json", _artifact([]))
+        assert run_diff(str(bad), ok) == 2
+        assert "quicknn-bench" in capsys.readouterr().err
+
+    def test_missing_file_is_unusable(self, tmp_path, capsys):
+        ok = _write(tmp_path, "ok.json", _artifact([]))
+        assert run_diff(str(tmp_path / "nope.json"), ok) == 2
+        capsys.readouterr()
+
+
+class TestLoadTrajectory:
+    def test_real_artifacts_load(self, tmp_path):
+        path = _write(tmp_path, "t.json",
+                      _artifact([_entry("engine.approx", 123.0)]))
+        doc = load_trajectory(path)
+        assert doc["benchmarks"][0]["qps"] == 123.0
+
+
+class TestCliWiring:
+    def test_subcommand_exit_codes(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1000.0)]))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("engine.approx", 500.0)]))
+        assert runner.main(["bench-diff", old, new]) == 1
+        assert runner.main(["bench-diff", old, new, "--warn-only"]) == 0
+        assert runner.main(["bench-diff", old, old]) == 0
+        capsys.readouterr()
+
+    def test_min_spread_flag_forwarded(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json",
+                     _artifact([_entry("engine.approx", 1000.0)]))
+        new = _write(tmp_path, "new.json",
+                     _artifact([_entry("engine.approx", 950.0)]))
+        assert runner.main(["bench-diff", old, new]) == 0
+        assert runner.main(
+            ["bench-diff", old, new, "--min-spread", "0.01"]
+        ) == 1
+        capsys.readouterr()

@@ -1,4 +1,5 @@
-"""Exporter tests: Chrome trace validity and profile payload shape."""
+"""Exporter tests: Chrome trace validity, profile payload shape, and
+the Prometheus text exposition golden format."""
 
 import json
 
@@ -6,8 +7,10 @@ from repro.obs import (
     MetricsRegistry,
     chrome_trace,
     profile_payload,
+    prometheus_text,
     write_chrome_trace,
     write_profile,
+    write_prometheus,
 )
 
 
@@ -36,9 +39,39 @@ class TestChromeTrace:
         assert {"pid", "tid"} <= set(event)
 
     def test_metadata_event_names_the_process(self):
+        import os
+
         doc = chrome_trace(MetricsRegistry(trace=True))
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
         assert meta and meta[0]["name"] == "process_name"
+        assert meta[0]["pid"] == os.getpid()
+
+    def test_merged_registry_emits_metadata_per_pid(self):
+        """A registry that absorbed worker deltas labels every pid."""
+        dst = MetricsRegistry(trace=True)
+        src = MetricsRegistry(trace=True, process_label="quicknn-worker-0-0")
+        with src.phase("serve.worker.search"):
+            pass
+        payload = src.snapshot()
+        payload["pid"] = 424242                    # a foreign worker pid
+        for event in payload["events"]:
+            event["pid"] = 424242
+        dst.merge_from(payload)
+        doc = chrome_trace(dst)
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta[424242] == "quicknn-worker-0-0"
+        assert len(meta) == 2                      # us + the worker
+        span_pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert 424242 in span_pids
+
+    def test_span_args_survive_export(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.phase("serve.dispatch", args={"request_ids": [3, 4]}):
+            pass
+        (event,) = [e for e in chrome_trace(reg)["traceEvents"]
+                    if e["ph"] == "X"]
+        assert event["args"]["request_ids"] == [3, 4]
 
     def test_trace_disabled_registry_exports_no_spans(self):
         reg = MetricsRegistry()  # trace defaults off
@@ -65,3 +98,49 @@ class TestProfilePayload:
         doc = json.loads(path.read_text())
         assert doc["experiments"] == [{"exp_id": "fig3"}]
         assert doc["metrics"]["d.count"] == 1
+
+
+class TestPrometheusText:
+    def test_golden_exposition(self):
+        """Byte-exact format: TYPE lines, _total counters, summaries."""
+        reg = MetricsRegistry()
+        reg.counter("engine.exact.queries").inc(42)
+        reg.gauge("serve.queue_depth").set(7.0)
+        reg.distribution("engine.frontier").observe(2.0)
+        reg.distribution("engine.frontier").observe(4.0)
+        assert prometheus_text(reg) == (
+            "# TYPE engine_exact_queries_total counter\n"
+            "engine_exact_queries_total 42\n"
+            "# TYPE serve_queue_depth gauge\n"
+            "serve_queue_depth 7.0\n"
+            "# TYPE engine_frontier summary\n"
+            "engine_frontier_count 2\n"
+            "engine_frontier_sum 6.0\n"
+        )
+
+    def test_histogram_exports_quantiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.histogram("serve.latency_ms").observe(float(v))
+        text = prometheus_text(reg)
+        assert "# TYPE serve_latency_ms summary" in text
+        assert 'serve_latency_ms{quantile="0.5"}' in text
+        assert 'serve_latency_ms{quantile="0.99"}' in text
+        assert "serve_latency_ms_count 100" in text
+        assert "serve_latency_ms_sum 5050.0" in text
+
+    def test_empty_registry_exports_empty_document(self):
+        assert prometheus_text(MetricsRegistry()) == "\n"
+
+    def test_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("worker.0-0.engine.queries").inc(1)
+        text = prometheus_text(reg)
+        assert "worker_0_0_engine_queries_total 1" in text
+
+    def test_write_prometheus_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, reg)
+        assert path.read_text() == prometheus_text(reg)

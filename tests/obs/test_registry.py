@@ -149,8 +149,17 @@ class TestViews:
         reg = MetricsRegistry()
         reg.counter("a").inc()
         snap = reg.snapshot()
-        assert set(snap) == {"counters", "gauges", "distributions", "histograms"}
+        assert {"counters", "gauges", "distributions", "histograms"} <= set(snap)
         assert snap["counters"] == {"a": 1}
+
+    def test_snapshot_identifies_the_recording_process(self):
+        import os
+
+        reg = MetricsRegistry(process_label="quicknn-worker-0-0")
+        snap = reg.snapshot()
+        assert snap["pid"] == os.getpid()
+        assert snap["process_label"] == "quicknn-worker-0-0"
+        assert isinstance(snap["t0"], float)
 
     def test_reset_clears_everything(self):
         reg = MetricsRegistry(trace=True)
@@ -180,6 +189,217 @@ class TestNullRegistry:
         assert reg.snapshot() == {
             "counters": {}, "gauges": {}, "distributions": {}, "histograms": {}
         }
+
+
+class TestSnapshotMergeRoundTrip:
+    """The cross-process protocol: snapshot() -> merge_from() fidelity."""
+
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("engine.queries").inc(42)
+        reg.gauge("serve.queue_depth").set(7.0)
+        for v in (1.0, 2.0, 8.0):
+            reg.distribution("engine.frontier").observe(v)
+        for v in range(100):
+            reg.histogram("serve.latency_ms").observe(float(v))
+        return reg
+
+    def test_snapshot_survives_json(self):
+        import json
+
+        snap = self._populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_into_empty_reproduces_everything(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.merge_from(src.snapshot())
+        assert dst.counter("engine.queries").value == 42
+        assert dst.gauge("serve.queue_depth").value == 7.0
+        d = dst.distribution("engine.frontier").as_dict()
+        assert d["count"] == 3 and d["min"] == 1.0 and d["max"] == 8.0
+        assert d["total"] == pytest.approx(11.0)
+        h = dst.histogram("serve.latency_ms")
+        assert h.count == 100
+        assert h.total == pytest.approx(sum(range(100)))
+        # The reservoir travelled with the snapshot: percentiles match.
+        src_h = src.histogram("serve.latency_ms")
+        assert h.percentile(50) == pytest.approx(src_h.percentile(50))
+        assert h.percentile(99) == pytest.approx(src_h.percentile(99))
+
+    def test_merge_accumulates_counters_and_summaries(self):
+        a, b = self._populated(), self._populated()
+        dst = MetricsRegistry()
+        dst.merge_from(a.snapshot())
+        dst.merge_from(b.snapshot())
+        assert dst.counter("engine.queries").value == 84
+        assert dst.distribution("engine.frontier").count == 6
+        assert dst.histogram("serve.latency_ms").count == 200
+
+    def test_merge_with_prefix_renames_and_keeps_unprefixed_separate(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        payload = src.snapshot()
+        dst.merge_from(payload)
+        dst.merge_from(payload, prefix="worker.0-0")
+        flat = dst.as_dict()
+        assert flat["engine.queries"] == 42
+        assert flat["worker.0-0.engine.queries"] == 42
+
+    def test_histogram_reservoir_merge_is_bounded_and_weighted(self):
+        dst = MetricsRegistry()
+        h = dst.histogram("lat")
+        for v in range(5000):
+            h.observe(float(v))
+        src = MetricsRegistry()
+        for v in range(5000):
+            src.histogram("lat").observe(10_000.0 + v)
+        dst.merge_from(src.snapshot())
+        assert h.count == 10_000
+        assert len(h._reservoir) <= h.RESERVOIR_SIZE
+        # Both halves are represented: the median sits between them and
+        # the tails reach into each side's range.
+        assert h.percentile(5) < 5_000
+        assert h.percentile(95) > 10_000
+
+    def test_empty_metric_entries_are_noops(self):
+        dst = MetricsRegistry()
+        dst.distribution("d").merge({"count": 0})
+        dst.histogram("h").merge({"count": 0})
+        assert dst.as_dict() == {"d.count": 0, "h.count": 0}
+
+
+class TestFlushDelta:
+    def test_first_flush_ships_everything_second_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.distribution("d").observe(1.0)
+        first = reg.flush_delta()
+        assert first["counters"] == {"c": 5}
+        assert first["distributions"]["d"]["count"] == 1
+        second = reg.flush_delta()
+        assert second["counters"] == {}
+        assert second["distributions"] == {}
+        reg.counter("c").inc(2)
+        third = reg.flush_delta()
+        assert third["counters"] == {"c": 2}
+
+    def test_gauge_delta_only_on_change(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3.0)
+        assert reg.flush_delta()["gauges"] == {"g": 3.0}
+        assert reg.flush_delta()["gauges"] == {}
+        reg.gauge("g").set(3.0)   # same value -> still no delta
+        assert reg.flush_delta()["gauges"] == {}
+        reg.gauge("g").set(4.0)
+        assert reg.flush_delta()["gauges"] == {"g": 4.0}
+
+    def test_stream_of_deltas_converges_to_source_totals(self):
+        src = MetricsRegistry()
+        dst = MetricsRegistry()
+        total = 0.0
+        for round_no in range(5):
+            for v in range(20):
+                value = float(round_no * 20 + v)
+                src.histogram("lat").observe(value)
+                total += value
+            src.counter("n").inc(20)
+            dst.merge_from(src.flush_delta())
+        assert dst.counter("n").value == 100
+        h = dst.histogram("lat")
+        assert h.count == 100
+        assert h.total == pytest.approx(total)
+        assert h.min == 0.0 and h.max == 99.0
+
+    def test_histogram_delta_counts_beyond_reservoir(self):
+        src = MetricsRegistry()
+        n = src.histogram("lat").RESERVOIR_SIZE + 500
+        for v in range(n):
+            src.histogram("lat").observe(float(v))
+        delta = src.flush_delta()["histograms"]["lat"]
+        assert delta["count"] == n                     # exact, not sampled
+        assert len(delta["samples"]) <= src.histogram("lat").RESERVOIR_SIZE
+        dst = MetricsRegistry()
+        dst.merge_from({"histograms": {"lat": delta}})
+        assert dst.histogram("lat").count == n
+
+    def test_trace_events_flush_once(self):
+        reg = MetricsRegistry(trace=True)
+        with reg.phase("p"):
+            pass
+        assert len(reg.flush_delta()["events"]) == 1
+        assert reg.flush_delta()["events"] == []
+
+    def test_merged_events_are_rebased_onto_local_clock(self):
+        src = MetricsRegistry(trace=True)
+        with src.phase("work"):
+            pass
+        dst = MetricsRegistry(trace=True)
+        payload = src.snapshot()
+        # Simulate a worker whose clock origin predates ours by 2s.
+        payload["t0"] = dst._t0 - 2.0
+        dst.merge_from(payload)
+        (event,) = dst.events
+        assert event["name"] == "work"
+        assert event["ts"] <= -1.9e6   # shifted ~2s earlier, in µs
+
+    def test_merge_records_foreign_process_labels(self):
+        src = MetricsRegistry(process_label="quicknn-worker-1-0")
+        src.counter("c").inc()
+        payload = src.snapshot()
+        payload["pid"] = 99999           # pretend it came from another pid
+        dst = MetricsRegistry()
+        dst.merge_from(payload)
+        assert dst.process_labels == {99999: "quicknn-worker-1-0"}
+
+    def test_null_registry_protocol_is_inert(self):
+        reg = NullRegistry()
+        delta = reg.flush_delta()
+        assert delta["counters"] == {}
+        reg.merge_from({"counters": {"c": 5}})
+        assert reg.as_dict() == {}
+
+
+class TestObserveThreadSafety:
+    """Hammer test: concurrent observers never tear a summary."""
+
+    N_THREADS = 8
+    N_OBS = 2500
+
+    def _hammer(self, observe):
+        import threading
+
+        start = threading.Barrier(self.N_THREADS)
+
+        def run():
+            start.wait()
+            for v in range(self.N_OBS):
+                observe(float(v % 100) + 1.0)
+
+        threads = [threading.Thread(target=run) for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_distribution_observe_is_atomic(self):
+        reg = MetricsRegistry()
+        d = reg.distribution("hammered")
+        self._hammer(d.observe)
+        expected_total = self.N_THREADS * sum(
+            float(v % 100) + 1.0 for v in range(self.N_OBS)
+        )
+        assert d.count == self.N_THREADS * self.N_OBS
+        assert d.total == pytest.approx(expected_total)
+        assert d.min == 1.0 and d.max == 100.0
+
+    def test_histogram_observe_is_atomic_and_reservoir_bounded(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("hammered")
+        self._hammer(h.observe)
+        assert h.count == self.N_THREADS * self.N_OBS
+        assert len(h._reservoir) == h.RESERVOIR_SIZE
+        assert 1.0 <= h.percentile(50) <= 100.0
 
 
 class TestActivation:

@@ -38,6 +38,62 @@ class TestBench:
         assert any(k.startswith("serve.") for k in payload["metrics"])
 
 
+class TestObservabilityFlags:
+    def test_bench_writes_profile_trace_and_prom(self, tmp_path):
+        profile = tmp_path / "prof.json"
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        code = cli.main([
+            "bench", "--points", "2000", "--queries", "128",
+            "--concurrency", "8",
+            "--profile", str(profile), "--trace", str(trace),
+            "--prom", str(prom),
+        ])
+        assert code == 0
+        prof = json.loads(profile.read_text())
+        assert any(k.startswith("engine.") for k in prof["metrics"])
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {"serve.admit", "serve.dispatch", "serve.worker.search",
+                "serve.merge"} <= {e["name"] for e in spans}
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "serve_completed_total" in text
+
+    def test_load_stats_line_on_interval(self, tmp_path, capsys):
+        code = cli.main([
+            "load", "--points", "2000", "--rate", "300",
+            "--duration", "0.6", "--stats-interval", "0.2",
+            "--fail-on-errors",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[stats]" in err
+        assert "completed=" in err
+
+    def test_stats_interval_zero_disables_the_line(self, capsys):
+        code = cli.main([
+            "load", "--points", "2000", "--rate", "300",
+            "--duration", "0.4", "--stats-interval", "0",
+            "--fail-on-errors",
+        ])
+        assert code == 0
+        assert "[stats]" not in capsys.readouterr().err
+
+    def test_stats_line_format(self):
+        line = cli._stats_line({
+            "generation": 3, "queue_rows": 2, "inflight_jobs": 1,
+            "degrade_level": 0,
+            "counters": {"serve.completed": 10, "serve.shed": 1,
+                         "serve.timeouts": 0, "serve.retries": 2,
+                         "serve.errors": 0},
+        })
+        assert line.startswith("[stats]")
+        for token in ("gen=3", "queue=2", "completed=10", "shed=1",
+                      "retries=2"):
+            assert token in line
+
+
 class TestLoad:
     def test_small_load_writes_json(self, tmp_path):
         out = tmp_path / "load.json"
