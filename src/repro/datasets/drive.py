@@ -20,20 +20,21 @@ from repro.datasets.ground import remove_ground
 from repro.datasets.scanner import LidarScanner, ScannerConfig
 from repro.datasets.scene import Scene, make_highway_scene, make_street_scene
 from repro.geometry import PointCloud, RigidTransform
+from repro.registry import Registry
 
 #: Scene factories selectable by name ("street" is the KITTI-like urban
 #: default; "highway" is the Ford-campus-style cross-check environment).
-SCENE_FACTORIES = {
-    "street": make_street_scene,
-    "highway": make_highway_scene,
-}
+SCENES = Registry("scene kind")
+SCENES.add("street", make_street_scene)
+SCENES.add("highway", make_highway_scene)
+
+#: Deprecated plain-dict view kept for old call sites that iterate the
+#: factories; the registry above is the source of truth.
+SCENE_FACTORIES = {name: SCENES.resolve(name) for name in SCENES.available()}
 
 
 def _make_scene(kind: str, seed: int) -> Scene:
-    if kind not in SCENE_FACTORIES:
-        known = ", ".join(SCENE_FACTORIES)
-        raise ValueError(f"unknown scene kind {kind!r}; known: {known}")
-    return SCENE_FACTORIES[kind](seed=seed)
+    return SCENES.resolve(kind)(seed=seed)
 
 
 @dataclass(frozen=True)
@@ -188,7 +189,7 @@ def lidar_frame_pair(
         ego_speed=ego_speed,
         scene_seed=seed,
         scene_kind=scene_kind,
-        scanner=_scanner_for(n_points, scene_kind),
+        scanner=scanner_for(n_points, scene_kind),
     )
     frames = list(generate_drive(config, seed=seed))
     if len(frames[0].cloud) < n_points or len(frames[1].cloud) < n_points:
@@ -204,7 +205,7 @@ def lidar_frame_pair(
 _RAY_FACTOR = {"street": 3.5, "highway": 12.0}
 
 
-def _scanner_for(n_points: int, scene_kind: str = "street") -> ScannerConfig:
+def scanner_for(n_points: int, scene_kind: str = "street") -> ScannerConfig:
     """A scanner resolution comfortably above the requested frame size."""
     n_azimuth = 1200
     factor = _RAY_FACTOR.get(scene_kind, 12.0)

@@ -36,7 +36,7 @@ from repro.harness.exp_platforms import (
     table6_speedup,
     tables23_resources,
 )
-from repro.harness.exp_serve import serve_load
+from repro.harness.exp_serve import serve_fleet, serve_load
 from repro.harness.result import ExperimentResult
 
 #: Every table and figure of the paper's evaluation, in paper order.
@@ -68,6 +68,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-pareto": ext_pareto,
     "ext-icp": ext_icp_registration,
     "serve-load": serve_load,
+    "serve-fleet": serve_fleet,
 }
 
 

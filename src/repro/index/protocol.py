@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.geometry import PointCloud
 from repro.kdtree.search import QueryResult
+from repro.registry import Registry
 
 
 @runtime_checkable
@@ -52,8 +53,7 @@ class NeighborIndex(Protocol):
 
 IndexFactory = Callable[..., NeighborIndex]
 
-_REGISTRY: dict[str, IndexFactory] = {}
-_CANONICAL: dict[str, str] = {}  # alias -> canonical name
+INDEXES: Registry[IndexFactory] = Registry("knn index")
 
 
 def register_index(name: str, *aliases: str) -> Callable[[IndexFactory], IndexFactory]:
@@ -66,21 +66,12 @@ def register_index(name: str, *aliases: str) -> Callable[[IndexFactory], IndexFa
         def _grid(reference, **cfg):
             return GridIndex(reference, **cfg)
     """
-
-    def deco(factory: IndexFactory) -> IndexFactory:
-        for key in (name, *aliases):
-            if key in _REGISTRY:
-                raise ValueError(f"knn index name {key!r} already registered")
-            _REGISTRY[key] = factory
-            _CANONICAL[key] = name
-        return factory
-
-    return deco
+    return INDEXES.register(name, *aliases)
 
 
 def available_indexes() -> list[str]:
     """Sorted canonical backend names (aliases excluded)."""
-    return sorted(set(_CANONICAL.values()))
+    return list(INDEXES.available())
 
 
 def make_index(
@@ -91,10 +82,5 @@ def make_index(
     ``cfg`` is passed through to the backend factory (e.g.
     ``make_index("kd-approx", ref, tree=KdTreeConfig(bucket_capacity=64))``).
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown knn index {name!r}; available: {', '.join(available_indexes())}"
-        ) from None
+    factory = INDEXES.resolve(name)
     return factory(reference, **cfg)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.kdtree.builders import BUILDERS
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
 from repro.obs import get_registry
@@ -119,13 +120,32 @@ def build_tree(
         The finished tree and the operation-count trace.
     """
     config = config or KdTreeConfig()
-    if config.builder == "vectorized":
-        from repro.kdtree.flat_build import build_tree_vectorized
+    builder = BUILDERS.resolve(config.builder)
+    return builder(points, config, rng=rng, place=place)
 
-        with get_registry().timer("build.vectorized"):
-            tree, trace = build_tree_vectorized(points, config, rng=rng, place=place)
-        record_build_metrics(trace, n_points=tree.n_points, builder="vectorized")
-        return tree, trace
+
+def _build_vectorized(
+    points: PointCloud | np.ndarray,
+    config: KdTreeConfig,
+    *,
+    rng: np.random.Generator | None,
+    place: bool,
+) -> tuple[KdTree, BuildTrace]:
+    from repro.kdtree.flat_build import build_tree_vectorized
+
+    with get_registry().timer("build.vectorized"):
+        tree, trace = build_tree_vectorized(points, config, rng=rng, place=place)
+    record_build_metrics(trace, n_points=tree.n_points, builder="vectorized")
+    return tree, trace
+
+
+def _build_legacy(
+    points: PointCloud | np.ndarray,
+    config: KdTreeConfig,
+    *,
+    rng: np.random.Generator | None,
+    place: bool,
+) -> tuple[KdTree, BuildTrace]:
     rng = rng or np.random.default_rng(0)
     xyz = points.xyz if isinstance(points, PointCloud) else np.asarray(points, dtype=np.float64)
     if xyz.ndim != 2 or xyz.shape[1] != 3:

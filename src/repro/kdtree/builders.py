@@ -1,0 +1,32 @@
+"""Registry of tree-construction strategies (the ``builder=`` knob).
+
+:class:`~repro.kdtree.config.KdTreeConfig` validates its ``builder``
+field against this registry, and :func:`repro.kdtree.build.build_tree`
+dispatches through it — one source of truth for which builders exist,
+with the repo-wide ``unknown tree builder ...; available: ...`` error.
+
+Each entry is called as ``builder(points, config, rng=rng, place=place)``
+and returns ``(KdTree, BuildTrace)``.  The bodies import lazily so this
+module stays importable from ``config.py`` without a cycle
+(``config -> builders -> registry`` only).
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+
+BUILDERS: Registry = Registry("tree builder")
+
+
+@BUILDERS.register("vectorized")
+def _vectorized(points, config, *, rng, place):
+    from repro.kdtree.build import _build_vectorized
+
+    return _build_vectorized(points, config, rng=rng, place=place)
+
+
+@BUILDERS.register("legacy")
+def _legacy(points, config, *, rng, place):
+    from repro.kdtree.build import _build_legacy
+
+    return _build_legacy(points, config, rng=rng, place=place)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.kdtree.builders import BUILDERS
+
 
 @dataclass(frozen=True)
 class KdTreeConfig:
@@ -53,10 +55,7 @@ class KdTreeConfig:
     builder: str = "vectorized"
 
     def __post_init__(self):
-        if self.builder not in ("vectorized", "legacy"):
-            raise ValueError(
-                f"unknown builder {self.builder!r}; expected 'vectorized' or 'legacy'"
-            )
+        BUILDERS.check(self.builder)
         if self.bucket_capacity < 1:
             raise ValueError("bucket_capacity must be positive")
         if self.sample_size is not None and self.sample_size < 1:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.kdtree.builders import BUILDERS
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
 from repro.kdtree.search import PAD_INDEX, QueryResult, _insert_bounded
@@ -55,10 +56,7 @@ class KdForestConfig:
             raise ValueError("bucket_capacity must be positive")
         if not (1 <= self.top_variance_dims <= 3):
             raise ValueError("top_variance_dims must be in [1, 3]")
-        if self.builder not in ("vectorized", "legacy"):
-            raise ValueError(
-                f"unknown builder {self.builder!r}; expected 'vectorized' or 'legacy'"
-            )
+        BUILDERS.check(self.builder)
 
 
 class KdForest:

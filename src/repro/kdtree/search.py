@@ -17,15 +17,31 @@ bucket holds fewer than ``k`` points.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.geometry import PointCloud
 from repro.kdtree.node import KdTree
+from repro.registry import Registry, warn_deprecated_alias
 
 PAD_INDEX = -1
+
+#: The ``engine=`` knob names, as a proper registry so unknown strings
+#: fail with the repo-wide message.  ``True`` / ``False`` remain accepted
+#: as shorthands for ``"batched"`` / ``"loop"``.
+ENGINES: Registry[str] = Registry("query engine")
+ENGINES.add("batched", "batched", "vectorized")
+ENGINES.add("loop", "loop", "reference")
+
+
+def _engine_name(engine: bool | str) -> str:
+    """Fold the ``engine=`` knob (bool shorthand or name) to a name."""
+    if engine is True:
+        return "batched"
+    if engine is False:
+        return "loop"
+    return ENGINES.check(engine)
 
 
 @dataclass(frozen=True)
@@ -98,20 +114,22 @@ def _top_k(dists: np.ndarray, candidate_idx: np.ndarray, k: int) -> tuple[np.nda
     return idx, dst
 
 
-def knn_approx(tree: KdTree, queries, k: int, *, engine: bool = True) -> QueryResult:
+def knn_approx(
+    tree: KdTree, queries, k: int, *, engine: bool | str = True
+) -> QueryResult:
     """Approximate kNN: one bucket per query, no backtracking.
 
     By default this runs on the batched vectorized engine
     (:mod:`repro.kdtree.engine`): all queries descend the flat tree
     level-by-level, then one gather + top-k kernel answers whole
-    buckets at a time.  ``engine=False`` selects the original
-    per-query loop path (kept as the reference implementation); both
-    produce identical results.
+    buckets at a time.  ``engine`` accepts ``"batched"`` (alias
+    ``True``) or ``"loop"`` (alias ``False``, the original per-query
+    reference implementation); both produce identical results.
     """
     if k < 1:
         raise ValueError("k must be positive")
     q = _as_query_array(queries)
-    if engine:
+    if _engine_name(engine) == "batched":
         from repro.kdtree.engine import knn_approx_batched
 
         return knn_approx_batched(tree.flat(), q, k)
@@ -172,11 +190,11 @@ def knn_bbf(
     import heapq
 
     if max_leaves is not None:
-        warnings.warn(
-            "knn_bbf(..., max_leaves=...) is deprecated; "
-            "pass BbfConfig(max_leaves=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        # stacklevel=3: warn -> warn_deprecated_alias -> knn_bbf -> caller.
+        warn_deprecated_alias(
+            "knn_bbf(..., max_leaves=...)",
+            "BbfConfig(max_leaves=...)",
+            stacklevel=3,
         )
         if config is not None:
             raise ValueError("pass either config or the deprecated max_leaves, not both")
@@ -272,16 +290,19 @@ def radius_search(tree: KdTree, query, radius: float) -> tuple[np.ndarray, np.nd
     return indices[order], distances[order]
 
 
-def knn_exact(tree: KdTree, queries, k: int, *, engine: bool = True) -> QueryResult:
+def knn_exact(
+    tree: KdTree, queries, k: int, *, engine: bool | str = True
+) -> QueryResult:
     """Exact kNN via backtracking branch-and-bound over the tree.
 
     By default runs the batched engine path: every query first gets the
     vectorized single-bucket answer, and only the minority of queries
     whose k-th distance exceeds their descent-path plane margin (i.e.
     whose leaf radius test fails) drop to per-query backtracking.
-    ``engine=False`` forces the original all-loop path.
+    ``engine="loop"`` (alias ``False``) forces the original all-loop
+    path.
     """
-    if engine:
+    if _engine_name(engine) == "batched":
         from repro.kdtree.engine import knn_exact_batched
 
         result, _ = knn_exact_batched(tree, _as_query_array(queries), k)

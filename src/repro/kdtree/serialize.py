@@ -20,7 +20,6 @@ Two formats live here:
 from __future__ import annotations
 
 import io
-import warnings
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +27,7 @@ import numpy as np
 from repro.kdtree.engine import FlatKdTree
 from repro.kdtree.node import KdNode, KdTree
 from repro.kdtree.snapshot import Snapshot
+from repro.registry import warn_deprecated_alias
 
 _FORMAT_VERSION = 1
 
@@ -116,12 +116,12 @@ def load_tree(path: str | Path | io.IOBase) -> KdTree:
 # FlatKdTree snapshots — deprecated wrappers over repro.kdtree.snapshot
 # ----------------------------------------------------------------------
 def _snapshot_deprecated(old: str, new: str) -> None:
-    # stacklevel=3: warn -> this helper -> wrapper -> caller.
-    warnings.warn(
-        f"repro.kdtree.serialize.{old} is deprecated; use "
+    # stacklevel=4: warn -> warn_deprecated_alias -> this helper ->
+    # wrapper -> caller.
+    warn_deprecated_alias(
+        f"repro.kdtree.serialize.{old}",
         f"repro.kdtree.snapshot.{new}",
-        DeprecationWarning,
-        stacklevel=3,
+        stacklevel=4,
     )
 
 

@@ -15,8 +15,20 @@ Quick example::
     with KnnServer(frame_xyz, ServeConfig(n_shards=4)) as server:
         response = server.query(rows, k=8)          # ServeResponse
 
+Hosting many concurrent drives, each with its own evolving index, is
+the session layer::
+
+    from repro.serve import SessionConfig, SessionManager
+
+    with SessionManager(SessionConfig(max_resident=16)) as fleet:
+        fleet.observe_frame("drive-0", frame0)      # builds once
+        fleet.observe_frame("drive-0", frame1)      # incremental update
+        response = fleet.query("drive-0", rows, k=8)
+
 See ``docs/serving.md`` for the architecture and the knob catalogue,
-and the ``quicknn-serve`` CLI for load generation.
+and the ``quicknn-serve`` CLI for load generation (``fleet`` replays N
+concurrent synthetic drives).  This module's ``__all__`` is the stable
+public surface of the package, documented in ``docs/api.md``.
 """
 
 from repro.serve.backends import (
@@ -38,14 +50,23 @@ from repro.serve.errors import (
     ServerClosed,
     WorkerError,
 )
-from repro.serve.loadgen import LoadgenReport, run_closed_loop, run_open_loop
+from repro.serve.fleet import FleetConfig, FleetReport, run_fleet
+from repro.serve.loadgen import (
+    LoadgenReport,
+    Tally,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.server import KnnServer, ServeResponse
+from repro.serve.sessions import Session, SessionConfig, SessionManager
 from repro.serve.sharding import ShardPlan, ShardState, make_plan, merge_topk
 
 __all__ = [
     "DEFAULT_DEGRADE_THRESHOLDS",
     "ExecutionBackend",
     "ExecutionConfig",
+    "FleetConfig",
+    "FleetReport",
     "KnnServer",
     "LoadgenReport",
     "MicroBatcher",
@@ -56,8 +77,12 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "ServerClosed",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
     "ShardPlan",
     "ShardState",
+    "Tally",
     "WorkerError",
     "available_backends",
     "make_backend",
@@ -65,5 +90,6 @@ __all__ = [
     "merge_topk",
     "register_backend",
     "run_closed_loop",
+    "run_fleet",
     "run_open_loop",
 ]

@@ -37,6 +37,7 @@ import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.obs import get_registry
+from repro.registry import Registry
 from repro.serve import shm as shm_mod
 from repro.serve.errors import WorkerError
 
@@ -44,16 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.server import KnnServer, _BatchJob
     from repro.serve.sharding import ShardState
 
-_BACKENDS: dict[str, Callable[..., "ExecutionBackend"]] = {}
+BACKENDS: Registry[Callable[..., "ExecutionBackend"]] = Registry(
+    "execution backend"
+)
 
 
 def register_backend(name: str):
     """Class decorator adding an execution backend to the registry."""
 
     def _register(cls):
-        if name in _BACKENDS:
-            raise ValueError(f"execution backend {name!r} already registered")
-        _BACKENDS[name] = cls
+        BACKENDS.add(name, cls)
         cls.name = name
         return cls
 
@@ -62,18 +63,12 @@ def register_backend(name: str):
 
 def available_backends() -> tuple[str, ...]:
     """Registered backend names (what ``ExecutionConfig`` validates)."""
-    return tuple(sorted(_BACKENDS))
+    return BACKENDS.available()
 
 
 def make_backend(name: str, server: "KnnServer") -> "ExecutionBackend":
     """Instantiate a registered backend bound to ``server``."""
-    try:
-        factory = _BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution backend {name!r}; "
-            f"registered backends: {', '.join(available_backends())}"
-        ) from None
+    factory = BACKENDS.resolve(name)
     return factory(server)
 
 

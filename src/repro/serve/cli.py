@@ -16,6 +16,13 @@ Three subcommands:
   ``--fail-on-errors`` the exit code asserts a clean run (the CI
   serve-smoke job, which runs it under both execution backends).
 * ``smoke`` — a fast preset of ``load`` sized for CI (~seconds).
+* ``fleet`` — N concurrent synthetic drives through the per-tenant
+  session layer (:mod:`repro.serve.sessions`): every tenant's first
+  frame builds its index once, every later frame takes the incremental
+  fast path and warm-hands over, idle sessions spill to disk and
+  restore bit-identically.  ``--fail-on-rebuild`` asserts the
+  steady-state contract (zero full rebuilds after session creation)
+  from the ``build.*`` counters.
 
 All subcommands accept ``--json PATH`` to write the full report as a
 machine-readable artifact, including a snapshot of the ``serve.*``
@@ -429,6 +436,73 @@ def _cmd_load(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.serve.fleet import FleetConfig, run_fleet
+    from repro.serve.sessions import SessionConfig
+
+    registry = _make_registry(args)
+    serve = ServeConfig(
+        n_shards=1,
+        max_batch_size=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        execution=ExecutionConfig(
+            backend=args.backend, processes=args.processes
+        ),
+    )
+    session = SessionConfig(
+        serve=serve,
+        max_resident=args.max_resident,
+        eviction=args.eviction,
+        max_outstanding_rows=args.max_queue,
+        tenant_share=args.tenant_share,
+    )
+    config = FleetConfig(
+        n_tenants=args.tenants,
+        n_frames=args.frames,
+        points_per_frame=args.points,
+        queries_per_frame=args.queries_per_frame,
+        rows_per_request=args.rows_per_request,
+        k=args.k,
+        mode=args.mode,
+        seed=args.seed,
+        distinct_drives=args.distinct_drives,
+        session=session,
+    )
+    report = run_fleet(config)
+    payload = {"fleet": report.as_dict(), "metrics": _serve_metrics(registry)}
+    _emit(payload, args.json)
+    _write_obs_artifacts(registry, args, fleet=report.as_dict())
+    agg = report.aggregate()
+    mgr = report.manager_stats
+    print(
+        f"[{args.backend}] {report.n_tenants} drives x {report.n_frames} "
+        f"frames in {report.duration_s:.1f}s | "
+        f"completed {agg['completed']} | shed {agg['shed']} | "
+        f"errors {agg['errors']} | "
+        f"builds {report.full_builds} | "
+        f"incremental {report.incremental_updates} | "
+        f"spills {int(mgr['counters'].get('serve.sessions.spilled', 0))} | "
+        f"restores {int(mgr['counters'].get('serve.sessions.restored', 0))}"
+    )
+    failures = []
+    if agg["errors"]:
+        failures.append(f"{agg['errors']} errored requests")
+    if report.frame_errors:
+        failures.append(f"{report.frame_errors} failed frame observations")
+    if agg["completed"] == 0 and config.queries_per_frame > 0:
+        failures.append("no requests completed")
+    if args.fail_on_rebuild and report.zero_rebuild is not True:
+        failures.append(
+            f"rebuild contract violated: {report.full_builds} full builds "
+            f"for {report.n_tenants} tenants, "
+            f"{report.incremental_updates} incremental updates "
+            f"(expected {report.n_tenants * (report.n_frames - 1)})"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="quicknn-serve",
@@ -477,6 +551,40 @@ def build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--rows-per-request", type=int, default=1)
     smoke.add_argument("--allow-degraded", action="store_true")
     smoke.set_defaults(func=_cmd_load, fail_on_errors=True)
+
+    fleet = sub.add_parser(
+        "fleet", help="N concurrent synthetic drives through the session "
+        "layer (per-tenant indexes, incremental updates, spill/restore)"
+    )
+    _add_server_args(fleet)
+    fleet.add_argument("--tenants", type=int, default=32,
+                       help="concurrent drive sessions (default: 32)")
+    fleet.add_argument("--frames", type=int, default=4,
+                       help="frames per drive (default: 4)")
+    fleet.add_argument("--queries-per-frame", type=int, default=64,
+                       help="query rows per tenant between frames "
+                       "(default: 64)")
+    fleet.add_argument("--rows-per-request", type=int, default=8)
+    fleet.add_argument("--distinct-drives", type=int, default=4,
+                       help="distinct synthetic drives scanned; tenants "
+                       "replay them round-robin (default: 4)")
+    fleet.add_argument("--max-resident", type=int, default=32,
+                       help="resident session bound; beyond it idle "
+                       "sessions spill to disk (default: 32)")
+    fleet.add_argument("--eviction", choices=("lru", "cost-aware"),
+                       default="lru")
+    fleet.add_argument("--tenant-share", type=float, default=0.5,
+                       help="fraction of --max-queue rows one tenant may "
+                       "hold in flight (default: 0.5)")
+    fleet.add_argument("--fail-on-rebuild", action="store_true",
+                       help="exit 1 unless the run was zero-rebuild: one "
+                       "full build per tenant, every later frame "
+                       "incremental")
+    # Fleet frames are per-tenant: default to a small frame so the
+    # default invocation replays 32 drives in seconds, not minutes.
+    # --shards/--sharding/--replicas do not apply (sessions are
+    # unsharded; each tenant is a shard of the fleet).
+    fleet.set_defaults(func=_cmd_fleet, points=2000)
 
     return parser
 

@@ -10,10 +10,10 @@ pool, then the failure-handling and degradation policies.  See
 from __future__ import annotations
 
 import re
-import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.kdtree.config import KdTreeConfig
+from repro.registry import warn_deprecated_alias
 
 #: Queue-fraction thresholds of the degradation ladder (levels 1..3).
 DEFAULT_DEGRADE_THRESHOLDS = (0.5, 0.75, 0.9)
@@ -71,14 +71,9 @@ class ExecutionConfig:
     unlink_timeout_s: float = 5.0
 
     def __post_init__(self):
-        from repro.serve.backends import available_backends
+        from repro.serve.backends import BACKENDS
 
-        names = available_backends()
-        if self.backend not in names:
-            raise ValueError(
-                f"unknown execution backend {self.backend!r}; "
-                f"registered backends: {', '.join(names)}"
-            )
+        BACKENDS.check(self.backend)
         if self.processes is not None and self.processes < 1:
             raise ValueError("processes must be positive (or None)")
         if not _SHM_PREFIX_RE.match(self.shm_prefix):
@@ -174,11 +169,9 @@ class ServeConfig:
     def __post_init__(self):
         if self.n_shards < 1:
             raise ValueError("n_shards must be positive")
-        if self.sharding not in ("round-robin", "spatial"):
-            raise ValueError(
-                f"unknown sharding {self.sharding!r}; "
-                "expected 'round-robin' or 'spatial'"
-            )
+        from repro.serve.sharding import STRATEGIES
+
+        STRATEGIES.check(self.sharding)
         if self.n_replicas < 1:
             raise ValueError("n_replicas must be positive")
         if self.max_batch_size < 1:
@@ -202,15 +195,14 @@ class ServeConfig:
                 "degrade_thresholds must be three ascending fractions in (0, 1]"
             )
         if self.worker is not None:
-            # stacklevel=3 attributes the warning to the ServeConfig(...)
-            # call site (warn -> __post_init__ -> generated __init__ ->
-            # caller), keeping the repo's own escalated-warning filter
-            # pointed at code that still uses the old spelling.
-            warnings.warn(
-                "ServeConfig(worker=...) is deprecated; use "
+            # stacklevel=4 attributes the warning to the ServeConfig(...)
+            # call site (warn -> helper -> __post_init__ -> generated
+            # __init__ -> caller), keeping the repo's own escalated-
+            # warning filter pointed at code using the old spelling.
+            warn_deprecated_alias(
+                "ServeConfig(worker=...)",
                 "ServeConfig(execution=ExecutionConfig(backend=...))",
-                DeprecationWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
             folded = replace(self.execution, backend=self.worker)
             object.__setattr__(self, "execution", folded)

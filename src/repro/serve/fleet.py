@@ -1,0 +1,292 @@
+"""Fleet load generation: N concurrent synthetic drives over sessions.
+
+The single-server load generators (:mod:`repro.serve.loadgen`) answer
+"how fast is one index"; :func:`run_fleet` answers the session layer's
+question — *can a bounded machine host many concurrent drives, each an
+evolving index, without ever rebuilding one from scratch?*  Each tenant
+thread replays a deterministic synthetic drive from
+:mod:`repro.datasets.drive`: it observes every frame through
+:meth:`~repro.serve.sessions.SessionManager.observe_frame` (first frame
+builds, the rest take the incremental fast path) and fires a burst of
+closed-loop queries between frames, tallied per tenant with the exact
+:class:`~repro.serve.loadgen.Tally` classification rules.
+
+Scan generation — not serving — is the expensive part of a synthetic
+drive, so ``distinct_drives`` bounds it: frames are generated once per
+distinct drive and tenant ``i`` replays drive ``i % distinct_drives``.
+Tenants sharing a drive still have fully independent sessions; only the
+input point clouds coincide.
+
+The report carries the zero-rebuild evidence: with an enabled metrics
+registry, ``full_builds`` (delta of ``build.calls``) must equal the
+tenant count — one initial build per session, none after — and
+``incremental_updates`` (delta of ``build.incremental.calls``) must be
+``n_tenants * (n_frames - 1)``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.drive import DriveConfig, generate_drive, scanner_for
+from repro.obs import get_registry
+from repro.serve.errors import Overloaded
+from repro.serve.loadgen import LoadgenReport, Tally
+from repro.serve.sessions import SessionConfig, SessionManager
+
+#: Counters whose before/after delta the fleet report captures (the
+#: zero-rebuild evidence plus incremental-work accounting).
+_BUILD_COUNTERS = (
+    "build.calls",
+    "build.incremental.calls",
+    "build.incremental.points",
+    "build.incremental.points_rebuilt",
+    "build.incremental.merges",
+    "build.incremental.splits",
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of one fleet replay.
+
+    ``n_tenants`` drives run concurrently, each ``n_frames`` long with
+    roughly ``points_per_frame`` ground-removed points per frame.
+    Between frames each tenant submits ``queries_per_frame`` query rows
+    in ``rows_per_request``-row requests, closed loop.  ``session``
+    configures the hosting :class:`~repro.serve.sessions.SessionManager`
+    (residency bounds, eviction policy, fairness quota).
+    """
+
+    n_tenants: int = 32
+    n_frames: int = 4
+    points_per_frame: int = 2000
+    queries_per_frame: int = 64
+    rows_per_request: int = 8
+    k: int = 8
+    mode: str = "exact"
+    seed: int = 0
+    distinct_drives: int = 4
+    scene_kind: str = "street"
+    ego_speed: float = 5.0
+    session: SessionConfig = field(default_factory=SessionConfig)
+
+    def __post_init__(self):
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be positive")
+        if self.n_frames < 1:
+            raise ValueError("n_frames must be positive")
+        if self.points_per_frame < 1:
+            raise ValueError("points_per_frame must be positive")
+        if self.queries_per_frame < 0:
+            raise ValueError("queries_per_frame must be non-negative")
+        if self.rows_per_request < 1:
+            raise ValueError("rows_per_request must be positive")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.mode not in ("exact", "approx"):
+            raise ValueError("mode must be 'exact' or 'approx'")
+        if not (1 <= self.distinct_drives):
+            raise ValueError("distinct_drives must be positive")
+
+    def tenant_name(self, i: int) -> str:
+        return f"drive-{i:03d}"
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet replay."""
+
+    duration_s: float
+    n_tenants: int
+    n_frames: int
+    per_tenant: dict[str, LoadgenReport]
+    frames_observed: int
+    frame_errors: int
+    #: Counter deltas over the run (empty when no registry was active).
+    build_counters: dict[str, float]
+    manager_stats: dict
+
+    @property
+    def full_builds(self) -> float | None:
+        """``build.calls`` delta; ``None`` without an enabled registry."""
+        return self.build_counters.get("build.calls")
+
+    @property
+    def incremental_updates(self) -> float | None:
+        return self.build_counters.get("build.incremental.calls")
+
+    @property
+    def zero_rebuild(self) -> bool | None:
+        """True iff no session ever rebuilt after its initial frame.
+
+        One ``build.calls`` per tenant (session creation) and one
+        ``build.incremental.calls`` per subsequent frame is the
+        steady-state signature; anything above the build floor means a
+        session fell off the incremental fast path.
+        """
+        if not self.build_counters:
+            return None
+        return (
+            self.full_builds == self.n_tenants
+            and self.incremental_updates
+            == self.n_tenants * (self.n_frames - 1)
+        )
+
+    def aggregate(self) -> dict:
+        """Summed outcome counts across tenants."""
+        totals = {
+            "offered": 0, "completed": 0, "shed": 0, "timed_out": 0,
+            "errors": 0, "degraded": 0, "rows_completed": 0,
+        }
+        for report in self.per_tenant.values():
+            for key in totals:
+                totals[key] += getattr(report, key)
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "n_tenants": self.n_tenants,
+            "n_frames": self.n_frames,
+            "frames_observed": self.frames_observed,
+            "frame_errors": self.frame_errors,
+            "aggregate": self.aggregate(),
+            "build": dict(self.build_counters),
+            "zero_rebuild": self.zero_rebuild,
+            "manager": self.manager_stats,
+            "per_tenant": {
+                tenant: report.as_dict()
+                for tenant, report in self.per_tenant.items()
+            },
+        }
+
+
+def _drive_frames(config: FleetConfig) -> list[list[np.ndarray]]:
+    """World-frame point arrays of each distinct drive (scanned once)."""
+    drives = []
+    for d in range(config.distinct_drives):
+        drive = DriveConfig(
+            n_frames=config.n_frames,
+            target_points=config.points_per_frame,
+            ego_speed=config.ego_speed,
+            scene_seed=config.seed + d,
+            scene_kind=config.scene_kind,
+            scanner=scanner_for(config.points_per_frame, config.scene_kind),
+        )
+        drives.append(
+            [
+                np.ascontiguousarray(frame.cloud.xyz)
+                for frame in generate_drive(drive, seed=config.seed + d)
+            ]
+        )
+    return drives
+
+
+def _queries_for(frame: np.ndarray, n: int, rng) -> np.ndarray:
+    """Perturbed resamples of the frame — the successive-frame workload."""
+    picks = rng.integers(0, frame.shape[0], size=n)
+    return frame[picks] + rng.normal(scale=0.05, size=(n, 3))
+
+
+def run_fleet(
+    config: FleetConfig | None = None,
+    *,
+    manager: SessionManager | None = None,
+    clock=time.perf_counter,
+) -> FleetReport:
+    """Replay ``n_tenants`` concurrent drives through a session manager.
+
+    Creates (and closes) a :class:`SessionManager` from
+    ``config.session`` unless one is passed in.  One thread per tenant:
+    observe a frame, fire the between-frame query burst closed loop,
+    repeat.  Sheds are counted at admission and never retried, so the
+    per-tenant reports expose exactly what admission control did.
+    """
+    config = config or FleetConfig()
+    drives = _drive_frames(config)
+    obs = get_registry()
+    before = (
+        {name: obs.counter(name).value for name in _BUILD_COUNTERS}
+        if obs.enabled
+        else {}
+    )
+
+    own_manager = manager is None
+    if own_manager:
+        manager = SessionManager(config.session)
+    tallies = {
+        config.tenant_name(i): Tally() for i in range(config.n_tenants)
+    }
+    frames_observed = [0] * config.n_tenants
+    frame_errors = [0] * config.n_tenants
+
+    def _tenant(i: int) -> None:
+        tenant = config.tenant_name(i)
+        tally = tallies[tenant]
+        rng = np.random.default_rng(config.seed + 1000 + i)
+        frames = drives[i % config.distinct_drives]
+        for frame in frames:
+            try:
+                manager.observe_frame(tenant, frame)
+                frames_observed[i] += 1
+            except Exception:
+                frame_errors[i] += 1
+                continue
+            if config.queries_per_frame == 0:
+                continue
+            queries = _queries_for(frame, config.queries_per_frame, rng)
+            for start in range(0, queries.shape[0], config.rows_per_request):
+                request = queries[start:start + config.rows_per_request]
+                with tally.lock:
+                    tally.offered += 1
+                try:
+                    future = manager.submit(
+                        tenant, request, config.k, mode=config.mode
+                    )
+                except Overloaded:
+                    with tally.lock:
+                        tally.shed += 1
+                    continue
+                future.exception()      # closed loop: wait for the answer
+                tally.record(future)
+
+    started = clock()
+    threads = [
+        threading.Thread(target=_tenant, args=(i,), name=f"fleet-{i}")
+        for i in range(config.n_tenants)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = clock() - started
+
+    build_counters = (
+        {
+            name: obs.counter(name).value - before[name]
+            for name in _BUILD_COUNTERS
+        }
+        if obs.enabled
+        else {}
+    )
+    manager_stats = manager.stats()
+    if own_manager:
+        manager.close()
+    return FleetReport(
+        duration_s=duration,
+        n_tenants=config.n_tenants,
+        n_frames=config.n_frames,
+        per_tenant={
+            tenant: tally.report("fleet-closed-loop", duration)
+            for tenant, tally in tallies.items()
+        },
+        frames_observed=int(sum(frames_observed)),
+        frame_errors=int(sum(frame_errors)),
+        build_counters=build_counters,
+        manager_stats=manager_stats,
+    )

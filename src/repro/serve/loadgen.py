@@ -80,8 +80,13 @@ class LoadgenReport:
         }
 
 
-class _Tally:
-    """Thread-safe accumulator shared by submitters and callbacks."""
+class Tally:
+    """Thread-safe outcome accumulator shared by submitters and callbacks.
+
+    Public so the fleet driver (:mod:`repro.serve.fleet`) can tally
+    per-tenant outcomes with the exact same classification rules as the
+    single-server load generators.
+    """
 
     def __init__(self):
         self.lock = threading.Lock()
@@ -158,7 +163,7 @@ def run_closed_loop(
     requests = _request_slices(
         np.atleast_2d(np.asarray(queries, dtype=np.float64)), rows_per_request
     )
-    tally = _Tally()
+    tally = Tally()
     tally.offered = len(requests)
 
     def _submitter(worker: int) -> None:
@@ -217,7 +222,7 @@ def run_open_loop(
         np.atleast_2d(np.asarray(queries, dtype=np.float64)), rows_per_request
     )
     rng = np.random.default_rng(seed)
-    tally = _Tally()
+    tally = Tally()
     pending: list = []
     started = clock()
     deadline = started + duration_s

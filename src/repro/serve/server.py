@@ -221,6 +221,31 @@ class KnnServer:
         shards = tuple(
             ShardState.from_snapshot(Snapshot.load(path)) for path in paths
         )
+        return cls.from_shards(shards, config, clock=clock)
+
+    @classmethod
+    def from_shards(cls, shards, config: ServeConfig | None = None,
+                    *, clock=time.monotonic) -> "KnnServer":
+        """Boot a server over prebuilt :class:`ShardState`s — no build.
+
+        The session layer uses this to promote an incrementally-updated
+        tree (or a restored spill snapshot) straight into a serving
+        instance.  ``config.n_shards`` must match the shard count (the
+        default config is widened automatically when left at 1).
+        """
+        from dataclasses import replace
+
+        shards = tuple(shards)
+        if not shards:
+            raise ValueError("from_shards needs at least one shard")
+        config = config or ServeConfig()
+        if config.n_shards == 1 and len(shards) > 1:
+            config = replace(config, n_shards=len(shards))
+        if config.n_shards != len(shards):
+            raise ValueError(
+                f"config.n_shards={config.n_shards} but got "
+                f"{len(shards)} prebuilt shards"
+            )
         plan = ShardPlan(
             strategy=config.sharding,
             global_ids=tuple(s.global_ids for s in shards),
@@ -347,13 +372,7 @@ class KnnServer:
                                global_ids=ids)
                     for ids in plan.global_ids
                 )
-            with self._swap_lock:
-                next_generation = self._generation + 1
-            self._backend.publish(next_generation, shards)
-            with self._swap_lock:
-                self._plan = plan
-                self._shards = shards
-                self._generation = next_generation
+            next_generation = self._swap_in(plan, shards)
         self._maybe_retire(next_generation - 1)
         self._count("serve.rebuilds", 1)
         return {
@@ -362,6 +381,49 @@ class KnnServer:
             "shard_sizes": [int(ids.size) for ids in plan.global_ids],
             "rebuild_s": self._clock() - started,
         }
+
+    def update_reference_shards(self, shards) -> dict:
+        """Warm handoff to *prebuilt* shard states — no tree build.
+
+        The generation-stamped swap machinery of :meth:`update_reference`
+        without its rebuild: the caller supplies ready
+        :class:`ShardState`s (the session layer's incremental
+        ``update_tree`` fast path produces them), they are published to
+        the execution backend, swapped in atomically, and the superseded
+        generation retires when its last in-flight job drains.
+        """
+        shards = tuple(shards)
+        if len(shards) != self.config.n_shards:
+            raise ValueError(
+                f"config.n_shards={self.config.n_shards} but got "
+                f"{len(shards)} prebuilt shards"
+            )
+        started = self._clock()
+        plan = ShardPlan(
+            strategy=self.config.sharding,
+            global_ids=tuple(s.global_ids for s in shards),
+        )
+        with self._rebuild_lock:
+            next_generation = self._swap_in(plan, shards)
+        self._maybe_retire(next_generation - 1)
+        self._count("serve.handoffs", 1)
+        return {
+            "generation": next_generation,
+            "n_points": plan.n_points,
+            "shard_sizes": [int(ids.size) for ids in plan.global_ids],
+            "handoff_s": self._clock() - started,
+        }
+
+    def _swap_in(self, plan: ShardPlan, shards: tuple[ShardState, ...]) -> int:
+        """Publish-then-swap under ``_rebuild_lock`` (held by caller)."""
+        with self._swap_lock:
+            next_generation = self._generation + 1
+        self._backend.publish(next_generation, shards)
+        with self._swap_lock:
+            self._plan = plan
+            self._shards = shards
+            self._generation = next_generation
+        return next_generation
 
     def update_reference_async(self, points) -> Future:
         """Run :meth:`update_reference` on a background thread."""

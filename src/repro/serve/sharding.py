@@ -37,6 +37,12 @@ import numpy as np
 from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
 from repro.kdtree.search import PAD_INDEX
 from repro.kdtree.snapshot import Snapshot
+from repro.registry import Registry
+
+#: Partitioning strategies for :func:`make_plan` (what
+#: ``ServeConfig.sharding`` validates).  Each entry is called as
+#: ``strategy(xyz, n_shards)`` and returns the per-shard id tuple.
+STRATEGIES: Registry = Registry("sharding strategy")
 
 
 @dataclass(frozen=True)
@@ -122,17 +128,18 @@ def make_plan(xyz: np.ndarray, n_shards: int, strategy: str) -> ShardPlan:
         raise ValueError("n_shards must be positive")
     if n < n_shards:
         raise ValueError(f"cannot split {n} points into {n_shards} shards")
-    if strategy == "round-robin":
-        ids = tuple(np.arange(s, n, n_shards, dtype=np.int64) for s in range(n_shards))
-    elif strategy == "spatial":
-        ids = _spatial_split(xyz, n_shards)
-    else:
-        raise ValueError(
-            f"unknown sharding {strategy!r}; expected 'round-robin' or 'spatial'"
-        )
-    return ShardPlan(strategy=strategy, global_ids=ids)
+    split = STRATEGIES.resolve(strategy)
+    return ShardPlan(strategy=strategy, global_ids=split(xyz, n_shards))
 
 
+@STRATEGIES.register("round-robin")
+def _round_robin_split(xyz: np.ndarray, n_shards: int) -> tuple[np.ndarray, ...]:
+    """Point ``i`` goes to shard ``i % S`` — balanced by construction."""
+    n = xyz.shape[0]
+    return tuple(np.arange(s, n, n_shards, dtype=np.int64) for s in range(n_shards))
+
+
+@STRATEGIES.register("spatial")
 def _spatial_split(xyz: np.ndarray, n_shards: int) -> tuple[np.ndarray, ...]:
     """Recursive median cuts: split the largest cell at its widest axis."""
     cells: list[np.ndarray] = [np.arange(xyz.shape[0], dtype=np.int64)]

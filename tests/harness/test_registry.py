@@ -14,7 +14,7 @@ class TestRegistry:
             "table6", "sec71",
             "ext-ablation", "ext-incremental", "ext-hbm", "ext-crosscheck",
             "ext-exact", "ext-sensitivity", "ext-banks", "ext-pareto",
-            "ext-icp", "serve-load",
+            "ext-icp", "serve-load", "serve-fleet",
         }
         assert set(experiment_ids()) == expected
 
