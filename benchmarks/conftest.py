@@ -112,10 +112,32 @@ class TrajectoryRecorder:
         }
 
     def write(self, directory: str) -> str:
+        """Write ``BENCH_<area>.json``, merging by benchmark name.
+
+        Different pytest sessions contribute different subsets of an
+        area (the engine micro file vs the blocked micro file); a
+        session must refresh the entries it re-measured without
+        dropping the ones it didn't run.
+        """
         path = os.path.join(directory, f"BENCH_{self.area}.json")
+        doc = self.artifact()
+        try:
+            with open(path, encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            previous = None
+        if previous and previous.get("schema") == doc["schema"]:
+            fresh = {b["name"] for b in doc["benchmarks"]}
+            kept = [
+                b for b in previous.get("benchmarks", [])
+                if b.get("name") not in fresh
+            ]
+            doc["benchmarks"] = kept + doc["benchmarks"]
+            doc["derived"] = {**previous.get("derived", {}), **doc["derived"]}
+            doc["params"] = {**previous.get("params", {}), **doc["params"]}
+        doc["benchmarks"].sort(key=lambda b: b.get("name", ""))
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(self.artifact(), indent=2, sort_keys=True)
-                     + "\n")
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         return path
 
 

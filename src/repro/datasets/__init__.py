@@ -18,6 +18,7 @@ Typical use::
         ...                                           # successive frames
 """
 
+from repro.datasets.city import city_block_map
 from repro.datasets.drive import DriveConfig, Frame, generate_drive, lidar_frame, lidar_frame_pair
 from repro.datasets.ground import remove_ground
 from repro.datasets.io import load_cloud, save_cloud
@@ -43,6 +44,7 @@ __all__ = [
     "LidarScanner",
     "Scene",
     "ScannerConfig",
+    "city_block_map",
     "gaussian_clusters",
     "generate_drive",
     "lidar_frame",

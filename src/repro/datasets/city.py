@@ -1,0 +1,96 @@
+"""Map-scale accumulation: a drive's frames merged into one huge cloud.
+
+The repo's other generators stop at single-frame scale (~30k points);
+real mapping pipelines register every frame of a drive into a shared
+world frame and accumulate a city-block map of 1M-10M points.
+:func:`city_block_map` reproduces that workload from the synthetic
+drive machinery: frames from :func:`~repro.datasets.drive.generate_drive`
+already carry world-frame (registered) clouds, so accumulating them
+along a slalom trajectory yields a dense multi-frame map with the real
+thing's statistics — re-observed structure, density that varies with
+how often the ego passed by, and a footprint far beyond one scan.
+
+The map is the blocked index's workload (:mod:`repro.kdtree.blocked`):
+``out=`` streams the accumulating points straight into an ``.npy``
+memmap, so a map bigger than RAM can be generated, built, and served
+without ever being fully resident.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.drive import DriveConfig, generate_drive, scanner_for
+
+__all__ = ["city_block_map"]
+
+
+def city_block_map(
+    n_points: int = 1_000_000,
+    *,
+    seed: int = 0,
+    frame_points: int = 40_000,
+    scene_kind: str = "street",
+    ego_profile: str = "slalom",
+    out: str | Path | None = None,
+) -> np.ndarray:
+    """Accumulate registered drive frames into an ``(n_points, 3)`` map.
+
+    Frames are generated until the map reaches ``n_points`` (the last
+    frame is truncated to land exactly), deterministic for a given
+    ``(n_points, seed, frame_points, scene_kind, ego_profile)``.
+
+    ``out`` writes the map incrementally into an ``.npy`` memmap at
+    that path and returns the (flushed, read-only) map view — the
+    out-of-core path: peak RAM stays one frame, and the returned array
+    (or just the path) feeds :func:`repro.kdtree.build_blocked`
+    directly.  ``out=None`` returns an in-memory array.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be positive")
+    if frame_points < 1:
+        raise ValueError("frame_points must be positive")
+    n_frames = -(-n_points // frame_points) + 1  # slack for short frames
+    config = DriveConfig(
+        n_frames=n_frames,
+        target_points=frame_points,
+        ego_profile=ego_profile,
+        scene_kind=scene_kind,
+        scene_seed=seed,
+        scanner=scanner_for(frame_points, scene_kind),
+    )
+
+    if out is not None:
+        out = os.fspath(out)
+        store = np.lib.format.open_memmap(
+            out, mode="w+", dtype=np.float64, shape=(n_points, 3)
+        )
+    else:
+        store = np.empty((n_points, 3), dtype=np.float64)
+
+    filled = 0
+    while filled < n_points:
+        for frame in generate_drive(config, seed=seed):
+            take = min(len(frame.cloud), n_points - filled)
+            store[filled:filled + take] = frame.cloud.xyz[:take]
+            filled += take
+            if filled >= n_points:
+                break
+        else:  # pragma: no cover - drive exhausted early (tiny frames)
+            config = DriveConfig(
+                n_frames=config.n_frames * 2,
+                target_points=frame_points,
+                ego_profile=ego_profile,
+                scene_kind=scene_kind,
+                scene_seed=seed,
+                scanner=config.scanner,
+            )
+
+    if out is not None:
+        store.flush()
+        del store
+        return np.load(out, mmap_mode="r")
+    return store

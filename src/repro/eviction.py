@@ -1,0 +1,44 @@
+"""Residency eviction policies, shared by every bounded cache in the repo.
+
+Two layers hold more state than fits their budget and must pick
+victims: the per-tenant session fleet (:mod:`repro.serve.sessions`
+spills idle sessions' trees to disk) and the blocked index
+(:mod:`repro.kdtree.blocked` drops memory-mapped block trees).  Both
+ask the same question — *which resident entry frees the most room at
+the least expected cost?* — so the policies live here, behind one
+:class:`~repro.registry.Registry`, and operate on any entry exposing
+two attributes:
+
+``last_active``
+    Monotonic timestamp of the entry's most recent use.
+``nbytes``
+    Resident byte footprint of the entry.
+
+A policy is called as ``policy(entry, now) -> sort key``; resident
+idle entries are evicted in **ascending** key order until the cache is
+back under budget.
+"""
+
+from __future__ import annotations
+
+from repro.registry import Registry
+
+__all__ = ["EVICTION"]
+
+#: Eviction policies: ``policy(entry, now) -> sort key``; resident
+#: idle entries are evicted in ascending key order.
+EVICTION: Registry = Registry("eviction policy")
+
+
+@EVICTION.register("lru")
+def _lru_key(entry, now: float) -> float:
+    """Least recently active first."""
+    return entry.last_active
+
+
+@EVICTION.register("cost-aware", "cost")
+def _cost_key(entry, now: float) -> float:
+    """Largest (idle time x resident bytes) first — FractalCloud-style
+    locality economics: a big tree nobody is touching frees the most
+    memory per unit of expected restore cost."""
+    return -(now - entry.last_active) * float(max(entry.nbytes, 1))

@@ -137,6 +137,14 @@ def run_diff(old_path: str, new_path: str, *,
         return 2
     rows = diff_trajectories(old, new, min_spread=min_spread)
     print(format_report(rows), file=out)
+    added = [r["name"] for r in rows if r["status"] == "added"]
+    removed = [r["name"] for r in rows if r["status"] == "removed"]
+    if added:
+        print(f"note: {len(added)} new benchmark(s), informational only: "
+              + ", ".join(added), file=out)
+    if removed:
+        print(f"note: {len(removed)} benchmark(s) only in the old file, "
+              "informational only: " + ", ".join(removed), file=out)
     regressions = [r for r in rows if r["status"] == "regressed"]
     if regressions:
         names = ", ".join(r["name"] for r in regressions)

@@ -36,6 +36,7 @@ from repro.harness.exp_platforms import (
     table6_speedup,
     tables23_resources,
 )
+from repro.harness.exp_blocked import blocked_build
 from repro.harness.exp_serve import serve_fleet, serve_load
 from repro.harness.result import ExperimentResult
 
@@ -69,6 +70,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-icp": ext_icp_registration,
     "serve-load": serve_load,
     "serve-fleet": serve_fleet,
+    "blocked-build": blocked_build,
 }
 
 

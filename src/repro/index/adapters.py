@@ -11,6 +11,8 @@ Registered names (aliases in parentheses):
 ``kd-approx`` (approx)    single-bucket k-d tree search on the batched engine
 ``kd-exact`` (exact)      backtracking exact search, batched engine
 ``kd-bbf`` (bbf)          best-bin-first with a leaf budget (FLANN checks)
+``kd-blocked``            spatially blocked per-block trees, exact AABB-
+(kd_blocked)              pruned routing (``repro.kdtree.blocked``)
 ``bruteforce`` (linear)   chunked exhaustive search (ground truth)
 ``forest``                randomized k-d tree forest, joint BBF
 ``grid``                  voxel hash with expanding-ring exact search
@@ -185,6 +187,22 @@ def _kd_bbf(reference, **cfg) -> NeighborIndex:
 @register_index("bruteforce", "linear")
 def _bruteforce(reference, **cfg) -> NeighborIndex:
     return BruteForceIndex(reference, **cfg)
+
+
+@register_index("kd-blocked", "kd_blocked")
+def _kd_blocked(reference, **cfg) -> NeighborIndex:
+    """Blocked out-of-core index (exact; see ``repro.kdtree.blocked``).
+
+    ``config=`` takes a :class:`~repro.kdtree.blocked.BlockedBuildConfig`;
+    the default splits the reference into four blocks so even
+    frame-scale clouds exercise the router.  Remaining ``cfg`` keys
+    (``max_resident_blocks``, ``eviction``, ...) pass through to
+    :class:`~repro.kdtree.blocked.BlockedIndex`.
+    """
+    from repro.kdtree.blocked import BlockedBuildConfig, build_blocked
+
+    config = cfg.pop("config", None) or BlockedBuildConfig(n_blocks=4)
+    return build_blocked(reference, config, **cfg)
 
 
 @register_index("forest")

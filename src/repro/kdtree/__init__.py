@@ -13,6 +13,12 @@ Quick example::
     result = knn_approx(tree, query_cloud, k=8)
 """
 
+from repro.kdtree.blocked import (
+    PARTITIONERS,
+    BlockedBuildConfig,
+    BlockedIndex,
+    build_blocked,
+)
 from repro.kdtree.build import BuildTrace, build_tree, place_points
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.engine import FlatKdTree, knn_approx_batched, knn_exact_batched
@@ -47,6 +53,8 @@ from repro.kdtree.validate import TreeInvariantError, check_tree
 
 __all__ = [
     "BbfConfig",
+    "BlockedBuildConfig",
+    "BlockedIndex",
     "BuildTrace",
     "FlatKdTree",
     "KdForest",
@@ -56,11 +64,13 @@ __all__ = [
     "KdTreeConfig",
     "NO_NODE",
     "PAD_INDEX",
+    "PARTITIONERS",
     "QueryResult",
     "Snapshot",
     "TreeInvariantError",
     "TreeStats",
     "UpdateTrace",
+    "build_blocked",
     "build_flat",
     "build_tree",
     "build_tree_vectorized",

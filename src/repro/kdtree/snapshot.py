@@ -125,17 +125,48 @@ class Snapshot:
         return cls(arrays=arrays, extras=extras, version=version)
 
     # -- disk transport ------------------------------------------------
-    def save(self, path: str | Path | io.IOBase) -> None:
-        """Write the ``.npz`` snapshot file (or writable binary stream)."""
-        np.savez_compressed(path, **self.to_payload())
+    def save(self, path: str | Path | io.IOBase, *, compressed: bool = True) -> None:
+        """Write the ``.npz`` snapshot file (or writable binary stream).
+
+        ``compressed=False`` stores the members raw (``np.savez``), the
+        layout :meth:`load` can memory-map — the blocked index stores
+        its per-block trees this way so a query pages in only the
+        arrays it touches.
+        """
+        writer = np.savez_compressed if compressed else np.savez
+        writer(path, **self.to_payload())
 
     @classmethod
-    def load(cls, path: str | Path | io.IOBase) -> "Snapshot":
-        """Read a snapshot written by :meth:`save` (or legacy ``save_flat``)."""
-        with np.load(path) as payload:
-            return cls.from_payload({key: payload[key] for key in payload.files})
+    def load(
+        cls, path: str | Path | io.IOBase, *, mmap_mode: str | None = None
+    ) -> "Snapshot":
+        """Read a snapshot written by :meth:`save` (or legacy ``save_flat``).
+
+        ``mmap_mode`` (default ``None``: read everything eagerly, the
+        historical behavior) opts into lazy page-in: ``"r"`` maps each
+        array read-only over the file, ``"c"`` copy-on-write.  Mapping
+        requires an uncompressed snapshot (``save(compressed=False)``)
+        and a real filesystem path — ``np.load`` itself silently
+        ignores ``mmap_mode`` for zip archives, so this path parses the
+        archive and maps each stored member in place.  Arrays are
+        bit-identical to an eager load either way.
+        """
+        if mmap_mode is None:
+            with np.load(path) as payload:
+                return cls.from_payload(
+                    {key: payload[key] for key in payload.files}
+                )
+        return cls.from_payload(_mmap_npz_payload(path, mmap_mode))
 
     # -- introspection -------------------------------------------------
+    @property
+    def is_mapped(self) -> bool:
+        """True when the arrays are memory-mapped views over a file."""
+        return any(
+            isinstance(getattr(a, "base", None), np.memmap)
+            for a in self.arrays.values()
+        )
+
     @property
     def n_points(self) -> int:
         return int(self.arrays["points"].shape[0])
@@ -144,3 +175,67 @@ class Snapshot:
     def nbytes(self) -> int:
         """Total payload bytes (what a shared-memory segment must hold)."""
         return sum(a.nbytes for a in self.to_payload().values())
+
+
+#: Local-file-header prelude of a zip member: fixed 30 bytes, then the
+#: file name and the (local, possibly distinct from central) extra field.
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+_ZIP_LOCAL_FIXED = 30
+
+
+def _mmap_npz_payload(path, mmap_mode: str) -> dict[str, np.ndarray]:
+    """Map every member of an *uncompressed* ``.npz`` in place.
+
+    One ``np.memmap`` spans the archive; each stored member's ``.npy``
+    header is parsed to find its data offset, and the returned arrays
+    are zero-copy views at those offsets.  The views keep the mapping
+    alive through their ``base`` chain, so no handle management is
+    needed — the file unmaps when the last array is garbage collected.
+    """
+    import zipfile
+
+    if mmap_mode not in ("r", "c"):
+        raise ValueError(
+            f"mmap_mode must be 'r' (read-only) or 'c' (copy-on-write), "
+            f"got {mmap_mode!r}"
+        )
+    if isinstance(path, io.IOBase):
+        raise TypeError("mmap_mode requires a filesystem path, not a stream")
+    path = Path(path)
+    mapped = np.memmap(path, dtype=np.uint8, mode=mmap_mode)
+    payload: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"{path}: member {info.filename!r} is compressed; "
+                    "mmap_mode needs an uncompressed snapshot — re-save "
+                    "with Snapshot.save(path, compressed=False)"
+                )
+            raw.seek(info.header_offset)
+            local = raw.read(_ZIP_LOCAL_FIXED)
+            if local[: len(_ZIP_LOCAL_MAGIC)] != _ZIP_LOCAL_MAGIC:
+                raise ValueError(f"{path}: corrupt zip local header")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            raw.seek(info.header_offset + _ZIP_LOCAL_FIXED + name_len + extra_len)
+            version = np.lib.format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+            else:  # pragma: no cover - no writer emits 3.0 for these dtypes
+                raise ValueError(
+                    f"{path}: unsupported .npy format version {version}"
+                )
+            if dtype.hasobject:
+                raise ValueError(f"{path}: cannot map object arrays")
+            key = info.filename.removesuffix(".npy")
+            payload[key] = np.ndarray(
+                shape,
+                dtype=dtype,
+                buffer=mapped,
+                offset=raw.tell(),
+                order="F" if fortran else "C",
+            )
+    return payload

@@ -58,8 +58,8 @@ from repro.kdtree.incremental import update_tree
 from repro.kdtree.node import KdTree
 from repro.kdtree.serialize import tree_from_arrays, tree_to_arrays
 from repro.kdtree.snapshot import FLAT_FIELDS, Snapshot
+from repro.eviction import EVICTION
 from repro.obs import get_registry
-from repro.registry import Registry
 from repro.serve.config import ServeConfig
 from repro.serve.errors import Overloaded
 from repro.serve.server import KnnServer, ServeResponse
@@ -73,23 +73,10 @@ _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 #: snapshot's extras (``tree_points``, ``tree_parent``, ...).
 _TREE_PREFIX = "tree_"
 
-#: Eviction policies: ``policy(session, now) -> sort key``; resident
-#: idle sessions are evicted in ascending key order.
-EVICTION: Registry = Registry("eviction policy")
-
-
-@EVICTION.register("lru")
-def _lru_key(session: "Session", now: float) -> float:
-    """Least recently active first."""
-    return session.last_active
-
-
-@EVICTION.register("cost-aware", "cost")
-def _cost_key(session: "Session", now: float) -> float:
-    """Largest (idle time x resident bytes) first — FractalCloud-style
-    locality economics: a big tree nobody is touching frees the most
-    memory per unit of expected restore cost."""
-    return -(now - session.last_active) * float(max(session.nbytes, 1))
+#: The shared eviction-policy registry (``"lru"`` / ``"cost-aware"``),
+#: re-exported from :mod:`repro.eviction` where the blocked index also
+#: resolves it.  Policies key off ``Session.last_active`` and
+#: ``Session.nbytes``; victims are evicted in ascending key order.
 
 
 @dataclass(frozen=True)

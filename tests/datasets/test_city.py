@@ -1,0 +1,43 @@
+"""city_block_map: accumulated multi-frame maps (repro.datasets.city)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import city_block_map
+
+
+def test_exact_size_and_determinism():
+    a = city_block_map(25_000, seed=3, frame_points=8_000)
+    b = city_block_map(25_000, seed=3, frame_points=8_000)
+    assert a.shape == (25_000, 3)
+    assert a.dtype == np.float64
+    np.testing.assert_array_equal(a, b)
+
+
+def test_seed_changes_map():
+    a = city_block_map(10_000, seed=0, frame_points=5_000)
+    b = city_block_map(10_000, seed=1, frame_points=5_000)
+    assert not np.array_equal(a, b)
+
+
+def test_out_path_streams_identical_map(tmp_path):
+    path = tmp_path / "map.npy"
+    mapped = city_block_map(12_000, seed=2, frame_points=5_000, out=path)
+    assert isinstance(mapped, np.memmap)
+    assert not mapped.flags.writeable
+    in_ram = city_block_map(12_000, seed=2, frame_points=5_000)
+    np.testing.assert_array_equal(np.asarray(mapped), in_ram)
+
+
+def test_multi_frame_extent_exceeds_one_scan():
+    # Accumulation along the ego trajectory: the map must span more
+    # ground than any single frame's scan radius.
+    xyz = city_block_map(30_000, seed=0, frame_points=6_000)
+    assert np.ptp(xyz[:, 0]) > 50.0
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="n_points"):
+        city_block_map(0)
+    with pytest.raises(ValueError, match="frame_points"):
+        city_block_map(10, frame_points=0)

@@ -122,6 +122,28 @@ class TestRunDiff:
         assert run_diff(old, new, warn_only=True) == 0
         assert "WARN" in capsys.readouterr().err
 
+    def test_first_landing_of_blocked_bench_never_gates(self, tmp_path, capsys):
+        # The PR that introduces build.blocked_parallel: the committed
+        # baseline predates the name, so it shows up as "added" — an
+        # informational note, exit 0, no regression verdict.
+        old = _write(tmp_path, "old.json", _artifact(
+            [_entry("build.flat_1M", 100.0)], area="build"))
+        new = _write(tmp_path, "new.json", _artifact(
+            [_entry("build.flat_1M", 101.0),
+             _entry("build.blocked_parallel", 7.0)], area="build"))
+        assert run_diff(old, new) == 0
+        captured = capsys.readouterr()
+        assert "informational only: build.blocked_parallel" in captured.out
+        assert "FAIL" not in captured.err
+
+    def test_removed_benchmark_noted_but_never_gates(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json", _artifact(
+            [_entry("engine.approx", 1000.0), _entry("engine.gone", 5.0)]))
+        new = _write(tmp_path, "new.json", _artifact(
+            [_entry("engine.approx", 1000.0)]))
+        assert run_diff(old, new) == 0
+        assert "only in the old file" in capsys.readouterr().out
+
     def test_mismatched_areas_are_unusable(self, tmp_path, capsys):
         old = _write(tmp_path, "old.json",
                      _artifact([_entry("engine.approx", 1.0)], area="engine"))

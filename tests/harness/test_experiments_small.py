@@ -137,3 +137,18 @@ class TestPlatformExperiments:
     def test_sec71_runs(self):
         result = sec71_prior_accelerators()
         assert_wellformed(result, n_rows=2)
+
+
+class TestBlockedExperiment:
+    def test_blocked_build_small(self):
+        from repro.harness.exp_blocked import blocked_build
+
+        result = blocked_build(
+            n_points=30_000,
+            target_block_points=5_000,
+            workers=1,
+            n_queries=200,
+            max_resident_blocks=2,
+        )
+        assert_wellformed(result)
+        assert result.all_checks_pass, result.failed_checks()

@@ -14,7 +14,7 @@ class TestRegistry:
             "table6", "sec71",
             "ext-ablation", "ext-incremental", "ext-hbm", "ext-crosscheck",
             "ext-exact", "ext-sensitivity", "ext-banks", "ext-pareto",
-            "ext-icp", "serve-load", "serve-fleet",
+            "ext-icp", "serve-load", "serve-fleet", "blocked-build",
         }
         assert set(experiment_ids()) == expected
 

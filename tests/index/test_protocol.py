@@ -19,6 +19,7 @@ BACKENDS = [
     "kd-approx",
     "kd-exact",
     "kd-bbf",
+    "kd-blocked",
     "forest",
     "grid",
     "kmeans",
@@ -31,6 +32,7 @@ BACKENDS = [
 MIN_RECALL = {
     "bruteforce": 0.999,
     "kd-exact": 0.999,
+    "kd-blocked": 0.999,
     "grid": 0.999,
     "kd-approx": 0.5,
     "kd-bbf": 0.5,
@@ -119,6 +121,7 @@ def test_aliases_resolve_to_canonical(small_frame_pair):
     assert make_index("exact", ref).name == "kd-exact"
     assert make_index("bbf", ref).name == "kd-bbf"
     assert make_index("linear", ref).name == "bruteforce"
+    assert make_index("kd_blocked", ref).name == "kd-blocked"
 
 
 def test_unknown_name_lists_available(small_frame_pair):

@@ -13,7 +13,9 @@ class TestCliSurface:
         ids = capsys.readouterr().out.split()
         # Paper artifacts first, in paper order; extensions after.
         assert ids[:5] == ["table1", "fig3", "fig8", "fig9", "fig10"]
-        assert all(x.startswith(("ext-", "serve-")) for x in ids[16:])
+        assert all(
+            x.startswith(("ext-", "serve-", "blocked-")) for x in ids[16:]
+        )
 
     def test_run_with_json_roundtrip(self, tmp_path, capsys):
         out = tmp_path / "result.json"

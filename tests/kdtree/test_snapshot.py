@@ -109,3 +109,58 @@ class TestIntrospection:
     def test_from_flat_takes_no_copies(self, flat):
         snap = Snapshot.from_flat(flat)
         assert snap.arrays["points"] is flat.points
+
+
+class TestMmapLoad:
+    """``load(mmap_mode=...)``: lazy page-in, bit-identical answers."""
+
+    def _saved(self, flat, tmp_path, **save_kw):
+        path = tmp_path / "mapped.npz"
+        ids = np.arange(1_500, dtype=np.int64)
+        Snapshot.from_flat(flat, extra={"global_ids": ids}).save(path, **save_kw)
+        return path
+
+    def test_arrays_bit_identical_and_mapped(self, flat, tmp_path):
+        path = self._saved(flat, tmp_path, compressed=False)
+        snap = Snapshot.load(path, mmap_mode="r")
+        assert snap.is_mapped
+        for name in FLAT_FIELDS:
+            a, b = getattr(flat, name), snap.arrays[name]
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b), name
+        assert not snap.arrays["points"].flags.writeable
+        assert np.array_equal(snap.extras["global_ids"], np.arange(1_500))
+
+    def test_served_answers_bit_identical_under_mmap(self, flat, rng, tmp_path):
+        from repro.serve import KnnServer, ServeConfig
+        from repro.serve.sharding import ShardState
+
+        path = self._saved(flat, tmp_path, compressed=False)
+        queries = uniform_cloud(200, rng=rng).xyz
+        config = ServeConfig(max_delay_s=0.0)
+        shard_mem = ShardState.from_snapshot(Snapshot.load(path))
+        shard_map = ShardState.from_snapshot(Snapshot.load(path, mmap_mode="r"))
+        with KnnServer.from_shards([shard_mem], config) as server:
+            want = server.query(queries, 6)
+        with KnnServer.from_shards([shard_map], config) as server:
+            got = server.query(queries, 6)
+        assert np.array_equal(want.indices, got.indices)
+        assert np.array_equal(want.distances, got.distances)
+
+    def test_default_load_unchanged(self, flat, tmp_path):
+        path = self._saved(flat, tmp_path, compressed=False)
+        snap = Snapshot.load(path)
+        assert not snap.is_mapped
+        assert snap.arrays["points"].flags.writeable
+
+    def test_compressed_snapshot_refused_with_guidance(self, flat, tmp_path):
+        path = self._saved(flat, tmp_path)  # compressed default
+        with pytest.raises(ValueError, match="compressed=False"):
+            Snapshot.load(path, mmap_mode="r")
+
+    def test_stream_and_bad_mode_rejected(self, flat, tmp_path):
+        path = self._saved(flat, tmp_path, compressed=False)
+        with pytest.raises(ValueError, match="mmap_mode"):
+            Snapshot.load(path, mmap_mode="r+")
+        with pytest.raises(TypeError, match="filesystem path"):
+            Snapshot.load(io.BytesIO(path.read_bytes()), mmap_mode="r")

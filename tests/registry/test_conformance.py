@@ -23,6 +23,7 @@ from repro.registry import Registry, warn_deprecated_alias
 def _registries():
     from repro.datasets.drive import SCENES
     from repro.index.protocol import INDEXES
+    from repro.kdtree.blocked import PARTITIONERS
     from repro.kdtree.builders import BUILDERS
     from repro.kdtree.search import ENGINES
     from repro.serve.backends import BACKENDS
@@ -37,13 +38,14 @@ def _registries():
         "sharding strategy": STRATEGIES,
         "scene kind": SCENES,
         "eviction policy": EVICTION,
+        "partitioner": PARTITIONERS,
     }
 
 
 def _callers():
     """Knob surfaces that must surface the registry error verbatim."""
     from repro.index import make_index
-    from repro.kdtree import KdTreeConfig, knn_approx
+    from repro.kdtree import BlockedBuildConfig, KdTreeConfig, knn_approx
     from repro.kdtree.build import build_tree
     from repro.serve.config import ExecutionConfig, ServeConfig
     from repro.serve.sessions import SessionConfig
@@ -66,6 +68,7 @@ def _callers():
             "repro.datasets.drive", fromlist=["_make_scene"]
         )._make_scene("nope", 0)),
         ("eviction policy", lambda: SessionConfig(eviction="nope")),
+        ("partitioner", lambda: BlockedBuildConfig(partitioner="nope")),
     ]
 
 
