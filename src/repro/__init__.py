@@ -48,7 +48,12 @@ from repro.datasets import (
 )
 from repro.geometry import Aabb, PointCloud, RigidTransform
 from repro.icp import IcpConfig, IcpResult, icp_register
-from repro.index import NeighborIndex, available_indexes, make_index
+from repro.index import (
+    NeighborIndex,
+    UnsupportedQuery,
+    available_indexes,
+    make_index,
+)
 from repro.kdtree import (
     BbfConfig,
     FlatKdTree,
@@ -63,6 +68,7 @@ from repro.kdtree import (
     tree_stats,
     update_tree,
 )
+from repro.query import RaggedResult, radius_batched, sample_fps
 from repro.sim import DramModel, DramTimingParams
 
 __version__ = "1.0.0"
@@ -90,9 +96,11 @@ __all__ = [
     "QueryResult",
     "QuickNN",
     "QuickNNConfig",
+    "RaggedResult",
     "RigidTransform",
     "SimpleKdArch",
     "SimpleKdConfig",
+    "UnsupportedQuery",
     "available_indexes",
     "build_flat",
     "build_tree",
@@ -105,7 +113,9 @@ __all__ = [
     "lidar_frame",
     "lidar_frame_pair",
     "make_index",
+    "radius_batched",
     "reuse_tree",
+    "sample_fps",
     "top1_containment",
     "tree_stats",
     "update_tree",

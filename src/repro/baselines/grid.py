@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.modality import UnsupportedQueryMixin
 from repro.kdtree.search import PAD_INDEX, QueryResult, _insert_bounded
 
 
@@ -36,8 +37,12 @@ class GridConfig:
             raise ValueError("cell_size must be positive")
 
 
-class GridIndex:
-    """An exact expanding-ring kNN index over a voxel hash."""
+class GridIndex(UnsupportedQueryMixin):
+    """An exact expanding-ring kNN index over a voxel hash.
+
+    Radius / FPS queries raise the typed
+    :class:`~repro.index.protocol.UnsupportedQuery`.
+    """
 
     name = "grid"
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.modality import UnsupportedQueryMixin
 from repro.kdtree.search import PAD_INDEX, QueryResult, _top_k
 
 
@@ -46,8 +47,12 @@ class _Node:
         self.members: np.ndarray | None = None   # point indices for leaves
 
 
-class KMeansTree:
-    """A k-means tree index over a fixed reference set."""
+class KMeansTree(UnsupportedQueryMixin):
+    """A k-means tree index over a fixed reference set.
+
+    Radius / FPS queries raise the typed
+    :class:`~repro.index.protocol.UnsupportedQuery`.
+    """
 
     name = "kmeans"
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.modality import UnsupportedQueryMixin
 from repro.kdtree.search import PAD_INDEX, QueryResult, _top_k
 
 
@@ -47,8 +48,12 @@ class LshConfig:
             raise ValueError("max_candidates must be positive when given")
 
 
-class LshIndex:
-    """An LSH index over a fixed reference set."""
+class LshIndex(UnsupportedQueryMixin):
+    """An LSH index over a fixed reference set.
+
+    Radius / FPS queries raise the typed
+    :class:`~repro.index.protocol.UnsupportedQuery`.
+    """
 
     name = "lsh"
 

@@ -37,6 +37,7 @@ from repro.harness.exp_platforms import (
     tables23_resources,
 )
 from repro.harness.exp_blocked import blocked_build
+from repro.harness.exp_query import fps_build, radius_query
 from repro.harness.exp_serve import serve_fleet, serve_load
 from repro.harness.result import ExperimentResult
 
@@ -71,6 +72,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "serve-load": serve_load,
     "serve-fleet": serve_fleet,
     "blocked-build": blocked_build,
+    "radius-query": radius_query,
+    "fps-build": fps_build,
 }
 
 

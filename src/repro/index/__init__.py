@@ -20,9 +20,13 @@ from repro.index.adapters import (
 )
 from repro.index.protocol import (
     NeighborIndex,
+    UnsupportedQuery,
+    UnsupportedQueryMixin,
     available_indexes,
+    declare_support,
     make_index,
     register_index,
+    supporting_backends,
 )
 
 __all__ = [
@@ -31,7 +35,11 @@ __all__ = [
     "KdBbfIndex",
     "KdExactIndex",
     "NeighborIndex",
+    "UnsupportedQuery",
+    "UnsupportedQueryMixin",
     "available_indexes",
+    "declare_support",
     "make_index",
     "register_index",
+    "supporting_backends",
 ]

@@ -30,7 +30,11 @@ from repro.baselines.kmeans_tree import KMeansTree
 from repro.baselines.linear import knn_bruteforce
 from repro.baselines.lsh import LshIndex
 from repro.geometry import PointCloud
-from repro.index.protocol import NeighborIndex, register_index
+from repro.index.protocol import (
+    NeighborIndex,
+    declare_support,
+    register_index,
+)
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.forest import KdForest
 from repro.kdtree.search import BbfConfig, QueryResult, knn_approx, knn_bbf, knn_exact
@@ -52,10 +56,28 @@ class _KdTreeIndex:
     """Shared plumbing of the three k-d tree backends."""
 
     name = "kd-tree"
+    supports_radius = True
+    supports_sample = True
 
     def __init__(self, reference, tree: KdTreeConfig | None = None):
         self.tree_config = tree or KdTreeConfig()
         self.build(reference)
+
+    def query_radius(self, queries, radius: float, *,
+                     max_neighbors: int | None = None):
+        """Batched exact radius search over the built tree (CSR result)."""
+        from repro.query.radius import radius_batched
+
+        return radius_batched(
+            self._tree, queries, radius, max_neighbors=max_neighbors
+        )
+
+    def sample(self, m: int, *, start: int = 0) -> np.ndarray:
+        """Farthest point sampling fused onto the already-built tree."""
+        from repro.query.fps import sample_fps
+
+        flat = self._tree.flat()
+        return sample_fps(flat.points, m, start=start, flat=flat)
 
     def build(self, reference) -> "NeighborIndex":
         xyz = _as_reference(reference)
@@ -147,6 +169,8 @@ class BruteForceIndex:
     """Exhaustive search — exact by construction, the accuracy oracle."""
 
     name = "bruteforce"
+    supports_radius = True
+    supports_sample = True
 
     def __init__(self, reference, chunk_size: int = 1024):
         self.chunk_size = chunk_size
@@ -158,6 +182,22 @@ class BruteForceIndex:
 
     def query(self, queries, k: int) -> QueryResult:
         return knn_bruteforce(self._reference, queries, k, chunk_size=self.chunk_size)
+
+    def query_radius(self, queries, radius: float, *,
+                     max_neighbors: int | None = None):
+        """Exhaustive radius search — the modality's accuracy oracle."""
+        from repro.query.radius import radius_bruteforce
+
+        return radius_bruteforce(
+            self._reference, queries, radius,
+            max_neighbors=max_neighbors, chunk_size=self.chunk_size,
+        )
+
+    def sample(self, m: int, *, start: int = 0) -> np.ndarray:
+        """Naive O(n·m) FPS — defines the selection sequence."""
+        from repro.query.fps import sample_fps_reference
+
+        return sample_fps_reference(self._reference, m, start=start)
 
     def stats(self) -> dict:
         return {
@@ -223,3 +263,13 @@ def _lsh(reference, **cfg) -> NeighborIndex:
 @register_index("kmeans")
 def _kmeans(reference, **cfg) -> NeighborIndex:
     return KMeansTree(reference, **cfg)
+
+
+# Capability declarations feed ``supporting_backends`` and the
+# ``UnsupportedQuery`` message the remaining backends raise.
+declare_support(
+    "radius", "kd-approx", "kd-exact", "kd-bbf", "kd-blocked", "bruteforce"
+)
+declare_support(
+    "sample", "kd-approx", "kd-exact", "kd-bbf", "kd-blocked", "bruteforce"
+)

@@ -14,6 +14,21 @@ that question one shape:
   (``make_index("grid", reference, config=GridConfig(1.0))``) instead
   of hard-coding imports.
 
+Beyond k-NN, the protocol carries two further query modalities with
+per-backend **capability flags**:
+
+* ``supports_radius`` / ``query_radius(queries, radius)`` — batched
+  radius (range) search returning a CSR
+  :class:`~repro.query.result.RaggedResult`;
+* ``supports_sample`` / ``sample(m)`` — farthest point sampling over
+  the reference cloud.
+
+A backend that lacks a modality keeps the method but raises the typed
+:class:`UnsupportedQuery` (listing the backends that *do* support it,
+registry-style) instead of failing with ``AttributeError`` or —
+worse — silently answering wrong.  :class:`UnsupportedQueryMixin`
+supplies that default behavior.
+
 The free search functions (:func:`repro.kdtree.knn_approx` and
 friends) remain available; the adapters in
 :mod:`repro.index.adapters` are thin objects over them.
@@ -21,13 +36,24 @@ friends) remain available; the adapters in
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.geometry import PointCloud
-from repro.kdtree.search import QueryResult
+from repro.modality import (
+    UnsupportedQuery,
+    UnsupportedQueryMixin,
+    declare_support,
+    supporting_backends,
+)
 from repro.registry import Registry
+
+if TYPE_CHECKING:
+    # Type-only: keeps this module import-cycle-free so backends living
+    # under repro.kdtree / repro.baselines can import the mixin.
+    from repro.kdtree.search import QueryResult
+    from repro.query.result import RaggedResult
 
 
 @runtime_checkable
@@ -39,7 +65,17 @@ class NeighborIndex(Protocol):
     ``prebuilt.build(new_ref)`` hand back something ready to ``query``.
     ``stats`` reports backend-specific structure diagnostics; every
     backend includes at least ``n_reference``.
+
+    ``query_radius`` and ``sample`` are the non-kNN modalities; the
+    paired ``supports_*`` flags say whether a backend answers them
+    natively.  Callers either check the flag or catch
+    :class:`UnsupportedQuery` — the methods always exist (that is what
+    keeps ``isinstance(x, NeighborIndex)`` meaningful), they just
+    refuse in a typed, uniform way where unsupported.
     """
+
+    supports_radius: bool
+    supports_sample: bool
 
     @property
     def name(self) -> str: ...
@@ -48,7 +84,33 @@ class NeighborIndex(Protocol):
 
     def query(self, queries: PointCloud | np.ndarray, k: int) -> QueryResult: ...
 
+    def query_radius(
+        self,
+        queries: PointCloud | np.ndarray,
+        radius: float,
+        *,
+        max_neighbors: int | None = None,
+    ) -> "RaggedResult": ...
+
+    def sample(self, m: int, *, start: int = 0) -> np.ndarray: ...
+
     def stats(self) -> dict: ...
+
+
+# Re-exported as this module's public surface; defined in the
+# dependency-free repro.modality so backends can import the mixin
+# without a package cycle.
+__all__ = [
+    "IndexFactory",
+    "NeighborIndex",
+    "UnsupportedQuery",
+    "UnsupportedQueryMixin",
+    "available_indexes",
+    "declare_support",
+    "make_index",
+    "register_index",
+    "supporting_backends",
+]
 
 
 IndexFactory = Callable[..., NeighborIndex]

@@ -787,6 +787,166 @@ class BlockedIndex:
             obs.counter("blocked.block_visits").inc(int(alive.size))
         return QueryResult(indices=run_idx, distances=run_dst)
 
+    # -- non-kNN modalities (native) ----------------------------------
+    supports_radius = True
+    supports_sample = True
+
+    def query_radius(
+        self,
+        queries,
+        radius: float,
+        *,
+        max_neighbors: int | None = None,
+    ) -> "RaggedResult":
+        """Exact batched radius search, AABB-pruned per block.
+
+        Visits every block whose squared AABB lower bound is within the
+        ball (under the same slack as :meth:`query` — extra visits only
+        cost time), runs the vectorized
+        :func:`~repro.query.radius.radius_batched` kernel on the
+        relevant query rows, translates hits to global ids, and funnels
+        all pairs through the one canonical CSR sort.  The cap is
+        applied after the global merge, never per block, so the result
+        is bit-identical to a monolithic tree over the same cloud.
+        """
+        from repro.query.radius import (
+            _as_query_array,
+            _check_radius,
+            radius_batched,
+        )
+        from repro.query.result import build_ragged
+
+        radius = _check_radius(radius)
+        q = _as_query_array(queries)
+        m = q.shape[0]
+        obs = get_registry()
+        obs.counter("blocked.queries").inc(m)
+        pair_q: list[np.ndarray] = []
+        pair_i: list[np.ndarray] = []
+        pair_d: list[np.ndarray] = []
+        if m:
+            below = np.maximum(self._aabb_lo[None, :, :] - q[:, None, :], 0.0)
+            above = np.maximum(q[:, None, :] - self._aabb_hi[None, :, :], 0.0)
+            lb = (below * below + above * above).sum(axis=2)
+            within = lb <= (radius * radius) * (1.0 + _PRUNE_SLACK)
+            for block in range(self.n_blocks):
+                rows = np.flatnonzero(within[:, block])
+                if rows.size == 0:
+                    continue
+                resident = self._get_block(block)
+                part = radius_batched(resident.tree, q[rows], radius)
+                if part.n_pairs:
+                    pair_q.append(np.repeat(rows, part.counts()))
+                    pair_i.append(resident.global_ids[part.indices])
+                    pair_d.append(part.distances)
+                self._block_visits += int(rows.size)
+                obs.counter("blocked.block_visits").inc(int(rows.size))
+        qid = (
+            np.concatenate(pair_q) if pair_q
+            else np.empty(0, dtype=np.int64)
+        )
+        idx = (
+            np.concatenate(pair_i) if pair_i
+            else np.empty(0, dtype=np.int64)
+        )
+        dst = (
+            np.concatenate(pair_d) if pair_d
+            else np.empty(0, dtype=np.float64)
+        )
+        return build_ragged(qid, idx, dst, m, max_neighbors=max_neighbors)
+
+    def sample(self, m: int, *, start: int = 0) -> np.ndarray:
+        """Two-level farthest point sampling across blocks.
+
+        One :class:`~repro.query.fps.BucketFpsState` per block carries
+        the fused-FPS bucket pruning; on top, a whole block is skipped
+        when its point-AABB lower bound to the new sample already meets
+        or exceeds the block's own maximum distance-to-sample (then no
+        member's minimum can change — the same no-op proof as the
+        bucket level, one level up).  Selection takes the global max,
+        ties by ascending global id; per-block ids ascend with local
+        ids (the stager appends chunks in scan order), so the sequence
+        is bit-identical to :func:`~repro.query.fps.sample_fps_reference`
+        over the whole cloud.
+        """
+        from repro.query.fps import BucketFpsState, _check_sample_args
+
+        _check_sample_args(self.n_points, m, start)
+        obs = get_registry()
+        with obs.timer("build.fps"):
+            states: list[BucketFpsState] = []
+            gids_all: list[np.ndarray] = []
+            los: list[np.ndarray] = []
+            his: list[np.ndarray] = []
+            for block in range(self.n_blocks):
+                resident = self._get_block(block)
+                xyz = np.asarray(resident.tree.points, dtype=np.float64)
+                states.append(BucketFpsState(resident.tree, xyz))
+                gids_all.append(
+                    np.asarray(resident.global_ids, dtype=np.int64)
+                )
+                los.append(xyz.min(axis=0))
+                his.append(xyz.max(axis=0))
+            sel = np.empty(m, dtype=np.int64)
+            sel[0] = start
+            cur_block, cur_local = self._locate(gids_all, start)
+            block_visits = 0
+            block_pruned = 0
+            for i in range(1, m):
+                s = states[cur_block].xyz[cur_local]
+                for b, state in enumerate(states):
+                    if b == cur_block:
+                        state.update(s, cur_local)
+                        block_visits += 1
+                        continue
+                    delta = np.maximum(
+                        np.maximum(los[b] - s, s - his[b]), 0.0
+                    )
+                    if float((delta * delta).sum()) < float(
+                        state.bucket_max.max()
+                    ):
+                        state.update(s)
+                        block_visits += 1
+                    else:
+                        block_pruned += 1
+                best_val = -np.inf
+                best_gid = -1
+                for b, state in enumerate(states):
+                    val, arg = state.peek()
+                    if val == -np.inf:
+                        continue
+                    gid = int(gids_all[b][arg])
+                    if val > best_val or (
+                        val == best_val and gid < best_gid
+                    ):
+                        best_val = val
+                        best_gid = gid
+                        cur_block, cur_local = b, arg
+                sel[i] = best_gid
+        if obs.enabled:
+            obs.counter("build.fps.calls").inc()
+            obs.counter("build.fps.samples").inc(m)
+            obs.counter("build.fps.bucket_visits").inc(
+                sum(s.visited for s in states)
+            )
+            obs.counter("build.fps.bucket_pruned").inc(
+                sum(s.pruned for s in states)
+            )
+            obs.counter("blocked.fps.block_visits").inc(block_visits)
+            obs.counter("blocked.fps.block_pruned").inc(block_pruned)
+        return sel
+
+    @staticmethod
+    def _locate(
+        gids_all: list[np.ndarray], global_id: int
+    ) -> tuple[int, int]:
+        """Map a global point id to its (block, local index)."""
+        for b, gids in enumerate(gids_all):
+            pos = int(np.searchsorted(gids, global_id))
+            if pos < gids.size and gids[pos] == global_id:
+                return b, pos
+        raise ValueError(f"global id {global_id} not found in any block")
+
     def stats(self) -> dict:
         sizes = self.manifest["block_points"]
         return {
@@ -911,6 +1071,19 @@ class BlockedShard:
                 int(block), q[rows], k, budget=budget
             )
         return idx, dst
+
+    def search_radius(
+        self, q: np.ndarray, radius: float, k: int | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Radius rows for the serving layer, as a global CSR triplet.
+
+        Same ``(indices, distances, offsets)`` contract as
+        :meth:`repro.serve.sharding.ShardState.search_radius`; ids are
+        already global here.  Radius requests never degrade, so there
+        is no budget parameter.
+        """
+        result = self.index.query_radius(q, radius, max_neighbors=k)
+        return result.indices, result.distances, result.offsets
 
     def snapshot(self):
         raise NotImplementedError(

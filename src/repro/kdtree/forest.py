@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import PointCloud
+from repro.modality import UnsupportedQueryMixin
 from repro.kdtree.builders import BUILDERS
 from repro.kdtree.config import KdTreeConfig
 from repro.kdtree.node import NO_NODE, KdNode, KdTree
@@ -59,8 +60,13 @@ class KdForestConfig:
         BUILDERS.check(self.builder)
 
 
-class KdForest:
-    """Several randomized k-d trees over one reference set."""
+class KdForest(UnsupportedQueryMixin):
+    """Several randomized k-d trees over one reference set.
+
+    Radius / FPS queries are unsupported (the randomized trees share no
+    single exact bound structure) and raise the typed
+    :class:`~repro.index.protocol.UnsupportedQuery`.
+    """
 
     name = "forest"
 

@@ -1,0 +1,77 @@
+"""Query-modality capability flags and the typed ``UnsupportedQuery``.
+
+Standalone on purpose: backends live under ``repro.kdtree`` and
+``repro.baselines`` while the :class:`~repro.index.NeighborIndex`
+protocol lives under ``repro.index`` (whose package import populates
+the adapter registry, which imports the backends).  This module has no
+repro-internal imports, so every backend can take the mixin without a
+cycle; :mod:`repro.index.protocol` re-exports everything here as the
+public surface.
+
+The contract: a backend either answers a modality natively (flag True,
+name recorded via :func:`declare_support`) or keeps the method and
+raises :class:`UnsupportedQuery` — never ``AttributeError``, never a
+silent wrong answer.  The error message lists the backends that do
+support the modality, mirroring the registry's unknown-name errors.
+"""
+
+from __future__ import annotations
+
+
+class UnsupportedQuery(TypeError):
+    """A backend was asked for a query modality it does not implement.
+
+    Raised (never ``AttributeError``) by every backend whose
+    ``supports_<modality>`` flag is False; the message names the
+    backends that do support the modality, mirroring the registry's
+    unknown-name errors.
+    """
+
+    def __init__(self, backend: str, modality: str):
+        supported = supporting_backends(modality)
+        listing = ", ".join(supported) if supported else "none"
+        super().__init__(
+            f"index {backend!r} does not support {modality} queries "
+            f"(supported by: {listing})"
+        )
+        self.backend = backend
+        self.modality = modality
+
+
+#: modality name -> canonical backend names answering it natively.
+_MODALITY_SUPPORT: dict[str, set[str]] = {"radius": set(), "sample": set()}
+
+
+def declare_support(modality: str, *names: str) -> None:
+    """Record that ``names`` answer ``modality`` natively.
+
+    Adapters call this at registration time; the sets feed the
+    :class:`UnsupportedQuery` message and :func:`supporting_backends`.
+    """
+    _MODALITY_SUPPORT.setdefault(modality, set()).update(names)
+
+
+def supporting_backends(modality: str) -> list[str]:
+    """Sorted canonical names of backends supporting ``modality``."""
+    return sorted(_MODALITY_SUPPORT.get(modality, ()))
+
+
+class UnsupportedQueryMixin:
+    """Default refusals for backends without the extra modalities.
+
+    Mix into any :class:`~repro.index.NeighborIndex` implementation to
+    get the capability flags (False) and uniformly raising
+    ``query_radius`` / ``sample`` — the conformance suite in
+    ``tests/index`` checks every registered backend behaves exactly
+    this way or answers for real.
+    """
+
+    supports_radius = False
+    supports_sample = False
+
+    def query_radius(self, queries, radius: float, *,
+                     max_neighbors: int | None = None):
+        raise UnsupportedQuery(self.name, "radius")
+
+    def sample(self, m: int, *, start: int = 0):
+        raise UnsupportedQuery(self.name, "sample")

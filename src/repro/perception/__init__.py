@@ -11,10 +11,27 @@ nearest-neighbor primitives.  This package closes that loop end to end:
 * :mod:`repro.perception.tracker` — a multi-object tracker that
   associates clusters across frames and estimates per-object velocity
   from successive positions, the "perceiving the dynamics of moving
-  objects" task of the paper's introduction.
+  objects" task of the paper's introduction;
+* :mod:`repro.perception.normals` — PCA surface normals from batched
+  radius queries and FPS downsampling, the first consumer of the
+  non-kNN query modalities behind :class:`~repro.index.protocol.
+  NeighborIndex`.
 """
 
 from repro.perception.clustering import Cluster, euclidean_clusters
+from repro.perception.normals import (
+    SurfaceNormals,
+    downsample_fps,
+    estimate_normals,
+)
 from repro.perception.tracker import MultiObjectTracker, Track
 
-__all__ = ["Cluster", "MultiObjectTracker", "Track", "euclidean_clusters"]
+__all__ = [
+    "Cluster",
+    "MultiObjectTracker",
+    "SurfaceNormals",
+    "Track",
+    "downsample_fps",
+    "estimate_normals",
+    "euclidean_clusters",
+]

@@ -1,0 +1,145 @@
+"""Surface normal estimation and FPS downsampling over the query layer.
+
+The first consumer of the radius/sampling query modalities.  Normal
+estimation is the canonical radius-search workload in a LiDAR stack:
+for every point, gather its neighborhood ball, fit a plane by PCA of
+the neighborhood covariance, and take the smallest-eigenvalue
+eigenvector as the surface normal (the curvature proxy is the standard
+ratio of that eigenvalue to the trace).  Everything is batched — one
+:meth:`~repro.index.protocol.NeighborIndex.query_radius` call for all
+points, covariance moments accumulated with ``bincount`` over the CSR
+pairs, one vectorized ``eigh`` over the valid rows — so the cost
+profile follows the engine, not a Python loop.
+
+:func:`downsample_fps` is the sampling-side consumer: pick ``m``
+well-spread representatives with farthest point sampling through
+:meth:`~repro.index.protocol.NeighborIndex.sample` (build-fused when
+the backend is a k-d tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import PointCloud
+
+
+def _as_xyz(cloud) -> np.ndarray:
+    xyz = cloud.xyz if isinstance(cloud, PointCloud) else np.asarray(
+        cloud, dtype=np.float64
+    )
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if xyz.ndim != 2 or xyz.shape[1] != 3:
+        raise ValueError("cloud must have shape (N, 3)")
+    return xyz
+
+
+@dataclass(frozen=True)
+class SurfaceNormals:
+    """Per-point plane fits from radius neighborhoods.
+
+    Rows with fewer than 3 neighbors (the point itself counts) cannot
+    fix a plane; their ``normals`` row is NaN and ``curvature`` is NaN.
+    ``n_neighbors`` reports each row's neighborhood size, so callers
+    can filter or re-query sparse regions.
+    """
+
+    normals: np.ndarray      # (N, 3) unit normals; NaN where underdetermined
+    curvature: np.ndarray    # (N,) lambda_0 / trace in [0, 1/3]; NaN likewise
+    n_neighbors: np.ndarray  # (N,) int64 ball occupancy per point
+
+    @property
+    def n_valid(self) -> int:
+        return int(np.count_nonzero(~np.isnan(self.curvature)))
+
+
+def estimate_normals(
+    cloud,
+    *,
+    radius: float,
+    max_neighbors: int | None = None,
+    index=None,
+    viewpoint=None,
+) -> SurfaceNormals:
+    """PCA plane-fit normals from one batched radius query.
+
+    ``index`` may be any built :class:`~repro.index.protocol.
+    NeighborIndex` with ``supports_radius`` (reuse the tree the
+    pipeline already has); by default a ``kd-exact`` index is built
+    over the cloud.  ``max_neighbors`` caps each neighborhood at its
+    nearest that many — the usual defense against overdense patches.
+    ``viewpoint`` (default the origin, where the sensor sits) orients
+    every normal toward the sensor, making signs deterministic.
+    """
+    xyz = _as_xyz(cloud)
+    n = xyz.shape[0]
+    if index is None:
+        from repro.index import make_index
+
+        index = make_index("kd-exact", xyz)
+    view = (
+        np.zeros(3) if viewpoint is None
+        else np.asarray(viewpoint, dtype=np.float64)
+    )
+    result = index.query_radius(xyz, radius, max_neighbors=max_neighbors)
+    counts = result.counts()
+    row_of_pair = np.repeat(np.arange(n, dtype=np.int64), counts)
+    nbr = xyz[result.indices]
+
+    # First and second moments per row via bincount — reduceat would
+    # mis-handle empty rows (a zero-length segment yields a[start]).
+    sums = np.empty((n, 3))
+    for j in range(3):
+        sums[:, j] = np.bincount(row_of_pair, weights=nbr[:, j], minlength=n)
+    moments = {}
+    for a, b in ((0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)):
+        moments[a, b] = np.bincount(
+            row_of_pair, weights=nbr[:, a] * nbr[:, b], minlength=n
+        )
+
+    valid = counts >= 3
+    normals = np.full((n, 3), np.nan)
+    curvature = np.full(n, np.nan)
+    if valid.any():
+        c = counts[valid].astype(np.float64)
+        mean = sums[valid] / c[:, None]
+        cov = np.empty((int(valid.sum()), 3, 3))
+        for a, b in ((0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)):
+            cov_ab = moments[a, b][valid] / c - mean[:, a] * mean[:, b]
+            cov[:, a, b] = cov_ab
+            cov[:, b, a] = cov_ab
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        fitted = eigvecs[:, :, 0]  # smallest-eigenvalue eigenvector
+        trace = eigvals.sum(axis=1)
+        lam0 = np.maximum(eigvals[:, 0], 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            curv = np.where(trace > 0.0, lam0 / trace, 0.0)
+        # Orient toward the viewpoint; exactly-tangent rows keep the
+        # eigh sign (deterministic for a given input).
+        toward = view[None, :] - xyz[valid]
+        flip = (fitted * toward).sum(axis=1) < 0.0
+        fitted[flip] *= -1.0
+        normals[valid] = fitted
+        curvature[valid] = curv
+    return SurfaceNormals(
+        normals=normals,
+        curvature=curvature,
+        n_neighbors=counts,
+    )
+
+
+def downsample_fps(cloud, m: int, *, start: int = 0, index=None) -> np.ndarray:
+    """``m`` well-spread point indices by farthest point sampling.
+
+    Routes through ``index.sample`` when an index with
+    ``supports_sample`` is supplied (a k-d backend runs the build-fused
+    FuseFPS path); otherwise runs :func:`repro.query.fps.sample_fps`
+    directly over the cloud, which builds the flat tree it prunes with.
+    """
+    if index is not None and getattr(index, "supports_sample", False):
+        return index.sample(m, start=start)
+    from repro.query.fps import sample_fps
+
+    return sample_fps(_as_xyz(cloud), m, start=start)

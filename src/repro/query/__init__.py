@@ -1,0 +1,44 @@
+"""Query-modality subsystem: radius search and farthest point sampling.
+
+Everything before this package answered one question — k nearest
+neighbors on 3D points.  This package adds the other two primitives
+real perception pipelines spend their neighbor-search budget on, both
+riding the same flat-tree machinery as the batched kNN engine:
+
+* **Radius (range) search** — :func:`radius_batched`, a vectorized
+  batched kernel over :class:`~repro.kdtree.engine.FlatKdTree` (ball
+  pruning + BLAS candidate prefilter + exact float64 re-derivation),
+  bit-identical to the per-query :func:`radius_reference` loop and to
+  the tree-free :func:`radius_bruteforce` oracle.  Results are CSR
+  :class:`RaggedResult` batches in canonical (distance, index) row
+  order with an optional ``max_neighbors`` cap.
+* **Farthest point sampling fused with tree build** (FuseFPS) —
+  :func:`sample_fps`, which reuses the build's bucket partition and
+  per-bucket distance bounds to prune point-to-sample updates, exactly
+  reproducing the naive :func:`sample_fps_reference` selection
+  sequence (ties broken by index).
+
+Both surface behind the :class:`~repro.index.NeighborIndex` protocol
+as ``query_radius`` / ``sample`` with ``supports_radius`` /
+``supports_sample`` capability flags, and through the serving layer as
+a ragged-result request type (see :mod:`repro.serve`).
+"""
+
+from repro.query.fps import BucketFpsState, sample_fps, sample_fps_reference
+from repro.query.radius import (
+    radius_batched,
+    radius_bruteforce,
+    radius_reference,
+)
+from repro.query.result import RaggedResult, build_ragged
+
+__all__ = [
+    "BucketFpsState",
+    "RaggedResult",
+    "build_ragged",
+    "radius_batched",
+    "radius_bruteforce",
+    "radius_reference",
+    "sample_fps",
+    "sample_fps_reference",
+]

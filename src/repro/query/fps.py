@@ -1,0 +1,219 @@
+"""Farthest point sampling fused with the k-d tree build (FuseFPS).
+
+FPS is the standard point-cloud downsampler: starting from a seed
+point, repeatedly select the point farthest from the current sample
+set.  The naive algorithm (:func:`sample_fps_reference`) updates every
+point's distance-to-sample after each selection — O(n·m) kernel work.
+
+FuseFPS's observation is that the k-d tree build the pipeline runs
+*anyway* hands FPS exactly the pruning structure it needs: the build's
+buckets partition the cloud, each bucket's AABB gives a lower bound on
+the distance from a new sample to every member, and a per-bucket
+**upper bound on the members' current distance-to-sample** lets whole
+buckets skip the update — if the new sample cannot get closer than the
+bucket's farthest point already is, no member's minimum can change.
+:func:`sample_fps` builds the flat tree (or fuses onto one the caller
+already built) and runs the sampling loop over buckets instead of
+points, visiting only the buckets the bound cannot clear.
+
+The pruning is *exactly* lossless, not approximately: the AABB lower
+bound is computed with the same per-axis-then-sum float64 operation
+order as the distance kernel, so ``lb <= d2`` holds bit-for-bit, and a
+skipped bucket's update is a provable no-op.  The selected index
+sequence is therefore identical to the naive reference, including tie
+handling (ties broken by ascending index — ``np.argmax``'s
+first-occurrence rule; an all-duplicate cloud samples ids
+``start, 0, 1, 2, ...``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import PointCloud
+from repro.kdtree.config import KdTreeConfig
+from repro.kdtree.engine import FlatKdTree
+from repro.obs import get_registry
+
+
+def _as_xyz(points) -> np.ndarray:
+    xyz = points.xyz if isinstance(points, PointCloud) else np.asarray(
+        points, dtype=np.float64
+    )
+    xyz = np.asarray(xyz, dtype=np.float64)
+    if xyz.ndim != 2 or xyz.shape[1] != 3:
+        raise ValueError("points must have shape (N, 3)")
+    return xyz
+
+
+def sample_fps_reference(points, m: int, *, start: int = 0) -> np.ndarray:
+    """Naive O(n·m) farthest point sampling — the contract definition.
+
+    One full-cloud distance update per selection.  Returns the ``m``
+    selected indices in selection order; :func:`sample_fps` must
+    reproduce this sequence exactly.
+    """
+    xyz = _as_xyz(points)
+    n = xyz.shape[0]
+    _check_sample_args(n, m, start)
+    sel = np.empty(m, dtype=np.int64)
+    sel[0] = start
+    d2 = np.full(n, np.inf)
+    cur = start
+    for i in range(1, m):
+        diff = xyz - xyz[cur]
+        np.minimum(d2, (diff * diff).sum(axis=1), out=d2)
+        d2[cur] = -np.inf
+        cur = int(np.argmax(d2))
+        sel[i] = cur
+    return sel
+
+
+def _check_sample_args(n: int, m: int, start: int) -> None:
+    if n == 0:
+        raise ValueError("cannot sample from an empty cloud")
+    if not 1 <= m <= n:
+        raise ValueError(f"m must be in [1, {n}], got {m}")
+    if not 0 <= start < n:
+        raise ValueError(f"start must be in [0, {n}), got {start}")
+
+
+class BucketFpsState:
+    """Per-bucket FPS bookkeeping over one flat tree's partition.
+
+    Tracks, for every point, its squared distance to the sample set
+    (``d2``; selected points are parked at ``-inf``) and, per bucket,
+    the exact maximum of its members' ``d2`` plus the smallest member
+    id achieving it.  :meth:`update` advances all of it for one new
+    sample, visiting only the buckets whose AABB lower bound cannot
+    prove the update a no-op.  The serve/blocked layers reuse this
+    state per block, translating the local argmax through the block's
+    global ids.
+    """
+
+    def __init__(self, flat: FlatKdTree, xyz: np.ndarray | None = None):
+        self.xyz = flat.points if xyz is None else xyz
+        n = self.xyz.shape[0]
+        self.n = n
+        members = flat.bucket_members
+        offsets = flat.bucket_offsets
+        sizes = np.diff(offsets)
+        self._members = members
+        self._starts = offsets[:-1]
+        self._sizes = sizes
+        nonempty = sizes > 0
+        self._nonempty = nonempty
+        nb = sizes.shape[0]
+        # Bucket AABBs from the actual members (a leaf's region can be
+        # unbounded; its occupied box is what bounds member distances).
+        pts_m = self.xyz[members]
+        self._lo = np.full((nb, 3), np.inf)
+        self._hi = np.full((nb, 3), -np.inf)
+        idx_ne = np.flatnonzero(nonempty)
+        if idx_ne.size:
+            starts_ne = offsets[:-1][idx_ne]
+            self._lo[idx_ne] = np.minimum.reduceat(pts_m, starts_ne, axis=0)
+            self._hi[idx_ne] = np.maximum.reduceat(pts_m, starts_ne, axis=0)
+        self._bucket_of = np.empty(n, dtype=np.int64)
+        self._bucket_of[members] = np.repeat(
+            np.arange(nb, dtype=np.int64), sizes
+        )
+        self.d2 = np.full(n, np.inf)
+        self.bucket_max = np.where(nonempty, np.inf, -np.inf)
+        # Smallest member id per bucket (every d2 starts equal at inf).
+        self.bucket_arg = np.full(nb, n, dtype=np.int64)
+        if idx_ne.size:
+            self.bucket_arg[idx_ne] = np.minimum.reduceat(members, starts_ne)
+        self.visited = 0
+        self.pruned = 0
+
+    def peek(self) -> tuple[float, int]:
+        """Current farthest point: ``(max d2, smallest id achieving it)``."""
+        value = float(self.bucket_max.max())
+        at = self.bucket_max == value
+        return value, int(self.bucket_arg[at].min())
+
+    def update(self, s: np.ndarray, selected_local: int | None = None) -> None:
+        """Fold one new sample at ``s`` into every member's ``d2``.
+
+        ``selected_local`` names the selected point when it belongs to
+        this state's cloud: it is parked at ``-inf`` and its bucket is
+        force-visited so the stored max/arg stay exact.
+        """
+        forced = -1
+        if selected_local is not None:
+            self.d2[selected_local] = -np.inf
+            forced = int(self._bucket_of[selected_local])
+        delta = np.maximum(np.maximum(self._lo - s, s - self._hi), 0.0)
+        lb = (delta * delta).sum(axis=1)
+        visit = (lb < self.bucket_max) & self._nonempty
+        if forced >= 0:
+            visit[forced] = True
+        visit_ids = np.flatnonzero(visit)
+        self.visited += int(visit_ids.size)
+        self.pruned += int(self._nonempty.sum() - visit_ids.size)
+        if visit_ids.size == 0:
+            return
+        ls = self._sizes[visit_ids]
+        total = int(ls.sum())
+        stops = np.cumsum(ls)
+        within = np.arange(total) - np.repeat(stops - ls, ls)
+        vis_members = self._members[
+            np.repeat(self._starts[visit_ids], ls) + within
+        ]
+        diff = self.xyz[vis_members] - s
+        self.d2[vis_members] = np.minimum(
+            self.d2[vis_members], (diff * diff).sum(axis=1)
+        )
+        vals = self.d2[vis_members]
+        seg = np.r_[0, stops[:-1]]
+        new_max = np.maximum.reduceat(vals, seg)
+        at_max = vals == np.repeat(new_max, ls)
+        new_arg = np.minimum.reduceat(
+            np.where(at_max, vis_members, self.n), seg
+        )
+        self.bucket_max[visit_ids] = new_max
+        self.bucket_arg[visit_ids] = new_arg
+
+
+def sample_fps(
+    points,
+    m: int,
+    *,
+    start: int = 0,
+    flat: FlatKdTree | None = None,
+    config: KdTreeConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Build-fused farthest point sampling (FuseFPS).
+
+    Selects ``m`` indices, bit-identical in sequence to
+    :func:`sample_fps_reference`.  Pass ``flat`` to fuse onto a tree
+    the pipeline already built (the intended mode — sampling then
+    costs no extra build); otherwise one level-synchronous
+    :func:`~repro.kdtree.flat_build.build_flat` pass constructs it,
+    and the caller still ends up with FPS for the price of the build
+    it needed anyway.
+    """
+    xyz = _as_xyz(points)
+    _check_sample_args(xyz.shape[0], m, start)
+    obs = get_registry()
+    with obs.timer("build.fps"):
+        if flat is None:
+            from repro.kdtree.flat_build import build_flat
+
+            flat, _ = build_flat(xyz, config, rng=rng)
+        state = BucketFpsState(flat, xyz)
+        sel = np.empty(m, dtype=np.int64)
+        sel[0] = start
+        cur = start
+        for i in range(1, m):
+            state.update(xyz[cur], cur)
+            _, cur = state.peek()
+            sel[i] = cur
+    if obs.enabled:
+        obs.counter("build.fps.calls").inc()
+        obs.counter("build.fps.samples").inc(m)
+        obs.counter("build.fps.bucket_visits").inc(state.visited)
+        obs.counter("build.fps.bucket_pruned").inc(state.pruned)
+    return sel

@@ -57,9 +57,15 @@ from repro.serve.loadgen import (
     run_closed_loop,
     run_open_loop,
 )
-from repro.serve.server import KnnServer, ServeResponse
+from repro.serve.server import KnnServer, RadiusServeResponse, ServeResponse
 from repro.serve.sessions import Session, SessionConfig, SessionManager
-from repro.serve.sharding import ShardPlan, ShardState, make_plan, merge_topk
+from repro.serve.sharding import (
+    ShardPlan,
+    ShardState,
+    make_plan,
+    merge_radius,
+    merge_topk,
+)
 
 __all__ = [
     "DEFAULT_DEGRADE_THRESHOLDS",
@@ -71,6 +77,7 @@ __all__ = [
     "LoadgenReport",
     "MicroBatcher",
     "Overloaded",
+    "RadiusServeResponse",
     "RequestTimeout",
     "ServeConfig",
     "ServeError",
@@ -87,6 +94,7 @@ __all__ = [
     "available_backends",
     "make_backend",
     "make_plan",
+    "merge_radius",
     "merge_topk",
     "register_backend",
     "run_closed_loop",

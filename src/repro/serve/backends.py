@@ -165,13 +165,18 @@ class ThreadBackend(ExecutionBackend):
                           "request_ids": job.request_ids,
                           "shard": slot},
                 ):
-                    indices, distances = job.shards[slot].search(
-                        job.q, job.k, job.budget
-                    )
+                    if job.kind == "radius":
+                        payload = job.shards[slot].search_radius(
+                            job.q, job.radius, job.k
+                        )
+                    else:
+                        payload = job.shards[slot].search(
+                            job.q, job.k, job.budget
+                        )
             except Exception as exc:
                 server._shard_failed(job, slot, exc)
                 continue
-            server._shard_completed(job, slot, indices, distances)
+            server._shard_completed(job, slot, payload)
 
     def describe(self) -> dict:
         return {
@@ -336,7 +341,7 @@ class ProcessBackend(ExecutionBackend):
         if name is None:
             return  # generation already retired — the job is being torn down
         task = (job.job_id, job.generation, name, job.q, job.k, job.budget,
-                job.request_ids)
+                job.request_ids, job.kind, job.radius)
         workers = self._slot_workers[slot]
         start = next(self._rr[slot])
         for i in range(len(workers)):
@@ -391,9 +396,8 @@ class ProcessBackend(ExecutionBackend):
                     server._count("serve.worker.late", 1)
                     continue
                 if kind == "result":
-                    indices, distances = payload
                     server._count("serve.worker.results", 1)
-                    server._shard_completed(job, slot, indices, distances)
+                    server._shard_completed(job, slot, payload)
                 else:  # "error"
                     server._count("serve.worker.errors", 1)
                     server._shard_failed(job, slot, payload)

@@ -26,12 +26,20 @@ from repro.serve.errors import Overloaded, ServerClosed
 
 @dataclass
 class ServeRequest:
-    """One admitted unit of work: a few query rows plus routing flags."""
+    """One admitted unit of work: a few query rows plus routing flags.
+
+    ``kind`` selects the query modality: ``"knn"`` (the default top-k
+    path) or ``"radius"`` (batched range search returning ragged CSR
+    rows).  A radius request stores its ``max_neighbors`` cap in ``k``
+    and its radius in ``radius``; it is always served exact.
+    """
 
     xyz: np.ndarray                 # (m, 3) float64 query rows
     k: int
     mode: str                       # "exact" | "approx"
     allow_degraded: bool
+    kind: str = "knn"               # "knn" | "radius"
+    radius: float = 0.0             # ball radius for kind == "radius"
     future: Future = field(default_factory=Future)
     arrival: float = 0.0            # monotonic admission time
     deadline: float | None = None   # monotonic; None = no timeout
@@ -40,6 +48,20 @@ class ServeRequest:
 
     @property
     def n_rows(self) -> int:
+        return self.xyz.shape[0]
+
+    @property
+    def cost_rows(self) -> int:
+        """Queue-accounting weight of this request, in answer rows.
+
+        A kNN request costs its geometric row count.  A radius row can
+        return up to ``max_neighbors`` (= ``k``) candidates, so it
+        occupies ``rows × k`` budget — which is why the server requires
+        a finite cap on served radius queries: unbounded rows would
+        make admission control blind to their true cost.
+        """
+        if self.kind == "radius":
+            return self.xyz.shape[0] * self.k
         return self.xyz.shape[0]
 
 
@@ -76,11 +98,11 @@ class MicroBatcher:
         with self._ready:
             if self._closed:
                 raise ServerClosed("cannot submit: batcher is closed")
-            if self._rows_queued + request.n_rows > self.max_queue:
+            if self._rows_queued + request.cost_rows > self.max_queue:
                 raise Overloaded(self._rows_queued, self.max_queue)
             request.arrival = self._clock()
             self._queue.append(request)
-            self._rows_queued += request.n_rows
+            self._rows_queued += request.cost_rows
             self._ready.notify()
 
     def depth(self) -> int:
@@ -129,7 +151,7 @@ class MicroBatcher:
         batch: list[ServeRequest] = []
         rows = 0
         while self._queue:
-            nxt = self._queue[0].n_rows
+            nxt = self._queue[0].cost_rows
             if batch and rows + nxt > self.max_batch_size:
                 break
             batch.append(self._queue.pop(0))
@@ -154,7 +176,7 @@ class MicroBatcher:
                     r for r in self._queue
                     if not (r.deadline is not None and now >= r.deadline)
                 ]
-                self._rows_queued = sum(r.n_rows for r in self._queue)
+                self._rows_queued = sum(r.cost_rows for r in self._queue)
                 self._ready.notify_all()
             return expired
 

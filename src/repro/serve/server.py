@@ -76,7 +76,13 @@ from repro.serve.backends import make_backend
 from repro.serve.batcher import MicroBatcher, ServeRequest
 from repro.serve.config import ServeConfig
 from repro.serve.errors import RequestTimeout, ServerClosed
-from repro.serve.sharding import ShardPlan, ShardState, make_plan, merge_topk
+from repro.serve.sharding import (
+    ShardPlan,
+    ShardState,
+    make_plan,
+    merge_radius,
+    merge_topk,
+)
 
 _SNAPSHOT_GLOB = "shard-*.npz"
 
@@ -111,6 +117,42 @@ class ServeResponse:
         return QueryResult(indices=self.indices, distances=self.distances)
 
 
+@dataclass(frozen=True)
+class RadiusServeResponse:
+    """One answered radius request: ragged CSR rows, always exact.
+
+    ``indices`` / ``distances`` are the flat per-pair arrays and
+    ``offsets`` the row boundaries — the same layout as
+    :class:`~repro.query.result.RaggedResult` (:meth:`as_ragged`
+    wraps them).  Rows are in the canonical order (ascending distance,
+    ties by ascending global id), each capped at its nearest
+    ``max_neighbors``.  Radius requests never ride the degradation
+    ladder — a partial radius answer has no honest meaning — so
+    ``served`` is always ``"exact"``; overload protection is admission
+    control alone, with each row charged ``max_neighbors`` queue rows.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    offsets: np.ndarray
+    radius: float
+    max_neighbors: int
+    degrade_level: int
+    latency_s: float
+    generation: int
+    request_id: int = -1
+    served: str = "exact"
+
+    def as_ragged(self):
+        from repro.query.result import RaggedResult
+
+        return RaggedResult(
+            indices=self.indices,
+            distances=self.distances,
+            offsets=self.offsets,
+        )
+
+
 class _BatchJob:
     """One engine call's worth of coalesced rows, fanned out to shards."""
 
@@ -118,22 +160,27 @@ class _BatchJob:
         "job_id", "requests", "request_ids", "q", "k", "budget", "shards",
         "generation", "degrade_level", "lock", "results", "shard_done",
         "hedged", "attempts", "n_done", "finished", "dispatched_at",
+        "kind", "radius",
     )
 
     def __init__(self, job_id, requests, q, k, budget, shards, generation,
-                 degrade_level, dispatched_at):
+                 degrade_level, dispatched_at, kind="knn", radius=0.0):
         self.job_id: int = job_id
         self.requests: list[ServeRequest] = requests
         self.request_ids: list[int] = [r.request_id for r in requests]
         self.q = q                       # (rows, 3) concatenated queries
         self.k = k
         self.budget = budget             # None = unbounded exact
+        self.kind: str = kind            # "knn" | "radius"
+        self.radius: float = radius      # ball radius for kind == "radius"
         self.shards: tuple[ShardState, ...] = shards
         self.generation = generation
         self.degrade_level = degrade_level
         self.lock = threading.Lock()
         n = len(shards)
-        self.results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n
+        #: Per-shard result payload: ``(indices, distances)`` for kNN,
+        #: ``(indices, distances, offsets)`` CSR for radius.
+        self.results: list[tuple | None] = [None] * n
         self.shard_done = [False] * n
         self.hedged = [False] * n
         self.attempts = [0] * n
@@ -345,6 +392,56 @@ class KnnServer:
         """Blocking :meth:`submit`: wait for and return the response."""
         return self.submit(
             queries, k, mode=mode, allow_degraded=allow_degraded
+        ).result(timeout=timeout)
+
+    def submit_radius(self, queries, radius: float, *,
+                      max_neighbors: int) -> Future:
+        """Admit a batched radius request; ``Future[RadiusServeResponse]``.
+
+        ``max_neighbors`` is mandatory: a radius row's cost is
+        unbounded without a cap, and admission control charges each row
+        ``max_neighbors`` queue rows so overload pressure tracks the
+        worst-case answer size.  Radius requests never degrade — the
+        response is always the exact capped answer or a typed refusal.
+        """
+        radius = float(radius)
+        if not radius >= 0.0:
+            raise ValueError("radius must be non-negative")
+        if max_neighbors < 1:
+            raise ValueError(
+                "max_neighbors must be a positive row cap (radius "
+                "requests are admitted by their worst-case answer size)"
+            )
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or q.shape[1] != 3 or q.shape[0] == 0:
+            raise ValueError("queries must have shape (m, 3) with m >= 1")
+        request = ServeRequest(
+            xyz=np.ascontiguousarray(q), k=max_neighbors, mode="exact",
+            allow_degraded=False, kind="radius", radius=radius,
+            request_id=next(self._request_ids),
+        )
+        if self.config.request_timeout_s is not None:
+            request.deadline = self._clock() + self.config.request_timeout_s
+        try:
+            with get_registry().phase(
+                "serve.admit",
+                args={"request_id": request.request_id,
+                      "rows": request.n_rows},
+            ):
+                self._batcher.submit(request)
+        except Exception:
+            self._count("serve.shed", 1)
+            raise
+        self._count("serve.requests", 1)
+        self._count("serve.radius_requests", 1)
+        self._count("serve.rows", request.n_rows)
+        return request.future
+
+    def query_radius(self, queries, radius: float, *, max_neighbors: int,
+                     timeout: float | None = None) -> "RadiusServeResponse":
+        """Blocking :meth:`submit_radius`: wait for and return the response."""
+        return self.submit_radius(
+            queries, radius, max_neighbors=max_neighbors
         ).result(timeout=timeout)
 
     def update_reference(self, points) -> dict:
@@ -593,17 +690,24 @@ class KnnServer:
                 ):
                     self._count("serve.timeouts", 1)
                 continue
-            budget, served = self._plan_budget(request, level)
+            if request.kind == "radius":
+                # Radius rows never degrade: a truncated ball has no
+                # honest meaning, and each row prepaid its worst case
+                # at admission.
+                budget, served = None, "exact"
+            else:
+                budget, served = self._plan_budget(request, level)
             live.append((request, budget, served))
 
         groups: dict[tuple, list[tuple[ServeRequest, str]]] = {}
         for request, budget, served in live:
-            groups.setdefault((request.k, budget), []).append((request, served))
+            key = (request.kind, request.k, budget, request.radius)
+            groups.setdefault(key, []).append((request, served))
 
         with self._swap_lock:
             shards = self._shards
             generation = self._generation
-        for (k, budget), members in groups.items():
+        for (kind, k, budget, radius), members in groups.items():
             requests = [r for r, _ in members]
             for request, served in members:
                 request.served = served
@@ -617,6 +721,8 @@ class KnnServer:
                 generation=generation,
                 degrade_level=level,
                 dispatched_at=now,
+                kind=kind,
+                radius=radius,
             )
             with self._inflight_lock:
                 self._inflight[job.job_id] = job
@@ -641,15 +747,19 @@ class KnnServer:
             return self._inflight.get(job_id)
 
     def _shard_completed(
-        self, job: _BatchJob, slot: int,
-        indices: np.ndarray, distances: np.ndarray,
+        self, job: _BatchJob, slot: int, payload: tuple,
     ) -> None:
-        """A shard's local top-k arrived; merge when it was the last."""
+        """A shard's local result arrived; merge when it was the last.
+
+        ``payload`` is the shard's result tuple for the job's kind:
+        ``(indices, distances)`` top-k arrays for kNN,
+        ``(indices, distances, offsets)`` CSR for radius.
+        """
         last = False
         with job.lock:
             if not job.finished and not job.shard_done[slot]:
                 job.shard_done[slot] = True
-                job.results[slot] = (indices, distances)
+                job.results[slot] = payload
                 job.n_done += 1
                 last = job.n_done == len(job.shards)
         if last:
@@ -679,6 +789,9 @@ class KnnServer:
                 return
             job.finished = True
         self._drop_inflight(job)
+        if job.kind == "radius":
+            self._finish_radius_job(job)
+            return
         parts = job.results
         obs = get_registry()
         with obs.phase(
@@ -708,6 +821,44 @@ class KnnServer:
                 self._count("serve.completed", 1)
                 if response.degraded:
                     self._count("serve.degraded", 1)
+                if obs.enabled:
+                    with self._obs_lock:
+                        obs.histogram("serve.latency_ms").observe(
+                            response.latency_s * 1e3
+                        )
+
+    def _finish_radius_job(self, job: _BatchJob) -> None:
+        """Merge per-shard CSR parts and slice per-request sub-results."""
+        obs = get_registry()
+        n_rows = int(job.q.shape[0])
+        with obs.phase(
+            "serve.merge",
+            args={"job_id": job.job_id, "request_ids": job.request_ids},
+        ):
+            merged = merge_radius(job.results, n_rows, job.k)
+        now = self._clock()
+        row = 0
+        for request in job.requests:
+            row0, row1 = row, row + request.n_rows
+            row = row1
+            lo = int(merged.offsets[row0])
+            hi = int(merged.offsets[row1])
+            response = RadiusServeResponse(
+                indices=merged.indices[lo:hi],
+                distances=merged.distances[lo:hi],
+                offsets=merged.offsets[row0 : row1 + 1] - lo,
+                radius=job.radius,
+                max_neighbors=job.k,
+                # Always 0: radius answers never degrade, and reporting
+                # the queue-pressure ladder level here would read as a
+                # truncated ball.
+                degrade_level=0,
+                latency_s=now - request.arrival,
+                generation=job.generation,
+                request_id=request.request_id,
+            )
+            if _try_set_result(request.future, response):
+                self._count("serve.completed", 1)
                 if obs.enabled:
                     with self._obs_lock:
                         obs.histogram("serve.latency_ms").observe(

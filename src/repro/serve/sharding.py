@@ -79,6 +79,28 @@ class ShardState:
         translated[local == PAD_INDEX] = PAD_INDEX
         return translated, result.distances
 
+    def search_radius(
+        self, q: np.ndarray, radius: float, k: int | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Local radius rows as a CSR triplet with *global* ids.
+
+        Returns ``(indices, distances, offsets)`` in canonical row
+        order, each row capped at its nearest ``k``.  The per-shard cap
+        is lossless under the global merge: shard-local ids ascend with
+        global ids (both split strategies keep their id arrays sorted),
+        so a shard's top-``k``-by-(distance, id) is a superset of the
+        global answer's members living on this shard.  Radius requests
+        never degrade, so there is no budget parameter.
+        """
+        from repro.query.radius import radius_batched
+
+        result = radius_batched(self.tree, q, radius, max_neighbors=k)
+        return (
+            self.global_ids[result.indices],
+            result.distances,
+            result.offsets,
+        )
+
     def snapshot(self) -> Snapshot:
         """Portable form (disk file or shared-memory payload)."""
         return Snapshot.from_flat(
@@ -179,3 +201,33 @@ def merge_topk(
     dst = np.take_along_axis(cat_dst, order, axis=1)
     idx[np.isinf(dst)] = PAD_INDEX
     return np.ascontiguousarray(idx), np.ascontiguousarray(dst)
+
+
+def merge_radius(
+    parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    n_rows: int,
+    k: int | None,
+):
+    """Merge per-shard radius CSR triplets into one global result.
+
+    Each part is a ``(indices, distances, offsets)`` triplet over the
+    same ``n_rows`` queries with global ids.  Shards partition the
+    points, so the merge is pure concatenation funneled through the
+    one canonical CSR sort (ascending distance, ties by ascending id)
+    with the ``k`` cap applied *after* — per-shard caps are supersets
+    (see :meth:`ShardState.search_radius`), so the merged rows are
+    bit-identical to an unsharded :func:`repro.query.radius.
+    radius_batched` for any shard count.
+    """
+    from repro.query.result import build_ragged
+
+    qids, idxs, dsts = [], [], []
+    for indices, distances, offsets in parts:
+        counts = np.diff(np.asarray(offsets, dtype=np.int64))
+        qids.append(np.repeat(np.arange(n_rows, dtype=np.int64), counts))
+        idxs.append(np.asarray(indices, dtype=np.int64))
+        dsts.append(np.asarray(distances, dtype=np.float64))
+    qid = np.concatenate(qids) if qids else np.empty(0, dtype=np.int64)
+    idx = np.concatenate(idxs) if idxs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.float64)
+    return build_ragged(qid, idx, dst, n_rows, max_neighbors=k)

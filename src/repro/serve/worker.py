@@ -127,10 +127,15 @@ def worker_main(worker_id: str, slot: int, task_queue, result_conn,
     """Entry point of one shard-replica worker process.
 
     ``task_queue`` yields ``(job_id, generation, segment_name, q, k,
-    budget, request_ids)`` tuples, or ``None`` as the shutdown
-    sentinel.  Replies on ``result_conn`` (this worker's private pipe)
-    are ``(kind, worker_id, job_id, slot, payload, counters, metrics)``
-    with kind ``result`` (payload ``(indices, distances)``), ``error``
+    budget, request_ids, query_kind, radius)`` tuples, or ``None`` as
+    the shutdown sentinel.  ``query_kind`` selects the modality:
+    ``"knn"`` runs :meth:`~repro.serve.sharding.ShardState.search`
+    (payload ``(indices, distances)``), ``"radius"`` runs
+    :meth:`~repro.serve.sharding.ShardState.search_radius` (payload
+    the ``(indices, distances, offsets)`` CSR triplet).  Replies on
+    ``result_conn`` (this worker's private pipe) are
+    ``(kind, worker_id, job_id, slot, payload, counters, metrics)``
+    with kind ``result`` (payload as above), ``error``
     (payload the exception), or ``bye`` (farewell); ``metrics`` is the
     worker registry's ``flush_delta()`` payload, or ``None`` when the
     coordinator is not profiling (``obs_config`` absent/disabled).
@@ -154,17 +159,24 @@ def worker_main(worker_id: str, slot: int, task_queue, result_conn,
             task = task_queue.get()
             if task is None:
                 return
-            job_id, generation, segment_name, q, k, budget, request_ids = task
+            (job_id, generation, segment_name, q, k, budget,
+             request_ids, query_kind, radius) = task
             try:
                 state = cache.get(generation, segment_name)
+
+                def _compute():
+                    if query_kind == "radius":
+                        return state.search_radius(q, radius, k)
+                    return state.search(q, k, budget)
+
                 if registry is not None:
                     span_args = {"job_id": job_id, "worker": worker_id}
                     if request_ids is not None:
                         span_args["request_ids"] = request_ids
                     with registry.phase("serve.worker.search", args=span_args):
-                        indices, distances = state.search(q, k, budget)
+                        payload = _compute()
                 else:
-                    indices, distances = state.search(q, k, budget)
+                    payload = _compute()
             except Exception as exc:
                 counters["errors"] += 1
                 result_conn.send(
@@ -176,7 +188,7 @@ def worker_main(worker_id: str, slot: int, task_queue, result_conn,
             counters["rows"] += int(q.shape[0])
             result_conn.send(
                 ("result", worker_id, job_id, slot,
-                 (indices, distances), dict(counters), _flush())
+                 payload, dict(counters), _flush())
             )
     except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
         return

@@ -15,6 +15,7 @@ class TestRegistry:
             "ext-ablation", "ext-incremental", "ext-hbm", "ext-crosscheck",
             "ext-exact", "ext-sensitivity", "ext-banks", "ext-pareto",
             "ext-icp", "serve-load", "serve-fleet", "blocked-build",
+            "radius-query", "fps-build",
         }
         assert set(experiment_ids()) == expected
 

@@ -1,0 +1,158 @@
+"""Modality conformance: every backend answers or refuses, honestly.
+
+The :class:`~repro.index.NeighborIndex` protocol grew two optional
+modalities (radius search and FPS sampling) behind capability flags.
+The contract checked here, for every registered backend:
+
+* flags exist and are plain booleans; the ``supporting_backends``
+  registry agrees with the per-instance flags;
+* a backend with the flag set answers natively and bit-identically to
+  the oracle (brute-force radius / naive FPS);
+* a backend without the flag raises the typed :class:`UnsupportedQuery`
+  — never ``AttributeError``, never a silent wrong answer — and the
+  message names the backends that do support the modality, mirroring
+  the registry's unknown-name errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    UnsupportedQuery,
+    available_indexes,
+    make_index,
+    supporting_backends,
+)
+from repro.kdtree.blocked import BlockedBuildConfig
+from repro.query import sample_fps_reference
+from repro.query.radius import radius_bruteforce
+
+BACKENDS = sorted(available_indexes())
+RADIUS = 4.0
+CAP = 8
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend(request, small_frame_pair):
+    ref, _ = small_frame_pair
+    return make_index(request.param, ref)
+
+
+def _assert_same_ragged(a, b):
+    np.testing.assert_array_equal(a.offsets, b.offsets)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.distances, b.distances)
+
+
+def test_flags_are_booleans(backend):
+    assert isinstance(backend.supports_radius, bool)
+    assert isinstance(backend.supports_sample, bool)
+
+
+def test_registry_agrees_with_flags(small_frame_pair):
+    ref, _ = small_frame_pair
+    for modality in ("radius", "sample"):
+        declared = set(supporting_backends(modality))
+        actual = {
+            name
+            for name in BACKENDS
+            if getattr(make_index(name, ref), f"supports_{modality}")
+        }
+        assert declared == actual, modality
+
+
+def test_radius_native_or_typed_refusal(backend, small_frame_pair):
+    ref, qry = small_frame_pair
+    queries = qry.xyz[:150]
+    if backend.supports_radius:
+        result = backend.query_radius(queries, RADIUS, max_neighbors=CAP)
+        oracle = radius_bruteforce(ref.xyz, queries, RADIUS, max_neighbors=CAP)
+        _assert_same_ragged(result, oracle)
+    else:
+        with pytest.raises(UnsupportedQuery) as err:
+            backend.query_radius(queries, RADIUS, max_neighbors=CAP)
+        message = str(err.value)
+        assert backend.name in message
+        for name in supporting_backends("radius"):
+            assert name in message
+
+
+def test_sample_native_or_typed_refusal(backend, small_frame_pair):
+    ref, _ = small_frame_pair
+    if backend.supports_sample:
+        picks = backend.sample(60, start=3)
+        np.testing.assert_array_equal(
+            picks, sample_fps_reference(ref.xyz, 60, start=3)
+        )
+    else:
+        with pytest.raises(UnsupportedQuery) as err:
+            backend.sample(60)
+        message = str(err.value)
+        assert backend.name in message
+        for name in supporting_backends("sample"):
+            assert name in message
+
+
+def test_refusal_is_typeerror_not_attributeerror(small_frame_pair):
+    ref, _ = small_frame_pair
+    for name in BACKENDS:
+        index = make_index(name, ref)
+        assert callable(index.query_radius)
+        assert callable(index.sample)
+        if not index.supports_radius:
+            assert issubclass(UnsupportedQuery, TypeError)
+            with pytest.raises(TypeError):
+                index.query_radius(ref.xyz[:2], 1.0)
+
+
+def test_error_carries_backend_and_modality(small_frame_pair):
+    ref, _ = small_frame_pair
+    unsupported = [
+        n for n in BACKENDS
+        if not make_index(n, ref).supports_radius
+    ]
+    assert unsupported, "expected at least one non-supporting backend"
+    index = make_index(unsupported[0], ref)
+    with pytest.raises(UnsupportedQuery) as err:
+        index.query_radius(ref.xyz[:2], 1.0)
+    assert err.value.backend == index.name
+    assert err.value.modality == "radius"
+
+
+class TestBlockedIdentity:
+    """The out-of-core router must match the monolithic kernel bit for bit."""
+
+    def test_radius_matches_monolithic(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        queries = qry.xyz[:200]
+        blocked = make_index(
+            "kd-blocked", ref, config=BlockedBuildConfig(target_block_points=600)
+        )
+        mono = make_index("kd-exact", ref)
+        _assert_same_ragged(
+            blocked.query_radius(queries, RADIUS, max_neighbors=CAP),
+            mono.query_radius(queries, RADIUS, max_neighbors=CAP),
+        )
+
+    def test_sample_matches_monolithic(self, small_frame_pair):
+        ref, _ = small_frame_pair
+        blocked = make_index(
+            "kd-blocked", ref, config=BlockedBuildConfig(target_block_points=600)
+        )
+        np.testing.assert_array_equal(
+            blocked.sample(120, start=5),
+            sample_fps_reference(ref.xyz, 120, start=5),
+        )
+
+    def test_off_origin_radius_matches(self, small_frame_pair):
+        ref, qry = small_frame_pair
+        shift = np.array([500_000.0, 4_000_000.0, 1_000.0])
+        xyz = ref.xyz + shift
+        queries = qry.xyz[:100] + shift
+        blocked = make_index(
+            "kd-blocked", xyz, config=BlockedBuildConfig(target_block_points=600)
+        )
+        _assert_same_ragged(
+            blocked.query_radius(queries, RADIUS, max_neighbors=CAP),
+            radius_bruteforce(xyz, queries, RADIUS, max_neighbors=CAP),
+        )

@@ -14,7 +14,8 @@ class TestCliSurface:
         # Paper artifacts first, in paper order; extensions after.
         assert ids[:5] == ["table1", "fig3", "fig8", "fig9", "fig10"]
         assert all(
-            x.startswith(("ext-", "serve-", "blocked-")) for x in ids[16:]
+            x.startswith(("ext-", "serve-", "blocked-", "radius-", "fps-"))
+            for x in ids[16:]
         )
 
     def test_run_with_json_roundtrip(self, tmp_path, capsys):

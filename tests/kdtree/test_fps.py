@@ -1,0 +1,100 @@
+"""Build-fused FPS: exact sequence identity with the naive loop.
+
+Farthest point sampling is greedy and deterministic: given the cloud
+and the start index, the selected sequence is unique up to the
+tie-break, which the repo fixes as numpy-argmax order (first index
+attaining the max).  The fused implementation prunes whole buckets
+with AABB lower bounds, so the test bar is exact: the same index
+sequence as :func:`sample_fps_reference` on every workload, including
+the tie-heavy ones where a sloppy bound or a different tie-break shows
+up immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kdtree import KdTreeConfig, build_flat
+from repro.query import sample_fps, sample_fps_reference
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(41)
+    return rng.uniform(-50.0, 50.0, size=(4_000, 3))
+
+
+class TestSequenceIdentity:
+    @pytest.mark.parametrize("m", [1, 2, 64, 500])
+    def test_matches_reference(self, cloud, m):
+        np.testing.assert_array_equal(
+            sample_fps(cloud, m), sample_fps_reference(cloud, m)
+        )
+
+    @pytest.mark.parametrize("start", [0, 7, 3_999])
+    def test_start_index_respected(self, cloud, start):
+        fused = sample_fps(cloud, 50, start=start)
+        assert fused[0] == start
+        np.testing.assert_array_equal(
+            fused, sample_fps_reference(cloud, 50, start=start)
+        )
+
+    def test_prebuilt_tree_identical(self, cloud):
+        flat, _ = build_flat(cloud, KdTreeConfig(bucket_capacity=48))
+        np.testing.assert_array_equal(
+            sample_fps(cloud, 128, flat=flat),
+            sample_fps_reference(cloud, 128),
+        )
+
+    def test_duplicate_heavy_cloud(self):
+        rng = np.random.default_rng(5)
+        base = rng.uniform(-10.0, 10.0, size=(600, 3))
+        xyz = np.concatenate([base, base, base])  # every point triplicated
+        np.testing.assert_array_equal(
+            sample_fps(xyz, 200), sample_fps_reference(xyz, 200)
+        )
+
+    def test_collinear_tie_cloud(self):
+        # Symmetric grid: many points share the exact max distance every
+        # round, so the argmax tie-break is exercised on most selections.
+        g = np.arange(8, dtype=np.float64)
+        xyz = np.stack(np.meshgrid(g, g, g), axis=-1).reshape(-1, 3)
+        np.testing.assert_array_equal(
+            sample_fps(xyz, 100), sample_fps_reference(xyz, 100)
+        )
+
+    def test_off_origin_utm_frame(self, cloud):
+        shift = np.array([500_000.0, 4_000_000.0, 1_000.0])
+        np.testing.assert_array_equal(
+            sample_fps(cloud + shift, 150),
+            sample_fps_reference(cloud + shift, 150),
+        )
+
+
+class TestProperties:
+    def test_selects_m_unique_indices(self, cloud):
+        picks = sample_fps(cloud, 300)
+        assert picks.shape == (300,)
+        assert picks.dtype == np.int64
+        assert np.unique(picks).size == 300
+
+    def test_m_equals_n(self):
+        rng = np.random.default_rng(9)
+        xyz = rng.uniform(size=(40, 3))
+        picks = sample_fps(xyz, 40)
+        np.testing.assert_array_equal(np.sort(picks), np.arange(40))
+
+
+class TestValidation:
+    def test_m_zero_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            sample_fps(cloud, 0)
+
+    def test_m_above_n_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            sample_fps(cloud, cloud.shape[0] + 1)
+
+    def test_bad_start_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            sample_fps(cloud, 10, start=-1)
+        with pytest.raises(ValueError):
+            sample_fps(cloud, 10, start=cloud.shape[0])

@@ -1,0 +1,143 @@
+"""Batched radius search: bit-identity and degenerate workloads.
+
+The batched kernel's acceptance bar matches the blocked router's: its
+answer must equal the per-query reference loop bit for bit — same
+pairs, same distances, same canonical (distance, index) row order,
+same ``max_neighbors`` cap — and both must equal brute force.  The
+degenerate workloads here are the classic ways a vectorized rewrite
+drifts: zero radius, all-duplicate clouds, rows with no neighbors at
+all, and off-origin UTM frames where sloppy AABB lower bounds start
+pruning buckets that still hold in-ball members.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kdtree import KdTreeConfig, build_flat
+from repro.query import (
+    RaggedResult,
+    radius_batched,
+    radius_reference,
+)
+from repro.query.radius import radius_bruteforce
+
+
+def _assert_same(a: RaggedResult, b: RaggedResult):
+    np.testing.assert_array_equal(a.offsets, b.offsets)
+    np.testing.assert_array_equal(a.indices, b.indices)
+    np.testing.assert_array_equal(a.distances, b.distances)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(23)
+    xyz = rng.uniform(-40.0, 40.0, size=(3_000, 3))
+    queries = np.concatenate(
+        [rng.uniform(-40.0, 40.0, size=(250, 3)), xyz[:50]]
+    )
+    flat, _ = build_flat(xyz, KdTreeConfig(bucket_capacity=48))
+    return xyz, queries, flat
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("radius", [0.5, 3.0, 12.0])
+    def test_matches_reference_loop(self, workload, radius):
+        _, queries, flat = workload
+        _assert_same(
+            radius_batched(flat, queries, radius),
+            radius_reference(flat, queries, radius),
+        )
+
+    @pytest.mark.parametrize("cap", [1, 4, 17])
+    def test_cap_matches_reference(self, workload, cap):
+        _, queries, flat = workload
+        batched = radius_batched(flat, queries, 6.0, max_neighbors=cap)
+        _assert_same(
+            batched,
+            radius_reference(flat, queries, 6.0, max_neighbors=cap),
+        )
+        assert (batched.counts() <= cap).all()
+
+    def test_matches_bruteforce(self, workload):
+        xyz, queries, flat = workload
+        _assert_same(
+            radius_batched(flat, queries, 5.0, max_neighbors=8),
+            radius_bruteforce(xyz, queries, 5.0, max_neighbors=8),
+        )
+
+    def test_rows_in_canonical_order(self, workload):
+        _, queries, flat = workload
+        result = radius_batched(flat, queries, 8.0)
+        for i in range(result.n_queries):
+            idx, dst = result.row(i)
+            order = np.lexsort((idx, dst))
+            np.testing.assert_array_equal(order, np.arange(idx.size))
+
+
+class TestDegenerateWorkloads:
+    def test_zero_radius_self_query(self, workload):
+        xyz, _, flat = workload
+        result = radius_batched(flat, xyz[:200], 0.0)
+        assert (result.counts() == 1).all()
+        np.testing.assert_array_equal(result.indices, np.arange(200))
+        assert (result.distances == 0.0).all()
+
+    def test_all_duplicate_cloud(self):
+        xyz = np.tile([[1.0, -2.0, 3.0]], (500, 1))
+        flat, _ = build_flat(xyz, KdTreeConfig(bucket_capacity=32))
+        queries = xyz[:10]
+        result = radius_batched(flat, queries, 0.0)
+        assert (result.counts() == 500).all()
+        # Ties break by ascending index within every row.
+        for i in range(result.n_queries):
+            idx, dst = result.row(i)
+            np.testing.assert_array_equal(idx, np.arange(500))
+            assert (dst == 0.0).all()
+        capped = radius_batched(flat, queries, 0.0, max_neighbors=3)
+        assert (capped.counts() == 3).all()
+        _assert_same(capped, radius_reference(flat, queries, 0.0,
+                                              max_neighbors=3))
+
+    def test_empty_rows(self, workload):
+        xyz, _, flat = workload
+        far = np.array([[1e4, 1e4, 1e4], [-1e4, 0.0, 0.0]])
+        result = radius_batched(flat, far, 1.0)
+        assert result.n_pairs == 0
+        assert (result.counts() == 0).all()
+        _assert_same(result, radius_reference(flat, far, 1.0))
+
+    def test_empty_query_batch(self, workload):
+        _, _, flat = workload
+        result = radius_batched(flat, np.empty((0, 3)), 2.0)
+        assert result.n_queries == 0
+        assert result.n_pairs == 0
+
+    @pytest.mark.parametrize(
+        "offset", [[500_000.0, 4_000_000.0, 1_000.0], [-750_000.0, 0.0, 0.0]]
+    )
+    def test_off_origin_utm_frame(self, workload, offset):
+        xyz, queries, _ = workload
+        shift = np.asarray(offset)
+        flat, _ = build_flat(xyz + shift, KdTreeConfig(bucket_capacity=48))
+        _assert_same(
+            radius_batched(flat, queries + shift, 4.0, max_neighbors=6),
+            radius_bruteforce(xyz + shift, queries + shift, 4.0,
+                              max_neighbors=6),
+        )
+
+
+class TestValidation:
+    def test_negative_radius_rejected(self, workload):
+        _, queries, flat = workload
+        with pytest.raises(ValueError, match="radius"):
+            radius_batched(flat, queries, -1.0)
+
+    def test_nonpositive_cap_rejected(self, workload):
+        _, queries, flat = workload
+        with pytest.raises(ValueError, match="max_neighbors"):
+            radius_batched(flat, queries, 1.0, max_neighbors=0)
+
+    def test_bad_query_shape_rejected(self, workload):
+        _, _, flat = workload
+        with pytest.raises(ValueError):
+            radius_batched(flat, np.zeros((4, 2)), 1.0)

@@ -1,0 +1,75 @@
+"""Surface normals and FPS downsampling over the query modalities."""
+
+import numpy as np
+import pytest
+
+from repro.index import make_index
+from repro.perception import downsample_fps, estimate_normals
+from repro.query import sample_fps_reference
+
+
+@pytest.fixture(scope="module")
+def tilted_plane():
+    """A dense plane with a known normal, plus a few isolated points."""
+    rng = np.random.default_rng(13)
+    u = rng.uniform(-5.0, 5.0, size=(1_500, 2))
+    normal = np.array([1.0, 2.0, 2.0]) / 3.0
+    e1 = np.array([2.0, -1.0, 0.0]) / np.sqrt(5.0)
+    e2 = np.cross(normal, e1)
+    plane = u[:, :1] * e1 + u[:, 1:] * e2
+    isolated = np.array([[40.0, 40.0, 40.0], [-40.0, 40.0, -40.0]])
+    return np.concatenate([plane, isolated]), normal
+
+
+class TestNormals:
+    def test_plane_normals_recovered(self, tilted_plane):
+        xyz, normal = tilted_plane
+        result = estimate_normals(xyz, radius=1.0)
+        fitted = result.normals[:-2]
+        dots = np.abs(fitted @ normal)
+        assert np.nanmedian(dots) > 0.999
+        assert np.nanmax(result.curvature[:-2]) < 0.05
+
+    def test_isolated_points_are_nan(self, tilted_plane):
+        xyz, _ = tilted_plane
+        result = estimate_normals(xyz, radius=1.0)
+        assert np.isnan(result.normals[-2:]).all()
+        assert np.isnan(result.curvature[-2:]).all()
+        assert result.n_valid == xyz.shape[0] - 2
+        assert (result.n_neighbors[-2:] == 1).all()
+
+    def test_orientation_faces_viewpoint(self, tilted_plane):
+        xyz, _ = tilted_plane
+        view = np.array([100.0, 0.0, 0.0])
+        result = estimate_normals(xyz, radius=1.0, viewpoint=view)
+        valid = ~np.isnan(result.curvature)
+        toward = view[None, :] - xyz[valid]
+        assert ((result.normals[valid] * toward).sum(axis=1) >= 0.0).all()
+
+    def test_reuses_supplied_index(self, tilted_plane):
+        xyz, _ = tilted_plane
+        index = make_index("kd-exact", xyz)
+        a = estimate_normals(xyz, radius=1.0, index=index)
+        b = estimate_normals(xyz, radius=1.0)
+        np.testing.assert_array_equal(a.n_neighbors, b.n_neighbors)
+        np.testing.assert_array_equal(a.normals, b.normals)
+
+    def test_max_neighbors_cap_applies(self, tilted_plane):
+        xyz, _ = tilted_plane
+        result = estimate_normals(xyz, radius=2.0, max_neighbors=16)
+        assert (result.n_neighbors <= 16).all()
+
+
+class TestDownsample:
+    def test_matches_reference(self, tilted_plane):
+        xyz, _ = tilted_plane
+        np.testing.assert_array_equal(
+            downsample_fps(xyz, 64), sample_fps_reference(xyz, 64)
+        )
+
+    def test_index_route_identical(self, tilted_plane):
+        xyz, _ = tilted_plane
+        index = make_index("kd-exact", xyz)
+        np.testing.assert_array_equal(
+            downsample_fps(xyz, 64, index=index), downsample_fps(xyz, 64)
+        )
